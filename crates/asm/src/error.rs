@@ -1,0 +1,27 @@
+//! Assembler errors.
+
+use std::fmt;
+
+/// An assembly error, annotated with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line`.
+    pub fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}

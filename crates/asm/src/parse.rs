@@ -1,0 +1,344 @@
+//! Source-line and operand parsing.
+
+use crate::error::AsmError;
+use crate::expr::{eval, SymTab};
+
+/// One parsed operand of an instruction.
+///
+/// The framework parses the syntax shared by the three ISAs; register names
+/// themselves are validated by the per-ISA assembler (via `is_reg`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register name (`r3`, `sp`, `lr`, `cr0`).
+    Reg(String),
+    /// An immediate: `#imm`, a number, or a label expression.
+    Imm(i64),
+    /// Displacement-plus-base syntax: `8(r2)`.
+    BaseDisp {
+        /// Evaluated displacement.
+        disp: i64,
+        /// Base register name.
+        base: String,
+    },
+    /// Bracketed memory syntax: `[r1, #4]` (`!` sets `writeback`).
+    Mem {
+        /// The comma-separated items inside the brackets.
+        items: Vec<Operand>,
+        /// Whether a trailing `!` requested base writeback.
+        writeback: bool,
+    },
+    /// Keyword-argument syntax: `lsl #2`, `asr r4`.
+    Pair {
+        /// The keyword (`lsl`, `lsr`, `asr`, `ror`).
+        key: String,
+        /// Its argument.
+        arg: Box<Operand>,
+    },
+}
+
+impl Operand {
+    /// The immediate value, if this operand is one.
+    pub fn imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The register name, if this operand is one.
+    pub fn reg(&self) -> Option<&str> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One statement extracted from a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// `.directive rest-of-line`
+    Directive(String, String),
+    /// `mnemonic rest-of-line`
+    Insn(String, String),
+}
+
+/// A parsed source line: optional label plus optional statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: usize,
+    /// Label defined at this line, if any.
+    pub label: Option<String>,
+    /// The statement body, if any.
+    pub body: Option<Body>,
+}
+
+/// Strips comments (`;` or `//` outside string/char literals).
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\\' if in_str || in_char => i += 1,
+            b'"' if !in_char => in_str = !in_str,
+            b'\'' if !in_str => in_char = !in_char,
+            b';' if !in_str && !in_char => return &line[..i],
+            b'/' if !in_str && !in_char && b.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parses the whole source into statements.
+///
+/// # Errors
+///
+/// Returns a syntax error with its line number.
+pub fn parse_lines(src: &str) -> Result<Vec<Stmt>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        let mut label = None;
+        // A label is an identifier followed by `:` at the start of the line.
+        if let Some(colon) = text.find(':') {
+            let candidate = &text[..colon];
+            if !candidate.is_empty()
+                && candidate
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+                && !candidate.chars().next().unwrap().is_ascii_digit()
+            {
+                label = Some(candidate.to_string());
+                text = text[colon + 1..].trim();
+            }
+        }
+        let body = if text.is_empty() {
+            None
+        } else if let Some(rest) = text.strip_prefix('.') {
+            let (name, args) = match rest.find(char::is_whitespace) {
+                Some(ws) => (&rest[..ws], rest[ws..].trim()),
+                None => (rest, ""),
+            };
+            if name.is_empty() {
+                return Err(AsmError::new(line_no, "empty directive"));
+            }
+            Some(Body::Directive(name.to_string(), args.to_string()))
+        } else {
+            let (mn, args) = match text.find(char::is_whitespace) {
+                Some(ws) => (&text[..ws], text[ws..].trim()),
+                None => (text, ""),
+            };
+            Some(Body::Insn(mn.to_ascii_lowercase(), args.to_string()))
+        };
+        out.push(Stmt { line: line_no, label, body });
+    }
+    Ok(out)
+}
+
+/// Splits an operand list at top-level commas (respecting `[]`, `()`, and
+/// quotes).
+pub fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let b = s.as_bytes();
+    let mut in_str = false;
+    let mut in_char = false;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'"' if !in_char => in_str = !in_str,
+            b'\'' if !in_str => in_char = !in_char,
+            b'[' | b'(' if !in_str && !in_char => depth += 1,
+            b']' | b')' if !in_str && !in_char => depth -= 1,
+            b',' if depth == 0 && !in_str && !in_char => {
+                out.push(s[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() || !out.is_empty() {
+        out.push(last.to_string());
+    }
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+/// Parses one operand string.
+///
+/// `is_reg` is the per-ISA register-name predicate; anything that is not a
+/// register, bracketed memory, displacement syntax, or keyword pair is
+/// evaluated as a constant expression against `syms`.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error or (when `strict`)
+/// undefined symbol.
+pub fn parse_operand(
+    s: &str,
+    is_reg: &dyn Fn(&str) -> bool,
+    syms: &SymTab,
+    strict: bool,
+) -> Result<Operand, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty operand".into());
+    }
+    if let Some(rest) = s.strip_prefix('#') {
+        return Ok(Operand::Imm(eval(rest, syms, strict)?));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let (inner, wb) = match rest.strip_suffix("]!") {
+            Some(inner) => (inner, true),
+            None => match rest.strip_suffix(']') {
+                Some(inner) => (inner, false),
+                None => return Err(format!("unterminated `[` in `{s}`")),
+            },
+        };
+        let items = split_operands(inner)
+            .iter()
+            .map(|p| parse_operand(p, is_reg, syms, strict))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Operand::Mem { items, writeback: wb });
+    }
+    // disp(base) — base must be a register.
+    if let Some(open) = s.rfind('(') {
+        if let Some(inner) = s[open + 1..].strip_suffix(')') {
+            if is_reg(&inner.to_ascii_lowercase()) {
+                let prefix = s[..open].trim();
+                let disp = if prefix.is_empty() { 0 } else { eval(prefix, syms, strict)? };
+                return Ok(Operand::BaseDisp { disp, base: inner.to_ascii_lowercase() });
+            }
+        }
+    }
+    // Keyword pair: `lsl #2`, `asr r4`.
+    if let Some(ws) = s.find(char::is_whitespace) {
+        let key = s[..ws].to_ascii_lowercase();
+        if matches!(key.as_str(), "lsl" | "lsr" | "asr" | "ror") {
+            let arg = parse_operand(s[ws..].trim(), is_reg, syms, strict)?;
+            return Ok(Operand::Pair { key, arg: Box::new(arg) });
+        }
+    }
+    let lower = s.to_ascii_lowercase();
+    if is_reg(&lower) {
+        return Ok(Operand::Reg(lower));
+    }
+    Ok(Operand::Imm(eval(s, syms, strict)?))
+}
+
+/// Parses a `.ascii`/`.asciz` string literal.
+///
+/// # Errors
+///
+/// Returns a description of the syntax error.
+pub fn parse_string(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string, found `{s}`"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.bytes();
+    while let Some(c) = chars.next() {
+        if c == b'\\' {
+            match chars.next() {
+                Some(b'n') => out.push(b'\n'),
+                Some(b't') => out.push(b'\t'),
+                Some(b'0') => out.push(0),
+                Some(b'\\') => out.push(b'\\'),
+                Some(b'"') => out.push(b'"'),
+                other => return Err(format!("bad string escape `\\{:?}`", other.map(|b| b as char))),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_reg(name: &str) -> bool {
+        name == "sp" || (name.starts_with('r') && name[1..].parse::<u8>().is_ok())
+    }
+
+    fn syms() -> SymTab {
+        [("loop".to_string(), 0x1010u64)].into_iter().collect()
+    }
+
+    #[test]
+    fn lines_with_labels_and_comments() {
+        let stmts = parse_lines("start: addi r1, r0, 1 ; init\n .word 5 // data\n\nend:\n").unwrap();
+        assert_eq!(stmts[0].label.as_deref(), Some("start"));
+        assert!(matches!(&stmts[0].body, Some(Body::Insn(mn, _)) if mn == "addi"));
+        assert!(matches!(&stmts[1].body, Some(Body::Directive(d, a)) if d == "word" && a == "5"));
+        assert!(stmts[2].body.is_none() && stmts[2].label.is_none());
+        assert_eq!(stmts[3].label.as_deref(), Some("end"));
+    }
+
+    #[test]
+    fn split_respects_brackets() {
+        assert_eq!(split_operands("r0, [r1, #4], r2"), vec!["r0", "[r1, #4]", "r2"]);
+        assert_eq!(split_operands("8(r2), r3"), vec!["8(r2)", "r3"]);
+        assert_eq!(split_operands(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn operand_forms() {
+        let s = syms();
+        assert_eq!(parse_operand("r3", &is_reg, &s, true).unwrap(), Operand::Reg("r3".into()));
+        assert_eq!(parse_operand("R3", &is_reg, &s, true).unwrap(), Operand::Reg("r3".into()));
+        assert_eq!(parse_operand("#-4", &is_reg, &s, true).unwrap(), Operand::Imm(-4));
+        assert_eq!(parse_operand("loop+8", &is_reg, &s, true).unwrap(), Operand::Imm(0x1018));
+        assert_eq!(
+            parse_operand("8(r2)", &is_reg, &s, true).unwrap(),
+            Operand::BaseDisp { disp: 8, base: "r2".into() }
+        );
+        assert_eq!(
+            parse_operand("(sp)", &is_reg, &s, true).unwrap(),
+            Operand::BaseDisp { disp: 0, base: "sp".into() }
+        );
+        assert_eq!(
+            parse_operand("[r1, #4]!", &is_reg, &s, true).unwrap(),
+            Operand::Mem {
+                items: vec![Operand::Reg("r1".into()), Operand::Imm(4)],
+                writeback: true
+            }
+        );
+        assert_eq!(
+            parse_operand("lsl #2", &is_reg, &s, true).unwrap(),
+            Operand::Pair { key: "lsl".into(), arg: Box::new(Operand::Imm(2)) }
+        );
+    }
+
+    #[test]
+    fn undefined_symbol_strictness() {
+        let s = SymTab::new();
+        assert!(parse_operand("nolabel", &is_reg, &s, true).is_err());
+        assert_eq!(parse_operand("nolabel", &is_reg, &s, false).unwrap(), Operand::Imm(0));
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(parse_string(r#""hi\n""#).unwrap(), b"hi\n");
+        assert_eq!(parse_string(r#""a\"b""#).unwrap(), b"a\"b");
+        assert!(parse_string("unquoted").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Operand::Imm(3).imm(), Some(3));
+        assert_eq!(Operand::Reg("r1".into()).reg(), Some("r1"));
+        assert_eq!(Operand::Imm(3).reg(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark behind footnote 5: the cached (translated
+//! analog) vs interpreted backend on the one-min interface.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lis_core::ONE_MIN;
+use lis_runtime::{Backend, Simulator};
+use lis_workloads::{spec_of, suite_of};
+
+fn bench_backends(c: &mut Criterion) {
+    let w = suite_of("alpha").iter().find(|w| w.name == "sieve").unwrap();
+    let image = w.assemble().unwrap();
+    let mut group = c.benchmark_group("backend");
+    for (name, backend) in [("cached", Backend::Cached), ("interpreted", Backend::Interpreted)] {
+        group.bench_function(name, |b| {
+            let mut sim = Simulator::new(spec_of("alpha"), ONE_MIN).unwrap();
+            sim.set_backend(backend);
+            sim.load_program(&image).unwrap();
+            b.iter(|| {
+                sim.reset_program(&image).unwrap();
+                sim.run_to_halt(u64::MAX).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backends
+}
+criterion_main!(benches);

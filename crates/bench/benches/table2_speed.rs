@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks behind Table II: one kernel per ISA under
+//! representative interfaces. `cargo bench -p lis-bench` runs them; the
+//! `tables` binary produces the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_core::{BuildsetDef, BLOCK_MIN, ONE_ALL, ONE_MIN, STEP_ALL};
+use lis_runtime::Simulator;
+use lis_workloads::{spec_of, suite_of, ISAS};
+
+fn bench_interfaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    for isa in ISAS {
+        let w = suite_of(isa).iter().find(|w| w.name == "sieve").unwrap();
+        let image = w.assemble().unwrap();
+        let cases: [(&str, BuildsetDef); 4] = [
+            ("block-min", BLOCK_MIN),
+            ("one-min", ONE_MIN),
+            ("one-all", ONE_ALL),
+            ("step-all", STEP_ALL),
+        ];
+        for (name, bs) in cases {
+            let mut sim = Simulator::new(spec_of(isa), bs).unwrap();
+            sim.load_program(&image).unwrap();
+            let insts = sim.run_to_halt(u64::MAX).unwrap().insts;
+            group.throughput(criterion::Throughput::Elements(insts));
+            group.bench_with_input(BenchmarkId::new(isa, name), &bs, |b, bs| {
+                let mut sim = Simulator::new(spec_of(isa), *bs).unwrap();
+                sim.load_program(&image).unwrap();
+                b.iter(|| {
+                    sim.reset_program(&image).unwrap();
+                    sim.run_to_halt(u64::MAX).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_interfaces
+}
+criterion_main!(benches);

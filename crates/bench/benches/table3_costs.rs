@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks behind Table III: the informational and
+//! semantic cost components on the Alpha sieve kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lis_core::{BuildsetDef, ONE_ALL, ONE_ALL_SPEC, ONE_DECODE, ONE_MIN, STEP_ALL};
+use lis_runtime::Simulator;
+use lis_workloads::{spec_of, suite_of};
+
+fn bench_cost_components(c: &mut Criterion) {
+    let w = suite_of("alpha").iter().find(|w| w.name == "sieve").unwrap();
+    let image = w.assemble().unwrap();
+    let mut group = c.benchmark_group("table3");
+    let cases: [(&str, BuildsetDef); 5] = [
+        ("base_one_min", ONE_MIN),
+        ("plus_decode_info", ONE_DECODE),
+        ("plus_full_info", ONE_ALL),
+        ("plus_speculation", ONE_ALL_SPEC),
+        ("plus_multiple_calls", STEP_ALL),
+    ];
+    for (name, bs) in cases {
+        group.bench_function(name, |b| {
+            let mut sim = Simulator::new(spec_of("alpha"), bs).unwrap();
+            sim.load_program(&image).unwrap();
+            b.iter(|| {
+                sim.reset_program(&image).unwrap();
+                sim.run_to_halt(u64::MAX).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cost_components
+}
+criterion_main!(benches);

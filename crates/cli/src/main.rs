@@ -1,0 +1,369 @@
+//! `lis` — assemble and simulate programs under any derived interface.
+//!
+//! ```text
+//! lis run <file.s> --isa alpha [--buildset one-all] [--backend cached|interpreted]
+//!                              [--trace] [--max N] [--timing ORG]
+//! lis asm <file.s> --isa ppc
+//! lis disasm <file.s> --isa arm
+//! lis kernels [--isa alpha]
+//! lis buildsets
+//! ```
+
+use lis_core::{
+    check_interface, BuildsetDef, DynInst, InfoLevel, IsaSpec, Semantic, Step, Visibility,
+    STANDARD_BUILDSETS,
+};
+use lis_runtime::Simulator;
+use lis_timing::{
+    run_functional_first, run_integrated, run_speculative_functional_first, run_timing_directed,
+    run_timing_first, CoreConfig,
+};
+use std::process::ExitCode;
+
+mod opts;
+use opts::Opts;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "asm" => cmd_asm(&opts),
+        "disasm" => cmd_disasm(&opts),
+        "kernels" => cmd_kernels(&opts),
+        "buildsets" => cmd_buildsets(),
+        "lint" => cmd_lint(&opts),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "lis — single-specification simulator toolkit
+
+usage:
+  lis run <file.s> --isa <alpha|arm|ppc> [options]   assemble and simulate
+  lis asm <file.s> --isa <isa>                       assemble, show image
+  lis disasm <file.s> --isa <isa>                    assemble, then disassemble
+  lis kernels [--isa <isa>]                          run the bundled kernels
+  lis buildsets                                      list the standard interfaces
+  lis lint --isa <isa>                               interface validity matrix
+
+options for `run`:
+  --buildset <name>     interface to synthesize (default one-all)
+  --backend <b>         cached | interpreted (default cached)
+  --trace               print each dynamic instruction
+  --mix                 print an instruction-class mix histogram
+  --max <n>             instruction budget (default 100M)
+  --timing <org>        drive a timing model instead:
+                        integrated | functional-first | timing-directed |
+                        timing-first | sff"
+    );
+}
+
+fn spec_of(isa: &str) -> Result<&'static IsaSpec, String> {
+    match isa {
+        "alpha" => Ok(lis_isa_alpha::spec()),
+        "arm" => Ok(lis_isa_arm::spec()),
+        "ppc" => Ok(lis_isa_ppc::spec()),
+        "" => Err("missing --isa (alpha|arm|ppc)".into()),
+        other => Err(format!("unknown ISA `{other}`")),
+    }
+}
+
+fn assemble(isa: &str, src: &str) -> Result<lis_mem::Image, String> {
+    let r = match isa {
+        "alpha" => lis_isa_alpha::assemble(src),
+        "arm" => lis_isa_arm::assemble(src),
+        "ppc" => lis_isa_ppc::assemble(src),
+        other => return Err(format!("unknown ISA `{other}`")),
+    };
+    r.map_err(|e| e.to_string())
+}
+
+fn read_source(opts: &Opts) -> Result<String, String> {
+    let path = opts.input.as_ref().ok_or("missing input file (use `-` for stdin)")?;
+    if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_asm(opts: &Opts) -> Result<(), String> {
+    let src = read_source(opts)?;
+    let image = assemble(&opts.isa, &src)?;
+    print!("{image}");
+    let mut syms: Vec<_> = image.symbols.iter().collect();
+    syms.sort_by_key(|(_, &a)| a);
+    for (name, addr) in syms {
+        println!("  {addr:#010x} {name}");
+    }
+    Ok(())
+}
+
+fn cmd_disasm(opts: &Opts) -> Result<(), String> {
+    let src = read_source(opts)?;
+    let spec = spec_of(&opts.isa)?;
+    let image = assemble(&opts.isa, &src)?;
+    for sec in image.sections.iter().filter(|s| s.name == ".text") {
+        for (i, chunk) in sec.bytes.chunks_exact(4).enumerate() {
+            let pc = sec.addr + 4 * i as u64;
+            let word = match spec.endian {
+                lis_mem::Endian::Big => u32::from_be_bytes(chunk.try_into().unwrap()),
+                lis_mem::Endian::Little => u32::from_le_bytes(chunk.try_into().unwrap()),
+            };
+            println!("{pc:#010x}: {word:08x}  {}", (spec.disasm)(word, pc));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let src = read_source(opts)?;
+    let spec = spec_of(&opts.isa)?;
+    let image = assemble(&opts.isa, &src)?;
+
+    if let Some(org) = &opts.timing {
+        let cfg = CoreConfig::default();
+        let report = match org.as_str() {
+            "integrated" => run_integrated(spec, &image, &cfg),
+            "functional-first" => run_functional_first(spec, &image, &cfg),
+            "timing-directed" => run_timing_directed(spec, &image, &cfg),
+            "timing-first" => run_timing_first(spec, &image, &cfg, None),
+            "sff" | "speculative-functional-first" => {
+                run_speculative_functional_first(spec, &image, &cfg, &[])
+            }
+            other => return Err(format!("unknown organization `{other}`")),
+        }
+        .map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&report.stdout));
+        eprintln!("{report}");
+        return Ok(());
+    }
+
+    let bs = *lis_core::find_buildset(&opts.buildset)
+        .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?;
+    let mut sim = Simulator::new(spec, bs).map_err(|e| e.to_string())?;
+    sim.set_backend(opts.backend);
+    sim.load_program(&image).map_err(|e| e.to_string())?;
+
+    if opts.mix {
+        return run_mix(spec, &image, opts.max);
+    }
+    if opts.trace {
+        run_traced(&mut sim, spec, opts.max)?;
+    } else {
+        match sim.run_to_halt(opts.max) {
+            Ok(summary) => {
+                print!("{}", String::from_utf8_lossy(sim.stdout()));
+                eprintln!("exit {}; {}", summary.exit_code, sim.stats);
+            }
+            Err(stop) => {
+                print!("{}", String::from_utf8_lossy(sim.stdout()));
+                return Err(stop.to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prints an instruction-class mix histogram, using the decode-level
+/// functional-first interface (exactly the informational detail a profiler
+/// needs — opcode indices, nothing more).
+fn run_mix(spec: &'static IsaSpec, image: &lis_mem::Image, max: u64) -> Result<(), String> {
+    let mut sim = Simulator::new(spec, lis_core::BLOCK_DECODE).map_err(|e| e.to_string())?;
+    sim.load_program(image).map_err(|e| e.to_string())?;
+    let mut by_class: std::collections::BTreeMap<&str, u64> = Default::default();
+    let mut by_inst: std::collections::BTreeMap<&str, u64> = Default::default();
+    let mut trace = Vec::new();
+    while !sim.state.halted && sim.stats.insts < max {
+        sim.next_block(&mut trace).map_err(|e| e.to_string())?;
+        for di in &trace {
+            if let Some(f) = di.fault {
+                return Err(f.to_string());
+            }
+            if let Some(op) = di.field(lis_core::F_OPCODE) {
+                let def = spec.inst(op as u16);
+                *by_class.entry(def.class.name()).or_default() += 1;
+                *by_inst.entry(def.name).or_default() += 1;
+            }
+        }
+    }
+    print!("{}", String::from_utf8_lossy(sim.stdout()));
+    let total = sim.stats.insts.max(1);
+    eprintln!("instruction mix over {} instructions:", sim.stats.insts);
+    for (class, n) in &by_class {
+        eprintln!("  {class:<8} {n:>10} ({:5.1}%)", *n as f64 * 100.0 / total as f64);
+    }
+    let mut top: Vec<_> = by_inst.into_iter().collect();
+    top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    eprintln!("hottest instructions:");
+    for (name, n) in top.iter().take(8) {
+        eprintln!("  {name:<8} {n:>10} ({:5.1}%)", *n as f64 * 100.0 / total as f64);
+    }
+    Ok(())
+}
+
+fn run_traced(sim: &mut Simulator, spec: &'static IsaSpec, max: u64) -> Result<(), String> {
+    let mut di = DynInst::new();
+    let mut trace = Vec::new();
+    while !sim.state.halted && sim.stats.insts < max {
+        match sim.buildset().semantic {
+            Semantic::One => {
+                sim.next_inst(&mut di).map_err(|e| e.to_string())?;
+                print_di(spec, &di);
+                if let Some(f) = di.fault {
+                    return Err(f.to_string());
+                }
+            }
+            Semantic::Step => {
+                for step in Step::ALL {
+                    sim.step_inst(step, &mut di).map_err(|e| e.to_string())?;
+                    if let Some(f) = di.fault {
+                        print_di(spec, &di);
+                        return Err(f.to_string());
+                    }
+                }
+                print_di(spec, &di);
+            }
+            Semantic::Block => {
+                sim.next_block(&mut trace).map_err(|e| e.to_string())?;
+                for d in &trace {
+                    print_di(spec, d);
+                    if let Some(f) = d.fault {
+                        return Err(f.to_string());
+                    }
+                }
+            }
+        }
+    }
+    print!("{}", String::from_utf8_lossy(sim.stdout()));
+    eprintln!("exit {}; {}", sim.state.exit_code, sim.stats);
+    Ok(())
+}
+
+fn print_di(spec: &IsaSpec, di: &DynInst) {
+    let text = (spec.disasm)(di.header.instr_bits, di.header.pc);
+    eprint!("{:#010x}: {text:<32}", di.header.pc);
+    for desc in spec.all_fields() {
+        if let Some(v) = di.field(desc.id) {
+            eprint!(" {}={v:#x}", desc.name);
+        }
+    }
+    eprintln!();
+}
+
+fn cmd_kernels(opts: &Opts) -> Result<(), String> {
+    let isas: Vec<&str> = if opts.isa.is_empty() {
+        lis_workloads::ISAS.to_vec()
+    } else {
+        vec![match opts.isa.as_str() {
+            "alpha" => "alpha",
+            "arm" => "arm",
+            "ppc" => "ppc",
+            other => return Err(format!("unknown ISA `{other}`")),
+        }]
+    };
+    for isa in isas {
+        for w in lis_workloads::suite_of(isa) {
+            let image = w.assemble().map_err(|e| e.to_string())?;
+            let mut sim =
+                Simulator::new(lis_workloads::spec_of(isa), lis_core::ONE_ALL).unwrap();
+            sim.load_program(&image).map_err(|e| e.to_string())?;
+            let t = std::time::Instant::now();
+            let summary = sim.run_to_halt(100_000_000).map_err(|e| e.to_string())?;
+            let dt = t.elapsed().as_secs_f64();
+            let got = String::from_utf8_lossy(sim.stdout()).into_owned();
+            let ok = got == w.expected_stdout();
+            println!(
+                "{isa:<6} {:<8} {:>9} insts {:>8.2} MIPS  {} (output {})",
+                w.name,
+                summary.insts,
+                summary.insts as f64 / dt / 1e6,
+                if ok { "ok" } else { "MISMATCH" },
+                got.trim(),
+            );
+            if !ok {
+                return Err(format!("{isa}/{} output mismatch", w.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_lint(opts: &Opts) -> Result<(), String> {
+    let spec = spec_of(&opts.isa)?;
+    println!(
+        "interface validity matrix for {} (semantic x informational detail):\n",
+        spec.name
+    );
+    println!("{:<8} {:>8} {:>8} {:>8}", "", "min", "decode", "all");
+    for semantic in [Semantic::Block, Semantic::One, Semantic::Step] {
+        print!("{:<8}", semantic.name());
+        for info in [InfoLevel::Min, InfoLevel::Decode, InfoLevel::All] {
+            let bs = BuildsetDef {
+                name: "probe",
+                semantic,
+                visibility: info.visibility(),
+                speculation: false,
+            };
+            match check_interface(spec, &bs) {
+                Ok(()) => print!(" {:>8}", "ok"),
+                Err(d) => print!(" {:>8}", format!("{} errs", d.len())),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("step-level interfaces need all-level information: values crossing a");
+    println!("call boundary must be published (the paper's \"typical interface");
+    println!("specification error\" is hiding one).");
+    // Show the first few diagnostics for the classic mistake.
+    let broken = BuildsetDef {
+        name: "step-min",
+        semantic: Semantic::Step,
+        visibility: Visibility::MIN,
+        speculation: false,
+    };
+    if let Err(diags) = check_interface(spec, &broken) {
+        println!("\nexample diagnostics for step/min:");
+        for d in diags.iter().take(4) {
+            println!("  - {d}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_buildsets() -> Result<(), String> {
+    println!("{:<20} {:<22} {:>10}", "name", "detail", "spec");
+    for bs in STANDARD_BUILDSETS {
+        println!("{:<20} {:<22} {:>10}", bs.name, bs.describe(), bs.speculation);
+    }
+    Ok(())
+}

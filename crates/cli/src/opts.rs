@@ -1,0 +1,115 @@
+//! Minimal argument parsing (no external dependencies).
+
+use lis_runtime::Backend;
+
+/// Parsed command-line options shared by all subcommands.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Input file path (or `-` for stdin).
+    pub input: Option<String>,
+    /// ISA name.
+    pub isa: String,
+    /// Buildset name for `run`.
+    pub buildset: String,
+    /// Execution backend for `run`.
+    pub backend: Backend,
+    /// Per-instruction trace flag.
+    pub trace: bool,
+    /// Instruction-mix histogram flag.
+    pub mix: bool,
+    /// Instruction budget.
+    pub max: u64,
+    /// Timing organization, when driving a timing model.
+    pub timing: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            input: None,
+            isa: String::new(),
+            buildset: "one-all".into(),
+            backend: Backend::Cached,
+            trace: false,
+            mix: false,
+            max: 100_000_000,
+            timing: None,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `args` (everything after the subcommand).
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match a.as_str() {
+                "--isa" => o.isa = value("--isa")?,
+                "--buildset" => o.buildset = value("--buildset")?,
+                "--backend" => {
+                    o.backend = match value("--backend")?.as_str() {
+                        "cached" => Backend::Cached,
+                        "interpreted" => Backend::Interpreted,
+                        other => return Err(format!("unknown backend `{other}`")),
+                    }
+                }
+                "--trace" => o.trace = true,
+                "--mix" => o.mix = true,
+                "--max" => {
+                    o.max = value("--max")?
+                        .parse()
+                        .map_err(|e| format!("--max: {e}"))?;
+                }
+                "--timing" => o.timing = Some(value("--timing")?),
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                path => {
+                    if o.input.is_some() {
+                        return Err(format!("unexpected extra argument `{path}`"));
+                    }
+                    o.input = Some(path.to_string());
+                }
+            }
+        }
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        Opts::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let o = parse(&["prog.s", "--isa", "arm", "--trace", "--max", "42"]).unwrap();
+        assert_eq!(o.input.as_deref(), Some("prog.s"));
+        assert_eq!(o.isa, "arm");
+        assert!(o.trace);
+        assert_eq!(o.max, 42);
+        assert_eq!(o.buildset, "one-all");
+        assert_eq!(o.backend, Backend::Cached);
+    }
+
+    #[test]
+    fn backend_and_timing() {
+        let o = parse(&["--backend", "interpreted", "--timing", "sff"]).unwrap();
+        assert_eq!(o.backend, Backend::Interpreted);
+        assert_eq!(o.timing.as_deref(), Some("sff"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--backend", "jit"]).is_err());
+        assert!(parse(&["--max", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["a.s", "b.s"]).is_err());
+        assert!(parse(&["--isa"]).is_err());
+    }
+}

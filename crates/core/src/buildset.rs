@@ -1,0 +1,416 @@
+//! Buildsets: derived interface definitions.
+//!
+//! A *buildset* (the paper's `buildset` construct) names one derived
+//! interface: a level of semantic detail (how execution is partitioned into
+//! interface calls), a visibility (which fields and operand identifiers are
+//! published), and whether speculation support is enabled. Defining a new
+//! buildset takes about a dozen lines — the paper's headline development-time
+//! claim — and the [`buildset!`](crate::buildset!) macro keeps it that way.
+
+use crate::field::{FieldSet, DECODE_FIELDS};
+use crate::step::Step;
+use std::fmt;
+
+/// Level of semantic detail: how instruction execution is partitioned into
+/// interface calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantic {
+    /// One interface call executes a whole basic block.
+    Block,
+    /// One interface call executes a single instruction.
+    One,
+    /// Seven interface calls (one per [`Step`]) execute a single instruction.
+    Step,
+}
+
+impl Semantic {
+    /// Number of interface calls per instruction (1 for `Block`/`One`).
+    pub const fn calls_per_inst(self) -> usize {
+        match self {
+            Semantic::Block | Semantic::One => 1,
+            Semantic::Step => Step::COUNT,
+        }
+    }
+
+    /// The interface call a given step belongs to.
+    #[inline]
+    pub const fn call_of(self, step: Step) -> usize {
+        match self {
+            Semantic::Block | Semantic::One => 0,
+            Semantic::Step => step.index(),
+        }
+    }
+
+    /// Short name used in standard buildset names.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Semantic::Block => "block",
+            Semantic::One => "one",
+            Semantic::Step => "step",
+        }
+    }
+}
+
+impl fmt::Display for Semantic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Named preset of informational detail, as evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InfoLevel {
+    /// Header only: address, encoding, next PC, faults.
+    Min,
+    /// Minimal plus decode information and effective addresses.
+    Decode,
+    /// All fields and operand values.
+    All,
+}
+
+impl InfoLevel {
+    /// The visibility this preset denotes.
+    pub const fn visibility(self) -> Visibility {
+        match self {
+            InfoLevel::Min => Visibility::MIN,
+            InfoLevel::Decode => Visibility::DECODE,
+            InfoLevel::All => Visibility::ALL,
+        }
+    }
+
+    /// Short name used in standard buildset names.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InfoLevel::Min => "min",
+            InfoLevel::Decode => "decode",
+            InfoLevel::All => "all",
+        }
+    }
+}
+
+impl fmt::Display for InfoLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The informational detail of an interface: which fields and operand
+/// identifiers it publishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Visibility {
+    /// Fields copied into the published record at each call boundary.
+    pub fields: FieldSet,
+    /// Whether decoded operand identifiers are published.
+    pub operand_ids: bool,
+}
+
+impl Visibility {
+    /// Header only (the paper's `Min`).
+    pub const MIN: Visibility = Visibility { fields: FieldSet::EMPTY, operand_ids: false };
+    /// Decode information, effective addresses, branch resolution (`Decode`).
+    pub const DECODE: Visibility = Visibility { fields: DECODE_FIELDS, operand_ids: true };
+    /// Every field and operand value (`All`).
+    pub const ALL: Visibility = Visibility { fields: FieldSet::ALL, operand_ids: true };
+
+    /// This visibility with extra fields shown.
+    pub const fn plus(self, extra: FieldSet) -> Visibility {
+        Visibility { fields: self.fields.union(extra), operand_ids: self.operand_ids }
+    }
+
+    /// This visibility with some fields hidden.
+    pub const fn minus(self, hidden: FieldSet) -> Visibility {
+        Visibility { fields: FieldSet(self.fields.0 & !hidden.0), operand_ids: self.operand_ids }
+    }
+
+    /// This visibility with operand identifiers shown or hidden.
+    pub const fn with_operand_ids(self, show: bool) -> Visibility {
+        Visibility { fields: self.fields, operand_ids: show }
+    }
+}
+
+/// One derived interface definition.
+///
+/// This is the entire cost of adding a new interface to a simulator — the
+/// paper's "about a dozen lines of code". Everything else is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildsetDef {
+    /// Interface name, used for selection and reporting.
+    pub name: &'static str,
+    /// Semantic detail.
+    pub semantic: Semantic,
+    /// Informational detail.
+    pub visibility: Visibility,
+    /// Whether rollback support is compiled in.
+    pub speculation: bool,
+}
+
+impl BuildsetDef {
+    /// The standard name (`one-all-spec`, `block-min`, ...) for a
+    /// combination of detail levels.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.semantic,
+            info_of(self.visibility),
+            if self.speculation { "spec" } else { "nospec" }
+        )
+    }
+}
+
+impl fmt::Display for BuildsetDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+fn info_of(v: Visibility) -> &'static str {
+    if v == Visibility::MIN {
+        "min"
+    } else if v == Visibility::DECODE {
+        "decode"
+    } else if v == Visibility::ALL {
+        "all"
+    } else {
+        "custom"
+    }
+}
+
+/// Defines a [`BuildsetDef`] constant — the ADL surface for adding a new
+/// interface in a dozen lines.
+///
+/// ```
+/// use lis_core::{buildset, BuildsetDef, Visibility, F_EFF_ADDR, FieldSet};
+///
+/// buildset! {
+///     /// Fast-forward interface for sampled simulation.
+///     pub const FAST_FORWARD: BuildsetDef = {
+///         name: "fast-forward",
+///         semantic: Block,
+///         visibility: Visibility::MIN,
+///         speculation: false,
+///     };
+/// }
+/// assert_eq!(FAST_FORWARD.name, "fast-forward");
+/// ```
+#[macro_export]
+macro_rules! buildset {
+    (
+        $(#[$meta:meta])*
+        $vis:vis const $id:ident: BuildsetDef = {
+            name: $name:literal,
+            semantic: $sem:ident,
+            visibility: $v:expr,
+            speculation: $spec:literal $(,)?
+        };
+    ) => {
+        $(#[$meta])*
+        $vis const $id: $crate::BuildsetDef = $crate::BuildsetDef {
+            name: $name,
+            semantic: $crate::Semantic::$sem,
+            visibility: $v,
+            speculation: $spec,
+        };
+    };
+}
+
+buildset! {
+    /// Basic-block calls, minimal information — the fastest interface.
+    pub const BLOCK_MIN: BuildsetDef = {
+        name: "block-min",
+        semantic: Block,
+        visibility: Visibility::MIN,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// Basic-block calls with decode information.
+    pub const BLOCK_DECODE: BuildsetDef = {
+        name: "block-decode",
+        semantic: Block,
+        visibility: Visibility::DECODE,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// Basic-block calls with decode information and rollback support.
+    pub const BLOCK_DECODE_SPEC: BuildsetDef = {
+        name: "block-decode-spec",
+        semantic: Block,
+        visibility: Visibility::DECODE,
+        speculation: true,
+    };
+}
+
+buildset! {
+    /// Basic-block calls publishing everything.
+    pub const BLOCK_ALL: BuildsetDef = {
+        name: "block-all",
+        semantic: Block,
+        visibility: Visibility::ALL,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// Basic-block calls publishing everything, with rollback support.
+    pub const BLOCK_ALL_SPEC: BuildsetDef = {
+        name: "block-all-spec",
+        semantic: Block,
+        visibility: Visibility::ALL,
+        speculation: true,
+    };
+}
+
+buildset! {
+    /// One call per instruction, minimal information.
+    pub const ONE_MIN: BuildsetDef = {
+        name: "one-min",
+        semantic: One,
+        visibility: Visibility::MIN,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// One call per instruction with decode information.
+    pub const ONE_DECODE: BuildsetDef = {
+        name: "one-decode",
+        semantic: One,
+        visibility: Visibility::DECODE,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// One call per instruction with decode information and rollback.
+    pub const ONE_DECODE_SPEC: BuildsetDef = {
+        name: "one-decode-spec",
+        semantic: One,
+        visibility: Visibility::DECODE,
+        speculation: true,
+    };
+}
+
+buildset! {
+    /// One call per instruction publishing everything — the recommended
+    /// interface for initial specification debugging (§IV-B).
+    pub const ONE_ALL: BuildsetDef = {
+        name: "one-all",
+        semantic: One,
+        visibility: Visibility::ALL,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// One call per instruction publishing everything, with rollback.
+    pub const ONE_ALL_SPEC: BuildsetDef = {
+        name: "one-all-spec",
+        semantic: One,
+        visibility: Visibility::ALL,
+        speculation: true,
+    };
+}
+
+buildset! {
+    /// Seven calls per instruction publishing everything — the
+    /// timing-directed interface.
+    pub const STEP_ALL: BuildsetDef = {
+        name: "step-all",
+        semantic: Step,
+        visibility: Visibility::ALL,
+        speculation: false,
+    };
+}
+
+buildset! {
+    /// Seven calls per instruction publishing everything, with rollback.
+    pub const STEP_ALL_SPEC: BuildsetDef = {
+        name: "step-all-spec",
+        semantic: Step,
+        visibility: Visibility::ALL,
+        speculation: true,
+    };
+}
+
+/// The twelve standard interfaces evaluated in the paper (Table II rows).
+pub const STANDARD_BUILDSETS: [BuildsetDef; 12] = [
+    BLOCK_MIN,
+    BLOCK_DECODE,
+    BLOCK_DECODE_SPEC,
+    BLOCK_ALL,
+    BLOCK_ALL_SPEC,
+    ONE_MIN,
+    ONE_DECODE,
+    ONE_DECODE_SPEC,
+    ONE_ALL,
+    ONE_ALL_SPEC,
+    STEP_ALL,
+    STEP_ALL_SPEC,
+];
+
+/// Looks up a standard buildset by name.
+pub fn find_buildset(name: &str) -> Option<&'static BuildsetDef> {
+    STANDARD_BUILDSETS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::F_EFF_ADDR;
+
+    #[test]
+    fn twelve_standard_buildsets() {
+        assert_eq!(STANDARD_BUILDSETS.len(), 12);
+        let mut names: Vec<_> = STANDARD_BUILDSETS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "duplicate buildset names");
+    }
+
+    #[test]
+    fn step_buildsets_are_all_detail() {
+        for b in STANDARD_BUILDSETS {
+            if b.semantic == Semantic::Step {
+                assert_eq!(b.visibility, Visibility::ALL, "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn call_partition() {
+        assert_eq!(Semantic::One.calls_per_inst(), 1);
+        assert_eq!(Semantic::Step.calls_per_inst(), 7);
+        assert_eq!(Semantic::Block.call_of(Step::Memory), 0);
+        assert_eq!(Semantic::Step.call_of(Step::Memory), Step::Memory.index());
+    }
+
+    #[test]
+    fn visibility_algebra() {
+        let v = Visibility::MIN.plus(FieldSet::of(&[F_EFF_ADDR]));
+        assert!(v.fields.contains(F_EFF_ADDR));
+        assert!(!v.operand_ids);
+        let v2 = v.minus(FieldSet::of(&[F_EFF_ADDR])).with_operand_ids(true);
+        assert!(v2.fields.is_empty());
+        assert!(v2.operand_ids);
+    }
+
+    #[test]
+    fn find_and_describe() {
+        assert_eq!(find_buildset("one-all").unwrap().semantic, Semantic::One);
+        assert!(find_buildset("nope").is_none());
+        assert_eq!(ONE_ALL_SPEC.describe(), "one/all/spec");
+        assert_eq!(BLOCK_MIN.describe(), "block/min/nospec");
+        assert_eq!(BLOCK_MIN.to_string(), "block-min");
+    }
+
+    #[test]
+    fn info_level_round_trip() {
+        assert_eq!(InfoLevel::Min.visibility(), Visibility::MIN);
+        assert_eq!(InfoLevel::Decode.visibility(), Visibility::DECODE);
+        assert_eq!(InfoLevel::All.visibility(), Visibility::ALL);
+        assert_eq!(InfoLevel::Decode.to_string(), "decode");
+    }
+}

@@ -1,0 +1,233 @@
+//! The execution context semantic actions run against.
+//!
+//! [`Exec`] bundles everything one step of one dynamic instruction may touch:
+//! the working field [`Frame`], the decoded operand identifiers, the
+//! instruction header, architectural state, the OS emulator, and (when the
+//! active buildset enables speculation) the undo log. All architectural
+//! writes go through `Exec` helpers so undo capture is uniform and
+//! specification code stays oblivious to the active interface.
+
+use crate::fault::Fault;
+use crate::field::{FieldId, F_BR_TAKEN, F_BR_TARGET, F_DEST1, F_DEST2, F_SRC1, F_SRC2, F_SRC3};
+use crate::frame::Frame;
+use crate::isa::IsaSpec;
+use crate::operand::{Operands, MAX_DEST, MAX_SRC};
+use crate::os::{decode_syscall, OsState};
+use crate::state::ArchState;
+use crate::undo::{UndoLog, UndoRec};
+use lis_mem::MemFault;
+
+/// Per-instruction header values: the minimal informational detail every
+/// interface publishes (the paper's `Min` level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstHeader {
+    /// Architectural PC of the instruction.
+    pub pc: u64,
+    /// Translated (physical) PC.
+    pub phys_pc: u64,
+    /// Raw instruction word.
+    pub instr_bits: u32,
+    /// PC of the next instruction (branch targets included).
+    pub next_pc: u64,
+}
+
+/// The execution context passed to every semantic action.
+#[allow(missing_debug_implementations)]
+pub struct Exec<'a> {
+    /// The ISA being simulated.
+    pub isa: &'static IsaSpec,
+    /// Working field values for the current instruction.
+    pub frame: &'a mut Frame,
+    /// Decoded operand identifiers for the current instruction.
+    pub ops: &'a mut Operands,
+    /// Instruction header (PC, bits, next PC).
+    pub header: &'a mut InstHeader,
+    /// Index of the decoded instruction in `isa.insts`.
+    pub opcode: u16,
+    /// Architectural state.
+    pub state: &'a mut ArchState,
+    /// OS emulation state.
+    pub os: &'a mut OsState,
+    /// Undo log, present only when the buildset enables speculation.
+    pub undo: Option<&'a mut UndoLog>,
+}
+
+/// Frame fields that carry source operand values, by operand position.
+pub const SRC_FIELDS: [FieldId; MAX_SRC] = [F_SRC1, F_SRC2, F_SRC3];
+/// Frame fields that carry destination operand values, by operand position.
+pub const DEST_FIELDS: [FieldId; MAX_DEST] = [F_DEST1, F_DEST2];
+
+impl<'a> Exec<'a> {
+    /// Writes a field in the working frame.
+    #[inline]
+    pub fn set(&mut self, field: FieldId, val: u64) {
+        self.frame.set(field, val);
+    }
+
+    /// Reads a field from the working frame (0 if never written).
+    #[inline]
+    pub fn get(&self, field: FieldId) -> u64 {
+        self.frame.get(field)
+    }
+
+    /// Whether a field has been written.
+    #[inline]
+    pub fn has(&self, field: FieldId) -> bool {
+        self.frame.has(field)
+    }
+
+    /// Reads register `idx` of register class `class` through its accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not declared by the ISA — a specification bug.
+    #[inline]
+    pub fn read_reg(&self, class: u8, idx: u16) -> u64 {
+        (self.isa.reg_classes[class as usize].read)(self.state, idx)
+    }
+
+    /// Writes register `idx` of class `class` through its accessor,
+    /// capturing an undo record when speculation is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not declared by the ISA — a specification bug.
+    #[inline]
+    pub fn write_reg(&mut self, class: u8, idx: u16, val: u64) {
+        let def = &self.isa.reg_classes[class as usize];
+        if let Some(undo) = self.undo.as_deref_mut() {
+            // Rollback restores the old value through the same accessor, so
+            // every register class is undoable without special cases.
+            let old = (def.read)(self.state, idx);
+            undo.push(UndoRec::Reg { write: def.write, idx, old });
+        }
+        (def.write)(self.state, idx, val);
+    }
+
+    /// Loads `size` bytes (1, 2, 4, or 8) from `addr`, zero- or
+    /// sign-extending to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::DataAccess`] or [`Fault::Unaligned`].
+    #[inline]
+    pub fn load(&mut self, addr: u64, size: u8, signed: bool) -> Result<u64, Fault> {
+        let e = self.state.endian;
+        let raw = match size {
+            1 => self.state.mem.read_u8(addr)? as u64,
+            2 => self.state.mem.read_u16(addr, e)? as u64,
+            4 => self.state.mem.read_u32(addr, e)? as u64,
+            8 => self.state.mem.read_u64(addr, e)?,
+            _ => unreachable!("load width {size}"),
+        };
+        Ok(if signed {
+            let shift = 64 - (size as u32) * 8;
+            ((raw << shift) as i64 >> shift) as u64
+        } else {
+            raw
+        })
+    }
+
+    /// Stores the low `size` bytes of `val` to `addr`, capturing an undo
+    /// record when speculation is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::DataAccess`] or [`Fault::Unaligned`].
+    #[inline]
+    pub fn store(&mut self, addr: u64, size: u8, val: u64) -> Result<(), Fault> {
+        let e = self.state.endian;
+        if self.undo.is_some() {
+            let old = match size {
+                1 => self.state.mem.read_u8(addr).map(u64::from),
+                2 => self.state.mem.read_u16(addr, e).map(u64::from),
+                4 => self.state.mem.read_u32(addr, e).map(u64::from),
+                8 => self.state.mem.read_u64(addr, e),
+                _ => unreachable!("store width {size}"),
+            }
+            .map_err(retag_store)?;
+            if let Some(undo) = self.undo.as_deref_mut() {
+                undo.push(UndoRec::Mem { addr, old, len: size });
+            }
+        }
+        match size {
+            1 => self.state.mem.write_u8(addr, val as u8)?,
+            2 => self.state.mem.write_u16(addr, val as u16, e)?,
+            4 => self.state.mem.write_u32(addr, val as u32, e)?,
+            8 => self.state.mem.write_u64(addr, val, e)?,
+            _ => unreachable!("store width {size}"),
+        }
+        Ok(())
+    }
+
+    /// Resolves a taken branch: records the resolution fields and redirects
+    /// the next PC.
+    #[inline]
+    pub fn take_branch(&mut self, target: u64) {
+        let t = target & self.isa.pc_mask;
+        self.frame.set(F_BR_TAKEN, 1);
+        self.frame.set(F_BR_TARGET, t);
+        self.header.next_pc = t;
+    }
+
+    /// Records a not-taken branch resolution.
+    #[inline]
+    pub fn branch_not_taken(&mut self) {
+        self.frame.set(F_BR_TAKEN, 0);
+    }
+
+    /// Emulates a system call given the guest's `(number, arg0, arg1)`.
+    /// Returns the value for the guest's return register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::SyscallError`] for unknown numbers and memory faults
+    /// for bad buffer addresses.
+    pub fn syscall(&mut self, num: u64, arg0: u64, arg1: u64) -> Result<u64, Fault> {
+        let call = decode_syscall(num, arg0, arg1)?;
+        self.os.dispatch(call, self.state)
+    }
+}
+
+#[inline]
+fn retag_store(f: MemFault) -> Fault {
+    // Old-value capture reads with Load kind; the architectural fault
+    // belongs to the store that is about to happen.
+    match f {
+        MemFault::Unaligned { addr, .. } => Fault::Unaligned { addr },
+        MemFault::OutOfRange { addr, .. } => Fault::DataAccess { addr },
+    }
+}
+
+/// Generic operand-fetch action: reads every declared source operand through
+/// its accessor into `src1..src3`. Most instructions use this directly —
+/// single specification in action.
+///
+/// # Errors
+///
+/// Never fails; the signature matches [`ActionFn`](crate::ActionFn).
+pub fn generic_operand_fetch(ex: &mut Exec<'_>) -> Result<(), Fault> {
+    let ops = *ex.ops;
+    for (i, r) in ops.srcs().iter().enumerate() {
+        let v = ex.read_reg(r.class, r.index);
+        ex.frame.set(SRC_FIELDS[i], v);
+    }
+    Ok(())
+}
+
+/// Generic writeback action: writes every destination operand whose value
+/// field was produced. Conditional instructions simply skip producing the
+/// field, and no write happens.
+///
+/// # Errors
+///
+/// Never fails; the signature matches [`ActionFn`](crate::ActionFn).
+pub fn generic_writeback(ex: &mut Exec<'_>) -> Result<(), Fault> {
+    let ops = *ex.ops;
+    for (i, r) in ops.dests().iter().enumerate() {
+        if let Some(v) = ex.frame.try_get(DEST_FIELDS[i]) {
+            ex.write_reg(r.class, r.index, v);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Architectural faults reported through the functional interface.
+
+use lis_mem::{AccessKind, MemFault};
+use std::fmt;
+
+/// A fault raised while executing one dynamic instruction.
+///
+/// Faults are *information*, not errors: they are part of the minimal
+/// informational detail of every interface (the paper's `Min` level includes
+/// faults), and the timing simulator decides what to do with them. The
+/// synthesized simulators stop the current instruction at the faulting step
+/// and report the fault in the dynamic-instruction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The fetched bits decode to no instruction in the ISA description.
+    IllegalInstruction {
+        /// PC of the undecodable instruction.
+        pc: u64,
+        /// The raw bits.
+        bits: u32,
+    },
+    /// Instruction fetch touched an unmapped or misaligned address.
+    InstrAccess {
+        /// The faulting fetch address.
+        addr: u64,
+    },
+    /// A data access touched an unmapped address.
+    DataAccess {
+        /// The faulting data address.
+        addr: u64,
+    },
+    /// A data access was not naturally aligned.
+    Unaligned {
+        /// The faulting data address.
+        addr: u64,
+    },
+    /// Integer arithmetic overflow in a trapping instruction variant.
+    ArithOverflow,
+    /// Division by zero in an ISA whose divide instruction traps.
+    DivideByZero,
+    /// A system call requested something the OS emulator cannot do.
+    SyscallError {
+        /// The syscall number as presented by the guest.
+        num: u64,
+    },
+    /// An explicit breakpoint/trap instruction.
+    Breakpoint {
+        /// PC of the trap instruction.
+        pc: u64,
+    },
+}
+
+impl Fault {
+    /// Converts a raw memory fault into an architectural fault.
+    pub fn from_mem(f: MemFault) -> Fault {
+        match f.kind() {
+            AccessKind::Fetch => Fault::InstrAccess { addr: f.addr() },
+            _ => match f {
+                MemFault::Unaligned { addr, .. } => Fault::Unaligned { addr },
+                MemFault::OutOfRange { addr, .. } => Fault::DataAccess { addr },
+            },
+        }
+    }
+}
+
+impl From<MemFault> for Fault {
+    fn from(f: MemFault) -> Fault {
+        Fault::from_mem(f)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::IllegalInstruction { pc, bits } => {
+                write!(f, "illegal instruction {bits:#010x} at {pc:#x}")
+            }
+            Fault::InstrAccess { addr } => write!(f, "instruction access fault at {addr:#x}"),
+            Fault::DataAccess { addr } => write!(f, "data access fault at {addr:#x}"),
+            Fault::Unaligned { addr } => write!(f, "unaligned data access at {addr:#x}"),
+            Fault::ArithOverflow => f.write_str("arithmetic overflow trap"),
+            Fault::DivideByZero => f.write_str("integer divide by zero"),
+            Fault::SyscallError { num } => write!(f, "unsupported system call {num}"),
+            Fault::Breakpoint { pc } => write!(f, "breakpoint at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_fault_mapping() {
+        let f = MemFault::OutOfRange { addr: 0x10, kind: AccessKind::Fetch };
+        assert_eq!(Fault::from(f), Fault::InstrAccess { addr: 0x10 });
+        let f = MemFault::OutOfRange { addr: 0x10, kind: AccessKind::Store };
+        assert_eq!(Fault::from(f), Fault::DataAccess { addr: 0x10 });
+        let f = MemFault::Unaligned { addr: 0x11, size: 4, kind: AccessKind::Load };
+        assert_eq!(Fault::from(f), Fault::Unaligned { addr: 0x11 });
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for fault in [
+            Fault::IllegalInstruction { pc: 4, bits: 0 },
+            Fault::ArithOverflow,
+            Fault::SyscallError { num: 99 },
+        ] {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Fields: the named intermediate values of the single specification.
+//!
+//! A *field* (the paper's `field` construct) is one named intermediate value
+//! an instruction may compute — an operand value, an effective address, a
+//! branch target, the ARM shifter output, and so on. The set of fields a
+//! buildset makes *visible* defines the informational detail of its
+//! interface: visible fields are published into the [`DynInst`] record at
+//! every interface-call boundary, hidden fields live only in the working
+//! [`Frame`] and cost nothing.
+//!
+//! [`DynInst`]: crate::DynInst
+//! [`Frame`]: crate::Frame
+
+use std::fmt;
+
+/// Maximum number of fields an ISA description may declare.
+///
+/// Chosen so a [`FieldSet`] fits in one `u64`; all three shipped ISA
+/// descriptions use fewer than half of the available slots.
+pub const MAX_FIELDS: usize = 32;
+
+/// Identifier of one field. Indices `0..16` are common to every ISA;
+/// `16..MAX_FIELDS` are reserved for ISA-specific fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u8);
+
+impl FieldId {
+    /// Bit of this field within a [`FieldSet`].
+    #[inline]
+    pub const fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Index usable for frame/record arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// First source operand value.
+pub const F_SRC1: FieldId = FieldId(0);
+/// Second source operand value.
+pub const F_SRC2: FieldId = FieldId(1);
+/// Third source operand value (store data, ARM offset registers, ...).
+pub const F_SRC3: FieldId = FieldId(2);
+/// First destination operand value.
+pub const F_DEST1: FieldId = FieldId(3);
+/// Second destination operand value (base-register update, link, ...).
+pub const F_DEST2: FieldId = FieldId(4);
+/// ALU/functional-unit output before writeback routing.
+pub const F_ALU_OUT: FieldId = FieldId(5);
+/// Effective address of a load or store.
+pub const F_EFF_ADDR: FieldId = FieldId(6);
+/// Data value moved by a load or store.
+pub const F_MEM_DATA: FieldId = FieldId(7);
+/// Decoded immediate operand.
+pub const F_IMM: FieldId = FieldId(8);
+/// Index of the decoded instruction within the ISA description.
+pub const F_OPCODE: FieldId = FieldId(9);
+/// Branch resolution: 1 if taken.
+pub const F_BR_TAKEN: FieldId = FieldId(10);
+/// Calculated branch/jump target.
+pub const F_BR_TARGET: FieldId = FieldId(11);
+/// Evaluated condition/predicate (ARM condition codes, PPC CR bit, ...).
+pub const F_COND: FieldId = FieldId(12);
+/// First ISA-specific field index.
+pub const FIRST_ISA_FIELD: u8 = 16;
+
+/// Descriptor of one field for documentation, stats, and lint diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDesc {
+    /// The field's identifier.
+    pub id: FieldId,
+    /// Specification-level name.
+    pub name: &'static str,
+    /// What the field holds.
+    pub doc: &'static str,
+}
+
+/// Descriptors for the fields common to every ISA description.
+pub const COMMON_FIELDS: &[FieldDesc] = &[
+    FieldDesc { id: F_SRC1, name: "src1", doc: "first source operand value" },
+    FieldDesc { id: F_SRC2, name: "src2", doc: "second source operand value" },
+    FieldDesc { id: F_SRC3, name: "src3", doc: "third source operand value" },
+    FieldDesc { id: F_DEST1, name: "dest1", doc: "first destination operand value" },
+    FieldDesc { id: F_DEST2, name: "dest2", doc: "second destination operand value" },
+    FieldDesc { id: F_ALU_OUT, name: "alu_out", doc: "functional-unit output" },
+    FieldDesc { id: F_EFF_ADDR, name: "eff_addr", doc: "effective address" },
+    FieldDesc { id: F_MEM_DATA, name: "mem_data", doc: "memory data value" },
+    FieldDesc { id: F_IMM, name: "imm", doc: "decoded immediate" },
+    FieldDesc { id: F_OPCODE, name: "opcode", doc: "decoded opcode index" },
+    FieldDesc { id: F_BR_TAKEN, name: "br_taken", doc: "branch resolution" },
+    FieldDesc { id: F_BR_TARGET, name: "br_target", doc: "branch target" },
+    FieldDesc { id: F_COND, name: "cond", doc: "evaluated predicate" },
+];
+
+/// A set of fields, used for visibility masks and def/use bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FieldSet(pub u64);
+
+impl FieldSet {
+    /// The empty set.
+    pub const EMPTY: FieldSet = FieldSet(0);
+    /// Every representable field.
+    pub const ALL: FieldSet = FieldSet(u64::MAX >> (64 - MAX_FIELDS as u32));
+
+    /// Builds a set from individual fields.
+    pub const fn of(fields: &[FieldId]) -> FieldSet {
+        let mut bits = 0u64;
+        let mut i = 0;
+        while i < fields.len() {
+            bits |= fields[i].bit();
+            i += 1;
+        }
+        FieldSet(bits)
+    }
+
+    /// Whether `field` is in the set.
+    #[inline]
+    pub const fn contains(self, field: FieldId) -> bool {
+        self.0 & field.bit() != 0
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub const fn union(self, other: FieldSet) -> FieldSet {
+        FieldSet(self.0 | other.0)
+    }
+
+    /// Set with `field` added.
+    #[inline]
+    pub const fn with(self, field: FieldId) -> FieldSet {
+        FieldSet(self.0 | field.bit())
+    }
+
+    /// Set with `field` removed.
+    #[inline]
+    pub const fn without(self, field: FieldId) -> FieldSet {
+        FieldSet(self.0 & !field.bit())
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of fields in the set.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over the fields in the set, in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = FieldId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(FieldId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<FieldId> for FieldSet {
+    fn from_iter<T: IntoIterator<Item = FieldId>>(iter: T) -> Self {
+        iter.into_iter().fold(FieldSet::EMPTY, FieldSet::with)
+    }
+}
+
+impl fmt::Display for FieldSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, id) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            match COMMON_FIELDS.iter().find(|d| d.id == id) {
+                Some(d) => write!(f, "{}", d.name)?,
+                None => write!(f, "{id}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The fields exposed by the `Decode` informational level: decode information
+/// plus effective addresses and branch resolution, but no operand values —
+/// "appropriate for many functional-first simulators" per the paper.
+pub const DECODE_FIELDS: FieldSet =
+    FieldSet::of(&[F_OPCODE, F_IMM, F_EFF_ADDR, F_BR_TAKEN, F_BR_TARGET, F_COND]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_ops() {
+        let s = FieldSet::of(&[F_SRC1, F_EFF_ADDR]);
+        assert!(s.contains(F_SRC1));
+        assert!(!s.contains(F_SRC2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.with(F_SRC2).len(), 3);
+        assert_eq!(s.without(F_SRC1).len(), 1);
+        assert!(FieldSet::EMPTY.is_empty());
+        assert_eq!(s.union(FieldSet::of(&[F_SRC2])).len(), 3);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = FieldSet::of(&[F_BR_TARGET, F_SRC1, F_IMM]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![F_SRC1, F_IMM, F_BR_TARGET]);
+    }
+
+    #[test]
+    fn all_covers_max_fields() {
+        assert_eq!(FieldSet::ALL.len() as usize, MAX_FIELDS);
+        assert!(FieldSet::ALL.contains(FieldId(MAX_FIELDS as u8 - 1)));
+    }
+
+    #[test]
+    fn display_names_common_fields() {
+        let s = FieldSet::of(&[F_EFF_ADDR, FieldId(20)]);
+        let txt = s.to_string();
+        assert!(txt.contains("eff_addr"));
+        assert!(txt.contains("f20"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: FieldSet = [F_SRC1, F_SRC2].into_iter().collect();
+        assert_eq!(s, FieldSet::of(&[F_SRC1, F_SRC2]));
+    }
+
+    #[test]
+    fn common_field_ids_match_positions() {
+        for d in COMMON_FIELDS {
+            assert!(d.id.0 < FIRST_ISA_FIELD, "{} is not a common slot", d.name);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The interface dataflow lint.
+//!
+//! The paper observes (§IV-B, §V-D) that "nearly all errors at this stage
+//! occur because some intermediate value or operand that needs to be visible
+//! is hidden in the interface or because a step of instruction execution was
+//! left out", and that such errors only surface at run time, a few hundred
+//! instructions into a benchmark. Because every instruction declares its
+//! inter-step dataflow once, we can do better: check statically that every
+//! value crossing an interface-call boundary is visible.
+//!
+//! The lint mechanically derives the paper's pairing constraint — step-level
+//! semantic detail requires all-level informational detail — rather than
+//! hard-coding it.
+
+use crate::buildset::BuildsetDef;
+use crate::inst::{Flow, FlowItem};
+use crate::isa::IsaSpec;
+use std::fmt;
+
+/// One interface-specification error found by the lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintDiag {
+    /// Instruction whose dataflow is broken by the interface.
+    pub inst: &'static str,
+    /// The offending dataflow edge.
+    pub flow: Flow,
+}
+
+impl fmt::Display for LintDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} is produced in the `{}` call but consumed in the `{}` call and is hidden by the interface",
+            self.inst, self.flow.item, self.flow.def, self.flow.used
+        )
+    }
+}
+
+/// Checks that `buildset` is a valid interface for `isa`.
+///
+/// For every instruction, every dataflow edge whose producing and consuming
+/// steps land in *different* interface calls must be visible; otherwise the
+/// value would be lost at the call boundary and simulation would go wrong —
+/// exactly the class of bug the paper reports as the typical interface
+/// specification error.
+///
+/// # Errors
+///
+/// Returns every violated edge. Duplicate diagnostics for instructions
+/// sharing a class are collapsed to the first instruction of each
+/// `(class, flow)` pair to keep reports readable.
+pub fn check_interface(isa: &IsaSpec, buildset: &BuildsetDef) -> Result<(), Vec<LintDiag>> {
+    let mut diags: Vec<LintDiag> = Vec::new();
+    let mut seen: Vec<(&'static str, Flow)> = Vec::new();
+    for def in isa.insts {
+        for flow in def.flows() {
+            let def_call = buildset.semantic.call_of(flow.def);
+            let use_call = buildset.semantic.call_of(flow.used);
+            if def_call == use_call {
+                continue;
+            }
+            let visible = match flow.item {
+                FlowItem::Field(id) => buildset.visibility.fields.contains(id),
+                FlowItem::OperandIds => buildset.visibility.operand_ids,
+            };
+            if !visible {
+                let key = (def.class.name(), flow);
+                if !seen.iter().any(|(c, fl)| *c == key.0 && *fl == flow) {
+                    seen.push(key);
+                    diags.push(LintDiag { inst: def.name, flow });
+                }
+            }
+        }
+    }
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(diags)
+    }
+}
+
+/// Renders a lint report for human consumption.
+pub fn render_report(buildset: &BuildsetDef, diags: &[LintDiag]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "interface `{}` ({}) is invalid: {} dataflow violation(s)",
+        buildset.name,
+        buildset.describe(),
+        diags.len()
+    );
+    for d in diags {
+        let _ = writeln!(out, "  - {d}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buildset::{Semantic, Visibility, ONE_MIN, STEP_ALL};
+    use crate::inst::{InstClass, InstDef, StepActions};
+    use lis_mem::Endian;
+
+    const INSTS: &[InstDef] = &[InstDef {
+        name: "ld",
+        class: InstClass::Load,
+        mask: 0xff00_0000,
+        bits: 0x0100_0000,
+        operands: &[],
+        actions: StepActions {
+            decode: None,
+            operand_fetch: None,
+            evaluate: None,
+            memory: None,
+            writeback: None,
+            exception: None,
+        },
+        extra_flows: &[],
+    }];
+
+    fn isa() -> IsaSpec {
+        IsaSpec {
+            name: "t",
+            word_bits: 32,
+            endian: Endian::Little,
+            insts: INSTS,
+            reg_classes: &[],
+            isa_fields: &[],
+            disasm: |_, _| String::new(),
+            pc_mask: u32::MAX as u64,
+            sp_gpr: 30,
+        }
+    }
+
+    #[test]
+    fn one_call_interfaces_always_pass() {
+        // All steps share one call, so nothing crosses a boundary.
+        assert!(check_interface(&isa(), &ONE_MIN).is_ok());
+    }
+
+    #[test]
+    fn step_all_passes() {
+        assert!(check_interface(&isa(), &STEP_ALL).is_ok());
+    }
+
+    #[test]
+    fn step_min_fails_with_diagnostics() {
+        let bs = BuildsetDef {
+            name: "step-min",
+            semantic: Semantic::Step,
+            visibility: Visibility::MIN,
+            speculation: false,
+        };
+        let diags = check_interface(&isa(), &bs).unwrap_err();
+        assert!(!diags.is_empty());
+        // The classic error: the effective address is computed at evaluate
+        // and consumed at memory, but hidden.
+        let report = render_report(&bs, &diags);
+        assert!(report.contains("eff_addr") || report.contains("field"), "{report}");
+        assert!(report.contains("step-min"));
+    }
+
+    #[test]
+    fn step_decode_fails_on_operand_values() {
+        let bs = BuildsetDef {
+            name: "step-decode",
+            semantic: Semantic::Step,
+            visibility: Visibility::DECODE,
+            speculation: false,
+        };
+        // Decode info shows operand ids and eff_addr, but operand *values*
+        // (src1..) still cross from operand-fetch to evaluate.
+        let diags = check_interface(&isa(), &bs).unwrap_err();
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d.flow.item, FlowItem::Field(f) if f == crate::field::F_SRC1)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Operands and register-class accessors.
+//!
+//! The paper's `operand` construct attaches decoded operand identifiers to an
+//! instruction and routes their reads and writes through *accessors* — the
+//! functions that know how a register class maps onto architectural state.
+//! Operand *identifiers* (class + index) are part of the `Decode`
+//! informational level; operand *values* are ordinary fields
+//! (`src1..src3`, `dest1..dest2`) and belong to the `All` level.
+
+use crate::state::ArchState;
+use std::fmt;
+
+/// Maximum number of source operands per instruction.
+pub const MAX_SRC: usize = 3;
+/// Maximum number of destination operands per instruction.
+pub const MAX_DEST: usize = 2;
+
+/// Identifier of a register class within an ISA description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegClass(pub u8);
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rc{}", self.0)
+    }
+}
+
+/// How a register class reads and writes architectural state — the paper's
+/// *accessor* construct. One definition per class per ISA.
+#[derive(Clone, Copy)]
+pub struct RegClassDef {
+    /// Class name for diagnostics and disassembly (`gpr`, `cr`, `lr`, ...).
+    pub name: &'static str,
+    /// Number of registers in the class.
+    pub count: u16,
+    /// Reads register `idx` from architectural state.
+    pub read: fn(&ArchState, u16) -> u64,
+    /// Writes register `idx` in architectural state.
+    pub write: fn(&mut ArchState, u16, u64),
+}
+
+impl fmt::Debug for RegClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegClassDef")
+            .field("name", &self.name)
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One decoded operand reference: a register class and an index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OperandRef {
+    /// Register class.
+    pub class: u8,
+    /// Register index within the class.
+    pub index: u16,
+}
+
+/// The decoded operand identifiers of one dynamic instruction.
+///
+/// Filled in by the decode step; consumed by the generic operand-fetch and
+/// writeback actions and, when visible, published through the interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Operands {
+    srcs: [OperandRef; MAX_SRC],
+    dests: [OperandRef; MAX_DEST],
+    nsrc: u8,
+    ndest: u8,
+}
+
+impl Operands {
+    /// An instruction with no operands.
+    pub const fn new() -> Operands {
+        Operands {
+            srcs: [OperandRef { class: 0, index: 0 }; MAX_SRC],
+            dests: [OperandRef { class: 0, index: 0 }; MAX_DEST],
+            nsrc: 0,
+            ndest: 0,
+        }
+    }
+
+    /// Clears all operands (for frame reuse between instructions).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.nsrc = 0;
+        self.ndest = 0;
+    }
+
+    /// Appends a source operand and returns its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRC`] sources are declared — that is a bug
+    /// in an ISA description, not a runtime condition.
+    #[inline]
+    pub fn push_src(&mut self, class: RegClass, index: u16) -> usize {
+        let i = self.nsrc as usize;
+        assert!(i < MAX_SRC, "too many source operands");
+        self.srcs[i] = OperandRef { class: class.0, index };
+        self.nsrc += 1;
+        i
+    }
+
+    /// Appends a destination operand and returns its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_DEST`] destinations are declared.
+    #[inline]
+    pub fn push_dest(&mut self, class: RegClass, index: u16) -> usize {
+        let i = self.ndest as usize;
+        assert!(i < MAX_DEST, "too many destination operands");
+        self.dests[i] = OperandRef { class: class.0, index };
+        self.ndest += 1;
+        i
+    }
+
+    /// Source operands, in declaration order.
+    #[inline]
+    pub fn srcs(&self) -> &[OperandRef] {
+        &self.srcs[..self.nsrc as usize]
+    }
+
+    /// Destination operands, in declaration order.
+    #[inline]
+    pub fn dests(&self) -> &[OperandRef] {
+        &self.dests[..self.ndest as usize]
+    }
+
+    /// Number of source operands.
+    #[inline]
+    pub fn n_srcs(&self) -> usize {
+        self.nsrc as usize
+    }
+
+    /// Number of destination operands.
+    #[inline]
+    pub fn n_dests(&self) -> usize {
+        self.ndest as usize
+    }
+}
+
+/// Direction of a declared operand in an instruction definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandDir {
+    /// Read at operand fetch.
+    Src,
+    /// Written at writeback.
+    Dest,
+}
+
+/// Static declaration of an operand in an [`InstDef`](crate::InstDef) — used
+/// for documentation, statistics, and the interface lint; the dynamic
+/// identifiers come from the decode action at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandSpec {
+    /// Operand name in the specification (`ra`, `rb`, ...).
+    pub name: &'static str,
+    /// Direction.
+    pub dir: OperandDir,
+    /// Register class the operand belongs to.
+    pub class: RegClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut ops = Operands::new();
+        assert_eq!(ops.push_src(RegClass(0), 3), 0);
+        assert_eq!(ops.push_src(RegClass(0), 4), 1);
+        assert_eq!(ops.push_dest(RegClass(1), 5), 0);
+        assert_eq!(ops.n_srcs(), 2);
+        assert_eq!(ops.n_dests(), 1);
+        assert_eq!(ops.srcs()[1], OperandRef { class: 0, index: 4 });
+        assert_eq!(ops.dests()[0], OperandRef { class: 1, index: 5 });
+        ops.clear();
+        assert_eq!(ops.n_srcs(), 0);
+        assert!(ops.dests().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many source operands")]
+    fn src_overflow_panics() {
+        let mut ops = Operands::new();
+        for i in 0..=MAX_SRC as u16 {
+            ops.push_src(RegClass(0), i);
+        }
+    }
+}

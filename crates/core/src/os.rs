@@ -1,0 +1,255 @@
+//! Operating-system-call emulation.
+//!
+//! The paper's functional simulators emulate operating system calls so that
+//! user-mode benchmark binaries run without a kernel. We define a small,
+//! deterministic OS ABI shared by all three ISA descriptions; each ISA's
+//! system-call instruction translates its register convention into a
+//! [`SysCall`] and dispatches it here. Determinism (the tick counter advances
+//! by one per query) makes program output bit-identical across interfaces
+//! and ISAs, which the validation suites rely on.
+
+use crate::fault::Fault;
+use crate::state::ArchState;
+
+/// The portable LIS system-call ABI.
+///
+/// Each ISA maps its own registers onto these calls; see the per-ISA
+/// `os` modules for the conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysCall {
+    /// Terminate the program with an exit code.
+    Exit(i64),
+    /// Write `len` bytes starting at `addr` to the captured stdout.
+    WriteStdout {
+        /// Guest address of the buffer.
+        addr: u64,
+        /// Number of bytes.
+        len: u64,
+    },
+    /// Write one byte to the captured stdout.
+    PutChar(u8),
+    /// Write a decimal rendering of the value plus a newline to stdout.
+    PutUDec(u64),
+    /// Write a hexadecimal rendering of the value plus a newline to stdout.
+    PutUHex(u64),
+    /// Move the heap break; returns the new break address.
+    Brk(u64),
+    /// Read the deterministic tick counter; each read advances it.
+    Ticks,
+}
+
+/// Syscall numbers of the LIS OS ABI, shared by every ISA convention.
+pub mod nr {
+    /// `exit(code)`
+    pub const EXIT: u64 = 1;
+    /// `write_stdout(addr, len)`
+    pub const WRITE: u64 = 2;
+    /// `put_char(byte)`
+    pub const PUTC: u64 = 3;
+    /// `put_udec(value)`
+    pub const PUTUDEC: u64 = 4;
+    /// `put_uhex(value)`
+    pub const PUTUHEX: u64 = 5;
+    /// `brk(addr)`
+    pub const BRK: u64 = 6;
+    /// `ticks()`
+    pub const TICKS: u64 = 7;
+}
+
+/// Decodes a `(number, arg0, arg1)` triple into a [`SysCall`].
+///
+/// # Errors
+///
+/// Returns [`Fault::SyscallError`] for unknown numbers.
+pub fn decode_syscall(num: u64, arg0: u64, arg1: u64) -> Result<SysCall, Fault> {
+    match num {
+        nr::EXIT => Ok(SysCall::Exit(arg0 as i64)),
+        nr::WRITE => Ok(SysCall::WriteStdout { addr: arg0, len: arg1 }),
+        nr::PUTC => Ok(SysCall::PutChar(arg0 as u8)),
+        nr::PUTUDEC => Ok(SysCall::PutUDec(arg0)),
+        nr::PUTUHEX => Ok(SysCall::PutUHex(arg0)),
+        nr::BRK => Ok(SysCall::Brk(arg0)),
+        nr::TICKS => Ok(SysCall::Ticks),
+        _ => Err(Fault::SyscallError { num }),
+    }
+}
+
+/// State of the emulated operating system.
+///
+/// Kept outside [`ArchState`] so speculation checkpoints can snapshot and
+/// restore it independently of register state.
+#[derive(Debug, Clone, Default)]
+pub struct OsState {
+    /// Captured program output.
+    pub stdout: Vec<u8>,
+    /// Current heap break.
+    pub brk: u64,
+    /// Deterministic tick counter.
+    pub ticks: u64,
+    /// Number of system calls dispatched.
+    pub syscall_count: u64,
+}
+
+/// A lightweight snapshot of [`OsState`] for speculation checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsMark {
+    stdout_len: usize,
+    brk: u64,
+    ticks: u64,
+    syscall_count: u64,
+}
+
+impl OsState {
+    /// Creates an OS state whose heap break starts at `brk`.
+    pub fn new(brk: u64) -> OsState {
+        OsState { stdout: Vec::new(), brk, ticks: 0, syscall_count: 0 }
+    }
+
+    /// Dispatches one system call against architectural state, returning the
+    /// value the guest's return register should receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::DataAccess`] (and friends) if a buffer address is
+    /// invalid.
+    pub fn dispatch(&mut self, call: SysCall, state: &mut ArchState) -> Result<u64, Fault> {
+        self.syscall_count += 1;
+        match call {
+            SysCall::Exit(code) => {
+                state.halted = true;
+                state.exit_code = code;
+                Ok(0)
+            }
+            SysCall::WriteStdout { addr, len } => {
+                let mut buf = vec![0u8; len as usize];
+                state.mem.read_bytes(addr, &mut buf)?;
+                self.stdout.extend_from_slice(&buf);
+                Ok(len)
+            }
+            SysCall::PutChar(b) => {
+                self.stdout.push(b);
+                Ok(1)
+            }
+            SysCall::PutUDec(v) => {
+                let s = format!("{v}\n");
+                self.stdout.extend_from_slice(s.as_bytes());
+                Ok(s.len() as u64)
+            }
+            SysCall::PutUHex(v) => {
+                let s = format!("{v:x}\n");
+                self.stdout.extend_from_slice(s.as_bytes());
+                Ok(s.len() as u64)
+            }
+            SysCall::Brk(addr) => {
+                if addr != 0 {
+                    self.brk = addr;
+                }
+                Ok(self.brk)
+            }
+            SysCall::Ticks => {
+                self.ticks += 1;
+                Ok(self.ticks)
+            }
+        }
+    }
+
+    /// Records a checkpoint of the OS state.
+    pub fn mark(&self) -> OsMark {
+        OsMark {
+            stdout_len: self.stdout.len(),
+            brk: self.brk,
+            ticks: self.ticks,
+            syscall_count: self.syscall_count,
+        }
+    }
+
+    /// Rolls the OS state back to a previous [`OsMark`].
+    pub fn rollback(&mut self, mark: OsMark) {
+        self.stdout.truncate(mark.stdout_len);
+        self.brk = mark.brk;
+        self.ticks = mark.ticks;
+        self.syscall_count = mark.syscall_count;
+    }
+
+    /// The captured stdout as UTF-8 (lossy), for tests and examples.
+    pub fn stdout_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_mem::Endian;
+
+    #[test]
+    fn decode_known_and_unknown() {
+        assert_eq!(decode_syscall(nr::EXIT, 3, 0).unwrap(), SysCall::Exit(3));
+        assert_eq!(
+            decode_syscall(nr::WRITE, 0x1000, 4).unwrap(),
+            SysCall::WriteStdout { addr: 0x1000, len: 4 }
+        );
+        assert!(matches!(
+            decode_syscall(99, 0, 0),
+            Err(Fault::SyscallError { num: 99 })
+        ));
+    }
+
+    #[test]
+    fn exit_halts() {
+        let mut os = OsState::new(0x10000);
+        let mut st = ArchState::new(Endian::Little);
+        os.dispatch(SysCall::Exit(42), &mut st).unwrap();
+        assert!(st.halted);
+        assert_eq!(st.exit_code, 42);
+    }
+
+    #[test]
+    fn stdout_capture_and_formatting() {
+        let mut os = OsState::new(0);
+        let mut st = ArchState::new(Endian::Little);
+        st.mem.write_bytes(0x1000, b"hi").unwrap();
+        os.dispatch(SysCall::WriteStdout { addr: 0x1000, len: 2 }, &mut st).unwrap();
+        os.dispatch(SysCall::PutChar(b'!'), &mut st).unwrap();
+        os.dispatch(SysCall::PutUDec(255), &mut st).unwrap();
+        os.dispatch(SysCall::PutUHex(255), &mut st).unwrap();
+        assert_eq!(os.stdout_utf8(), "hi!255\nff\n");
+        assert_eq!(os.syscall_count, 4);
+    }
+
+    #[test]
+    fn brk_and_ticks_are_deterministic() {
+        let mut os = OsState::new(0x8000);
+        let mut st = ArchState::new(Endian::Little);
+        assert_eq!(os.dispatch(SysCall::Brk(0), &mut st).unwrap(), 0x8000);
+        assert_eq!(os.dispatch(SysCall::Brk(0x9000), &mut st).unwrap(), 0x9000);
+        assert_eq!(os.dispatch(SysCall::Ticks, &mut st).unwrap(), 1);
+        assert_eq!(os.dispatch(SysCall::Ticks, &mut st).unwrap(), 2);
+    }
+
+    #[test]
+    fn mark_rollback_restores_everything() {
+        let mut os = OsState::new(0x8000);
+        let mut st = ArchState::new(Endian::Little);
+        os.dispatch(SysCall::PutChar(b'a'), &mut st).unwrap();
+        let mark = os.mark();
+        os.dispatch(SysCall::PutChar(b'b'), &mut st).unwrap();
+        os.dispatch(SysCall::Ticks, &mut st).unwrap();
+        os.dispatch(SysCall::Brk(0xf000), &mut st).unwrap();
+        os.rollback(mark);
+        assert_eq!(os.stdout_utf8(), "a");
+        assert_eq!(os.ticks, 0);
+        assert_eq!(os.brk, 0x8000);
+        assert_eq!(os.syscall_count, 1);
+    }
+
+    #[test]
+    fn write_faults_on_bad_address() {
+        let mut os = OsState::new(0);
+        let mut st = ArchState::new(Endian::Little);
+        let err = os
+            .dispatch(SysCall::WriteStdout { addr: 0x0, len: 8 }, &mut st)
+            .unwrap_err();
+        assert!(matches!(err, Fault::DataAccess { .. }));
+    }
+}

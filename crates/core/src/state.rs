@@ -1,0 +1,129 @@
+//! Architectural state shared by every ISA description.
+
+use lis_mem::{Endian, Mem};
+use std::fmt;
+
+/// Number of general-purpose register slots (largest of the three ISAs).
+pub const NUM_GPR: usize = 32;
+/// Number of special-purpose register slots (flags, CR, LR, CTR, XER, ...).
+pub const NUM_SPR: usize = 8;
+
+/// The architecturally visible state of a simulated processor.
+///
+/// A flat register file plus memory; per-ISA register classes map onto these
+/// arrays through their accessors. Keeping the layout uniform lets the
+/// engine, the undo log, and the timing simulators stay ISA-agnostic.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    /// General-purpose registers.
+    pub gpr: [u64; NUM_GPR],
+    /// Special-purpose registers (ISA-defined meaning).
+    pub spr: [u64; NUM_SPR],
+    /// Memory.
+    pub mem: Mem,
+    /// Byte order of all data accesses.
+    pub endian: Endian,
+    /// Set when the program has exited via the OS emulator.
+    pub halted: bool,
+    /// Exit code once halted.
+    pub exit_code: i64,
+}
+
+impl ArchState {
+    /// Creates a state with zeroed registers and empty memory.
+    pub fn new(endian: Endian) -> ArchState {
+        ArchState {
+            pc: 0,
+            gpr: [0; NUM_GPR],
+            spr: [0; NUM_SPR],
+            mem: Mem::new(),
+            endian,
+            halted: false,
+            exit_code: 0,
+        }
+    }
+
+    /// Compares the architecturally visible registers of two states.
+    ///
+    /// Used by the cross-interface validation suites: after running the same
+    /// program through two different interfaces, register state must match.
+    pub fn regs_eq(&self, other: &ArchState) -> bool {
+        self.pc == other.pc
+            && self.gpr == other.gpr
+            && self.spr == other.spr
+            && self.halted == other.halted
+            && self.exit_code == other.exit_code
+    }
+
+    /// Returns the first register difference between two states, for
+    /// diagnostics in validation failures.
+    pub fn first_diff(&self, other: &ArchState) -> Option<String> {
+        if self.pc != other.pc {
+            return Some(format!("pc: {:#x} vs {:#x}", self.pc, other.pc));
+        }
+        for i in 0..NUM_GPR {
+            if self.gpr[i] != other.gpr[i] {
+                return Some(format!("gpr[{i}]: {:#x} vs {:#x}", self.gpr[i], other.gpr[i]));
+            }
+        }
+        for i in 0..NUM_SPR {
+            if self.spr[i] != other.spr[i] {
+                return Some(format!("spr[{i}]: {:#x} vs {:#x}", self.spr[i], other.spr[i]));
+            }
+        }
+        if self.halted != other.halted {
+            return Some(format!("halted: {} vs {}", self.halted, other.halted));
+        }
+        if self.exit_code != other.exit_code {
+            return Some(format!("exit: {} vs {}", self.exit_code, other.exit_code));
+        }
+        None
+    }
+}
+
+impl fmt::Display for ArchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pc={:#018x} halted={} exit={}", self.pc, self.halted, self.exit_code)?;
+        for (i, v) in self.gpr.iter().enumerate() {
+            if *v != 0 {
+                writeln!(f, "  r{i:<2} = {v:#018x}")?;
+            }
+        }
+        for (i, v) in self.spr.iter().enumerate() {
+            if *v != 0 {
+                writeln!(f, "  spr{i} = {v:#018x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regs_eq_and_first_diff() {
+        let a = ArchState::new(Endian::Little);
+        let mut b = a.clone();
+        assert!(a.regs_eq(&b));
+        assert_eq!(a.first_diff(&b), None);
+        b.gpr[5] = 1;
+        assert!(!a.regs_eq(&b));
+        assert!(a.first_diff(&b).unwrap().contains("gpr[5]"));
+        b.gpr[5] = 0;
+        b.pc = 4;
+        assert!(a.first_diff(&b).unwrap().contains("pc"));
+    }
+
+    #[test]
+    fn display_mentions_nonzero_regs() {
+        let mut s = ArchState::new(Endian::Big);
+        s.gpr[3] = 0xabc;
+        let txt = s.to_string();
+        assert!(txt.contains("r3"));
+        assert!(!txt.contains("r4 "));
+    }
+}

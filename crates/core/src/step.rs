@@ -1,0 +1,110 @@
+//! The seven steps of instruction execution.
+//!
+//! The paper's highest level of semantic detail exposes seven interface
+//! calls per instruction: fetch, decode, operand fetch, evaluate, memory,
+//! writeback, and exception. Every lower level of semantic detail is a
+//! grouping of these steps into fewer calls.
+
+use std::fmt;
+
+/// One step of instruction execution, in architectural order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Step {
+    /// PC translation and instruction fetch.
+    Fetch = 0,
+    /// Instruction decode: opcode, operand identifiers, immediates.
+    Decode = 1,
+    /// Reading source operands from architectural state.
+    OperandFetch = 2,
+    /// Functional-unit evaluation: ALU, effective address, branch resolution.
+    Evaluate = 3,
+    /// Memory access (loads and stores).
+    Memory = 4,
+    /// Writing destination operands back to architectural state.
+    Writeback = 5,
+    /// Exception detection and system-call emulation.
+    Exception = 6,
+}
+
+impl Step {
+    /// All steps, in execution order.
+    pub const ALL: [Step; 7] = [
+        Step::Fetch,
+        Step::Decode,
+        Step::OperandFetch,
+        Step::Evaluate,
+        Step::Memory,
+        Step::Writeback,
+        Step::Exception,
+    ];
+
+    /// Number of steps.
+    pub const COUNT: usize = 7;
+
+    /// Zero-based index of the step in execution order.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The step after this one, if any.
+    pub const fn next(self) -> Option<Step> {
+        match self {
+            Step::Fetch => Some(Step::Decode),
+            Step::Decode => Some(Step::OperandFetch),
+            Step::OperandFetch => Some(Step::Evaluate),
+            Step::Evaluate => Some(Step::Memory),
+            Step::Memory => Some(Step::Writeback),
+            Step::Writeback => Some(Step::Exception),
+            Step::Exception => None,
+        }
+    }
+
+    /// Short specification-level name (`operand_fetch`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Step::Fetch => "fetch",
+            Step::Decode => "decode",
+            Step::OperandFetch => "operand_fetch",
+            Step::Evaluate => "evaluate",
+            Step::Memory => "memory",
+            Step::Writeback => "writeback",
+            Step::Exception => "exception",
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_execution_order() {
+        let mut prev: Option<Step> = None;
+        for (i, s) in Step::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            if let Some(p) = prev {
+                assert_eq!(p.next(), Some(s));
+                assert!(p < s);
+            }
+            prev = Some(s);
+        }
+        assert_eq!(Step::Exception.next(), None);
+        assert_eq!(Step::ALL.len(), Step::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Step::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Step::COUNT);
+    }
+}

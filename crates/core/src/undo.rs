@@ -1,0 +1,213 @@
+//! The speculation undo log.
+//!
+//! When a buildset enables speculation, every architectural write performed
+//! through the [`Exec`](crate::Exec) helpers appends an undo record carrying
+//! the old value. Rolling back to a checkpoint replays the records in
+//! reverse — the paper's "carry enough information to roll back the
+//! architectural effects of each instruction".
+
+use crate::state::ArchState;
+
+/// One reversible architectural effect.
+#[derive(Clone, Copy)]
+pub enum UndoRec {
+    /// A register write through an accessor; rollback restores the old value
+    /// through the very same accessor, so any register class is supported.
+    Reg {
+        /// The accessor's write function.
+        write: fn(&mut ArchState, u16, u64),
+        /// Register index within the class.
+        idx: u16,
+        /// Value before the write.
+        old: u64,
+    },
+    /// A memory write of `len` bytes (1, 2, 4, or 8).
+    Mem {
+        /// Address written.
+        addr: u64,
+        /// Bytes before the write, in guest byte order, low `len` used.
+        old: u64,
+        /// Width in bytes.
+        len: u8,
+    },
+}
+
+impl std::fmt::Debug for UndoRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            UndoRec::Reg { idx, old, .. } => {
+                f.debug_struct("Reg").field("idx", &idx).field("old", &old).finish()
+            }
+            UndoRec::Mem { addr, old, len } => f
+                .debug_struct("Mem")
+                .field("addr", &addr)
+                .field("old", &old)
+                .field("len", &len)
+                .finish(),
+        }
+    }
+}
+
+/// A position in the undo log, returned by [`UndoLog::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UndoMark(usize);
+
+/// An append-only log of reversible writes.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    recs: Vec<UndoRec>,
+}
+
+impl UndoLog {
+    /// Creates an empty log.
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, rec: UndoRec) {
+        self.recs.push(rec);
+    }
+
+    /// Current log position, for later rollback.
+    #[inline]
+    pub fn mark(&self) -> UndoMark {
+        UndoMark(self.recs.len())
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Discards every record, keeping the allocation. Engines call this when
+    /// no checkpoint is outstanding so the log cannot grow without bound.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.recs.clear();
+    }
+
+    /// Confirms the speculation begun at `mark`: its undo records are
+    /// discarded (they can no longer be rolled back), while records older
+    /// than `mark` are preserved for any outer checkpoint.
+    pub fn commit(&mut self, mark: UndoMark) {
+        debug_assert!(mark.0 <= self.recs.len());
+        self.recs.truncate(mark.0);
+    }
+
+    /// Undoes every record newer than `mark`, restoring `state`.
+    pub fn rollback(&mut self, mark: UndoMark, state: &mut ArchState) {
+        while self.recs.len() > mark.0 {
+            let rec = self.recs.pop().expect("mark within log");
+            match rec {
+                UndoRec::Reg { write, idx, old } => write(state, idx, old),
+                UndoRec::Mem { addr, old, len } => {
+                    // Old bytes were captured in guest order; writing them
+                    // back with the same endianness restores them exactly.
+                    let e = state.endian;
+                    let r = match len {
+                        1 => state.mem.write_u8(addr, old as u8),
+                        2 => state.mem.write_u16(addr, old as u16, e),
+                        4 => state.mem.write_u32(addr, old as u32, e),
+                        8 => state.mem.write_u64(addr, old, e),
+                        _ => unreachable!("undo width {len}"),
+                    };
+                    // The write succeeded once; restoring it cannot fault.
+                    r.expect("undo restore");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_mem::Endian;
+
+    fn wr_gpr(st: &mut ArchState, idx: u16, val: u64) {
+        st.gpr[idx as usize] = val;
+    }
+
+    fn wr_spr(st: &mut ArchState, idx: u16, val: u64) {
+        st.spr[idx as usize] = val;
+    }
+
+    #[test]
+    fn rollback_restores_registers_in_reverse() {
+        let mut log = UndoLog::new();
+        let mut st = ArchState::new(Endian::Little);
+        let mark = log.mark();
+        // Two writes to the same register: rollback must restore the first
+        // old value, not the intermediate one.
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 1, old: 0 });
+        st.gpr[1] = 10;
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 1, old: 10 });
+        st.gpr[1] = 20;
+        log.rollback(mark, &mut st);
+        assert_eq!(st.gpr[1], 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_memory() {
+        let mut log = UndoLog::new();
+        let mut st = ArchState::new(Endian::Big);
+        st.mem.write_u32(0x1000, 0x11223344, Endian::Big).unwrap();
+        let mark = log.mark();
+        log.push(UndoRec::Mem { addr: 0x1000, old: 0x11223344, len: 4 });
+        st.mem.write_u32(0x1000, 0xdeadbeef, Endian::Big).unwrap();
+        log.rollback(mark, &mut st);
+        assert_eq!(st.mem.read_u32(0x1000, Endian::Big).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn partial_rollback_keeps_older_records() {
+        let mut log = UndoLog::new();
+        let mut st = ArchState::new(Endian::Little);
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 0, old: 1 });
+        let mark = log.mark();
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 0, old: 2 });
+        st.gpr[0] = 3;
+        log.rollback(mark, &mut st);
+        assert_eq!(st.gpr[0], 2);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn commit_discards_confirmed_records_only() {
+        let mut log = UndoLog::new();
+        log.push(UndoRec::Reg { write: wr_spr, idx: 0, old: 0 });
+        log.push(UndoRec::Reg { write: wr_spr, idx: 1, old: 0 });
+        let mark = log.mark();
+        log.push(UndoRec::Reg { write: wr_spr, idx: 2, old: 0 });
+        log.commit(mark);
+        // The two records belonging to the outer checkpoint survive.
+        assert_eq!(log.len(), 2);
+        let outer = UndoMark(0);
+        log.commit(outer);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_independently() {
+        let mut log = UndoLog::new();
+        let mut st = ArchState::new(Endian::Little);
+        let outer = log.mark();
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 7, old: 0 });
+        st.gpr[7] = 1;
+        let inner = log.mark();
+        log.push(UndoRec::Reg { write: wr_gpr, idx: 7, old: 1 });
+        st.gpr[7] = 2;
+        log.rollback(inner, &mut st);
+        assert_eq!(st.gpr[7], 1);
+        log.rollback(outer, &mut st);
+        assert_eq!(st.gpr[7], 0);
+    }
+}

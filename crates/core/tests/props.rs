@@ -1,0 +1,138 @@
+//! Property tests on the core ADL data structures.
+
+use lis_core::{
+    check_interface, BuildsetDef, DynInst, FieldId, FieldSet, Frame, InstHeader, Operands,
+    RegClass, Semantic, Visibility, MAX_FIELDS, STANDARD_BUILDSETS,
+};
+use proptest::prelude::*;
+
+fn field_id() -> impl Strategy<Value = FieldId> {
+    (0u8..MAX_FIELDS as u8).prop_map(FieldId)
+}
+
+fn field_set() -> impl Strategy<Value = FieldSet> {
+    any::<u64>().prop_map(|bits| FieldSet(bits & FieldSet::ALL.0))
+}
+
+proptest! {
+    /// FieldSet is a faithful bit-set.
+    #[test]
+    fn field_set_algebra(a in field_set(), b in field_set(), f in field_id()) {
+        prop_assert_eq!(a.union(b).0, a.0 | b.0);
+        prop_assert!(a.with(f).contains(f));
+        prop_assert!(!a.without(f).contains(f));
+        prop_assert_eq!(a.with(f).without(f).0, a.0 & !f.bit());
+        prop_assert_eq!(a.iter().count() as u32, a.len());
+        let rebuilt: FieldSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    /// Frame get/set/clear behave like a validity-masked array.
+    #[test]
+    fn frame_semantics(writes in proptest::collection::vec((field_id(), any::<u64>()), 0..40)) {
+        let mut frame = Frame::new();
+        let mut model = std::collections::HashMap::new();
+        for (f, v) in &writes {
+            frame.set(*f, *v);
+            model.insert(f.0, *v);
+        }
+        for i in 0..MAX_FIELDS as u8 {
+            let f = FieldId(i);
+            match model.get(&i) {
+                Some(&v) => {
+                    prop_assert!(frame.has(f));
+                    prop_assert_eq!(frame.get(f), v);
+                    prop_assert_eq!(frame.try_get(f), Some(v));
+                }
+                None => {
+                    prop_assert!(!frame.has(f));
+                    prop_assert_eq!(frame.try_get(f), None);
+                }
+            }
+        }
+        let expected: FieldSet = model.keys().map(|&i| FieldId(i)).collect();
+        prop_assert_eq!(frame.valid(), expected);
+        frame.clear();
+        prop_assert!(frame.valid().is_empty());
+    }
+
+    /// publish∘reload is the identity on the visible subset.
+    #[test]
+    fn publish_reload_round_trip(
+        writes in proptest::collection::vec((field_id(), any::<u64>()), 0..30),
+        visible in field_set(),
+        nsrc in 0usize..=3,
+        ndest in 0usize..=2,
+    ) {
+        let mut frame = Frame::new();
+        for (f, v) in &writes {
+            frame.set(*f, *v);
+        }
+        let mut ops = Operands::new();
+        for i in 0..nsrc {
+            ops.push_src(RegClass(0), i as u16);
+        }
+        for i in 0..ndest {
+            ops.push_dest(RegClass(1), i as u16);
+        }
+        let mut di = DynInst::new();
+        di.header = InstHeader { pc: 4, phys_pc: 4, instr_bits: 9, next_pc: 8 };
+        di.publish(&frame, visible, &ops, true);
+
+        let mut frame2 = Frame::new();
+        let mut ops2 = Operands::new();
+        di.reload(&mut frame2, &mut ops2);
+        // Reloaded = original masked by visibility.
+        prop_assert_eq!(frame2.valid().0, frame.valid().0 & visible.0);
+        for f in frame2.valid().iter() {
+            prop_assert_eq!(frame2.get(f), frame.get(f));
+        }
+        prop_assert_eq!(ops2.srcs(), ops.srcs());
+        prop_assert_eq!(ops2.dests(), ops.dests());
+        // Publishing the reloaded state again is a fixpoint.
+        let mut di2 = DynInst::new();
+        di2.publish(&frame2, visible, &ops2, true);
+        prop_assert_eq!(di2.fields_valid(), di.fields_valid());
+    }
+
+    /// The lint is monotone: widening a valid interface's visibility keeps
+    /// it valid, on every shipped ISA.
+    #[test]
+    fn lint_is_monotone_in_visibility(extra in field_set(), idx in 0usize..12) {
+        let base: BuildsetDef = STANDARD_BUILDSETS[idx];
+        for isa in [lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()] {
+            prop_assert!(check_interface(isa, &base).is_ok());
+            let widened = BuildsetDef {
+                name: "widened",
+                semantic: base.semantic,
+                visibility: Visibility {
+                    fields: base.visibility.fields.union(extra),
+                    operand_ids: true,
+                },
+                speculation: base.speculation,
+            };
+            prop_assert!(check_interface(isa, &widened).is_ok(), "{}", base.name);
+        }
+    }
+}
+
+/// Exhaustive check of the paper's pairing rule on all three real ISAs:
+/// one-call and block-call interfaces accept any visibility; step-level
+/// interfaces require full information.
+#[test]
+fn pairing_rule_matrix() {
+    for isa in [lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()] {
+        for semantic in [Semantic::Block, Semantic::One, Semantic::Step] {
+            for (vis, info) in [
+                (Visibility::MIN, "min"),
+                (Visibility::DECODE, "decode"),
+                (Visibility::ALL, "all"),
+            ] {
+                let bs = BuildsetDef { name: "m", semantic, visibility: vis, speculation: false };
+                let ok = check_interface(isa, &bs).is_ok();
+                let expected = semantic != Semantic::Step || info == "all";
+                assert_eq!(ok, expected, "{}: {semantic}/{info}", isa.name);
+            }
+        }
+    }
+}

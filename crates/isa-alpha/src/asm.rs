@@ -1,0 +1,297 @@
+//! The Alpha assembler — encodings derived from the instruction table.
+//!
+//! Syntax follows the Alpha convention: `addq r1, r2, r3` (the middle
+//! operand may be a 0..255 literal), `ldq r1, 8(r2)`, `beq r1, label`,
+//! `br label`, `bsr ra, label`, `jmp (r2)`, `ret`. Pseudo-instructions:
+//! `nop`, `mov`, `clr`, `negq`, `jsr`, `ret`, `callsys`.
+
+use crate::regs::parse_reg;
+use crate::semantics::INSTS;
+use lis_asm::{EncodeCtx, IsaAssembler, Operand};
+use lis_core::InstDef;
+use lis_mem::Endian;
+
+/// The Alpha [`IsaAssembler`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlphaAsm;
+
+fn find(name: &str) -> Option<&'static InstDef> {
+    INSTS.iter().find(|d| d.name == name)
+}
+
+fn opcode_of(def: &InstDef) -> u32 {
+    def.bits >> 26
+}
+
+fn reg(op: &Operand, what: &str) -> Result<u32, String> {
+    op.reg()
+        .and_then(parse_reg)
+        .map(u32::from)
+        .ok_or_else(|| format!("expected register for {what}"))
+}
+
+fn enc_operate(bits: u32, ra: u32, b: &Operand, rc: u32) -> Result<u32, String> {
+    let base = bits | ra << 21 | rc;
+    match b {
+        Operand::Reg(r) => {
+            let rb = parse_reg(r).ok_or("bad register")? as u32;
+            Ok(base | rb << 16)
+        }
+        Operand::Imm(v) => {
+            if !(0..=255).contains(v) {
+                return Err(format!("literal {v} out of range 0..=255"));
+            }
+            Ok(base | ((*v as u32) << 13) | 0x1000)
+        }
+        _ => Err("second operand must be a register or literal".into()),
+    }
+}
+
+fn enc_mem(bits: u32, ra: u32, disp: i64, rb: u32) -> Result<u32, String> {
+    if !(-32768..=32767).contains(&disp) {
+        return Err(format!("displacement {disp} out of range for 16 bits"));
+    }
+    Ok(bits | ra << 21 | rb << 16 | (disp as u16 as u32))
+}
+
+fn enc_branch(bits: u32, ra: u32, target: i64, addr: u64) -> Result<u32, String> {
+    let delta = target - (addr as i64 + 4);
+    if delta % 4 != 0 {
+        return Err("branch target is not word-aligned".into());
+    }
+    let disp = delta / 4;
+    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+        return Err(format!("branch displacement {disp} out of range for 21 bits"));
+    }
+    Ok(bits | ra << 21 | (disp as u32 & 0x1f_ffff))
+}
+
+/// Splits `disp(base)` / bare-immediate / bare-register memory operands.
+fn mem_operand(op: &Operand) -> Result<(i64, u32), String> {
+    match op {
+        Operand::BaseDisp { disp, base } => {
+            let rb = parse_reg(base).ok_or("bad base register")? as u32;
+            Ok((*disp, rb))
+        }
+        Operand::Imm(v) => Ok((*v, 31)),
+        _ => Err("expected `disp(base)` or an absolute address".into()),
+    }
+}
+
+impl IsaAssembler for AlphaAsm {
+    fn name(&self) -> &'static str {
+        "alpha"
+    }
+
+    fn endian(&self) -> Endian {
+        Endian::Little
+    }
+
+    fn is_reg(&self, name: &str) -> bool {
+        parse_reg(name).is_some()
+    }
+
+    fn encode(&self, mn: &str, ops: &[Operand], ctx: &EncodeCtx<'_>) -> Result<u32, String> {
+        // Pseudo-instructions first.
+        match mn {
+            "nop" | "unop" => return self.encode("bis", &reg3(31, 31, 31), ctx),
+            "clr" => {
+                let rc = reg(&ops[0], "clr")?;
+                return enc_operate(find("bis").unwrap().bits, 31, &Operand::Reg("r31".into()), rc);
+            }
+            "mov" => {
+                if ops.len() != 2 {
+                    return Err("mov needs two operands".into());
+                }
+                let rc = reg(&ops[1], "mov destination")?;
+                return match &ops[0] {
+                    Operand::Reg(_) => {
+                        let rb = reg(&ops[0], "mov source")?;
+                        enc_operate(
+                            find("bis").unwrap().bits,
+                            31,
+                            &Operand::Reg(format!("r{rb}")),
+                            rc,
+                        )
+                    }
+                    Operand::Imm(v) if (0..=255).contains(v) => {
+                        enc_operate(find("bis").unwrap().bits, 31, &Operand::Imm(*v), rc)
+                    }
+                    Operand::Imm(v) if (-32768..=32767).contains(v) => {
+                        enc_mem(find("lda").unwrap().bits, rc, *v, 31)
+                    }
+                    _ => Err("mov immediate out of range (use lda/ldah)".into()),
+                };
+            }
+            "negq" => {
+                if ops.len() != 2 {
+                    return Err("negq needs two operands".into());
+                }
+                let rb = reg(&ops[0], "negq source")?;
+                let rc = reg(&ops[1], "negq destination")?;
+                return enc_operate(
+                    find("subq").unwrap().bits,
+                    31,
+                    &Operand::Reg(format!("r{rb}")),
+                    rc,
+                );
+            }
+            "ret" => {
+                // ret [ra,] [(rb)] — defaults ra=r31, rb=r26.
+                let (ra, rb) = match ops {
+                    [] => (31, 26),
+                    [one] => (31, mem_base(one)?),
+                    [a, b] => (reg(a, "ret")?, mem_base(b)?),
+                    _ => return Err("ret takes at most two operands".into()),
+                };
+                return Ok(find("jmp").unwrap().bits | ra << 21 | rb << 16);
+            }
+            "jsr" => {
+                // jsr [ra,] (rb) — default ra=r26.
+                let (ra, rb) = match ops {
+                    [one] => (26, mem_base(one)?),
+                    [a, b] => (reg(a, "jsr")?, mem_base(b)?),
+                    _ => return Err("jsr needs a target register".into()),
+                };
+                return Ok(find("jmp").unwrap().bits | ra << 21 | rb << 16);
+            }
+            _ => {}
+        }
+
+        let def = find(mn).ok_or_else(|| format!("unknown mnemonic `{mn}`"))?;
+        let opc = opcode_of(def);
+        match opc {
+            // callsys
+            0x00 => Ok(def.bits),
+            // operate formats
+            0x10..=0x13 => {
+                if ops.len() != 3 {
+                    return Err(format!("{mn} needs `ra, rb_or_lit, rc`"));
+                }
+                let ra = reg(&ops[0], "ra")?;
+                let rc = reg(&ops[2], "rc")?;
+                enc_operate(def.bits, ra, &ops[1], rc)
+            }
+            // memory formats (including lda/ldah)
+            0x08 | 0x09 | 0x0a | 0x0c | 0x0d | 0x0e | 0x28 | 0x29 | 0x2c | 0x2d => {
+                if ops.len() != 2 {
+                    return Err(format!("{mn} needs `ra, disp(rb)`"));
+                }
+                let ra = reg(&ops[0], "ra")?;
+                let (disp, rb) = mem_operand(&ops[1])?;
+                enc_mem(def.bits, ra, disp, rb)
+            }
+            // jump
+            0x1a => {
+                let (ra, rb) = match ops {
+                    [one] => (31, mem_base(one)?),
+                    [a, b] => (reg(a, "ra")?, mem_base(b)?),
+                    _ => return Err("jmp needs `(rb)` or `ra, (rb)`".into()),
+                };
+                Ok(def.bits | ra << 21 | rb << 16)
+            }
+            // br/bsr
+            0x30 | 0x34 => {
+                let (ra, target) = match ops {
+                    [t] => (if opc == 0x34 { 26 } else { 31 }, t),
+                    [a, t] => (reg(a, "ra")?, t),
+                    _ => return Err(format!("{mn} needs a target")),
+                };
+                let t = target.imm().ok_or("branch target must be an address")?;
+                enc_branch(def.bits, ra, t, ctx.addr)
+            }
+            // conditional branches
+            0x38..=0x3f => {
+                if ops.len() != 2 {
+                    return Err(format!("{mn} needs `ra, target`"));
+                }
+                let ra = reg(&ops[0], "ra")?;
+                let t = ops[1].imm().ok_or("branch target must be an address")?;
+                enc_branch(def.bits, ra, t, ctx.addr)
+            }
+            _ => Err(format!("unhandled opcode {opc:#x} for `{mn}`")),
+        }
+    }
+}
+
+fn mem_base(op: &Operand) -> Result<u32, String> {
+    match op {
+        Operand::BaseDisp { disp: 0, base } => {
+            Ok(parse_reg(base).ok_or("bad base register")? as u32)
+        }
+        Operand::Reg(r) => Ok(parse_reg(r).ok_or("bad register")? as u32),
+        _ => Err("expected `(rb)`".into()),
+    }
+}
+
+fn reg3(a: u16, b: u16, c: u16) -> [Operand; 3] {
+    [
+        Operand::Reg(format!("r{a}")),
+        Operand::Reg(format!("r{b}")),
+        Operand::Reg(format!("r{c}")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_asm::assemble;
+
+    fn enc(line: &str) -> u32 {
+        let img = assemble(&AlphaAsm, line).unwrap();
+        u32::from_le_bytes(img.sections[0].bytes[0..4].try_into().unwrap())
+    }
+
+    #[test]
+    fn operate_register_and_literal() {
+        let w = enc("addq r1, r2, r3");
+        assert_eq!(w >> 26, 0x10);
+        assert_eq!((w >> 21) & 31, 1);
+        assert_eq!((w >> 16) & 31, 2);
+        assert_eq!(w & 31, 3);
+        assert_eq!(w & 0x1000, 0);
+        let w = enc("addq r1, 200, r3");
+        assert_eq!(w & 0x1000, 0x1000);
+        assert_eq!((w >> 13) & 0xff, 200);
+    }
+
+    #[test]
+    fn memory_and_branches() {
+        let w = enc("ldq r5, -8(sp)");
+        assert_eq!(w >> 26, 0x29);
+        assert_eq!((w >> 21) & 31, 5);
+        assert_eq!((w >> 16) & 31, 30);
+        assert_eq!(w & 0xffff, 0xfff8);
+        // Backwards branch to self: disp = -1.
+        let w = enc("x: beq r1, x");
+        assert_eq!(w >> 26, 0x39);
+        assert_eq!(w & 0x1f_ffff, 0x1f_ffff);
+    }
+
+    #[test]
+    fn jumps_and_pseudos() {
+        let w = enc("ret");
+        assert_eq!(w >> 26, 0x1a);
+        assert_eq!((w >> 21) & 31, 31);
+        assert_eq!((w >> 16) & 31, 26);
+        let w = enc("jsr (r27)");
+        assert_eq!((w >> 21) & 31, 26);
+        assert_eq!((w >> 16) & 31, 27);
+        let w = enc("nop");
+        assert_eq!(w >> 26, 0x11);
+        let w = enc("mov 7, r4");
+        assert_eq!(w >> 26, 0x11); // bis with literal
+        let w = enc("mov 5000, r4");
+        assert_eq!(w >> 26, 0x08); // lda
+        let w = enc("clr r9");
+        assert_eq!(w & 31, 9);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(assemble(&AlphaAsm, "addq r1, 300, r3").is_err());
+        assert!(assemble(&AlphaAsm, "ldq r1, 99999(r2)").is_err());
+        assert!(assemble(&AlphaAsm, "frobnicate r1").is_err());
+        assert!(assemble(&AlphaAsm, "addq r1, r2").is_err());
+    }
+}

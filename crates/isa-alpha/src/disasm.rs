@@ -1,0 +1,66 @@
+//! The Alpha disassembler — derived from the same instruction table.
+
+use crate::regs::reg_name;
+use crate::semantics::INSTS;
+
+/// Renders one instruction word as assembly (for traces and debugging).
+pub fn disasm(word: u32, pc: u64) -> String {
+    let Some(def) = INSTS.iter().find(|d| d.matches(word)) else {
+        return format!(".word {word:#010x}");
+    };
+    let name = def.name;
+    let opc = word >> 26;
+    let ra = reg_name(((word >> 21) & 31) as u16);
+    let rb = reg_name(((word >> 16) & 31) as u16);
+    match opc {
+        0x00 => name.to_string(),
+        0x10..=0x13 => {
+            let rc = reg_name((word & 31) as u16);
+            if word & 0x1000 != 0 {
+                format!("{name} {ra}, {}, {rc}", (word >> 13) & 0xff)
+            } else {
+                format!("{name} {ra}, {rb}, {rc}")
+            }
+        }
+        0x08 | 0x09 | 0x0a | 0x0c | 0x0d | 0x0e | 0x28 | 0x29 | 0x2c | 0x2d => {
+            let disp = (word & 0xffff) as u16 as i16;
+            format!("{name} {ra}, {disp}({rb})")
+        }
+        0x1a => format!("{name} {ra}, ({rb})"),
+        0x30 | 0x34 => {
+            let disp = ((word & 0x1f_ffff) << 11) as i32 >> 11;
+            let target = pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2);
+            format!("{name} {ra}, {target:#x}")
+        }
+        0x38..=0x3f => {
+            let disp = ((word & 0x1f_ffff) << 11) as i32 >> 11;
+            let target = pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2);
+            format!("{name} {ra}, {target:#x}")
+        }
+        _ => format!("{name} ?"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::AlphaAsm;
+    use lis_asm::assemble;
+
+    fn round(line: &str) -> String {
+        let img = assemble(&AlphaAsm, line).unwrap();
+        let w = u32::from_le_bytes(img.sections[0].bytes[0..4].try_into().unwrap());
+        disasm(w, 0x1000)
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(round("addq r1, r2, r3"), "addq r1, r2, r3");
+        assert_eq!(round("addq r1, 99, r3"), "addq r1, 99, r3");
+        assert_eq!(round("ldq r5, -8(r30)"), "ldq r5, -8(r30)");
+        assert_eq!(round("x: beq r1, x"), "beq r1, 0x1000");
+        assert_eq!(round("callsys"), "callsys");
+        assert_eq!(round("ret"), "jmp r31, (r26)");
+        assert_eq!(disasm(0x1c00_0000, 0), ".word 0x1c000000");
+    }
+}

@@ -1,0 +1,80 @@
+//! Alpha register classes and accessors.
+//!
+//! One register class: 32 64-bit integer registers, with `r31` hardwired to
+//! zero (reads return 0, writes are discarded — the accessor enforces this,
+//! so no instruction semantics ever special-case it).
+
+use lis_core::{ArchState, RegClass, RegClassDef};
+
+/// The integer register class.
+pub const GPR: RegClass = RegClass(0);
+
+fn read_gpr(st: &ArchState, idx: u16) -> u64 {
+    if idx == 31 {
+        0
+    } else {
+        st.gpr[idx as usize]
+    }
+}
+
+fn write_gpr(st: &mut ArchState, idx: u16, val: u64) {
+    if idx != 31 {
+        st.gpr[idx as usize] = val;
+    }
+}
+
+/// Register classes of the Alpha description.
+pub const REG_CLASSES: &[RegClassDef] =
+    &[RegClassDef { name: "gpr", count: 32, read: read_gpr, write: write_gpr }];
+
+/// Software register-name aliases, in index order (`$0`..`$31` and `rN` also
+/// accepted by the assembler).
+pub const REG_NAMES: &[&str] = &[
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
+    "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp",
+    "sp", "zero",
+];
+
+/// Parses a register name (already lower-cased): `rN`, `$N`, or an alias.
+pub fn parse_reg(name: &str) -> Option<u16> {
+    if let Some(n) = name.strip_prefix('r').or_else(|| name.strip_prefix('$')) {
+        if let Ok(v) = n.parse::<u16>() {
+            if v < 32 {
+                return Some(v);
+            }
+        }
+    }
+    REG_NAMES.iter().position(|&a| a == name).map(|i| i as u16)
+}
+
+/// The canonical display name for register `idx`.
+pub fn reg_name(idx: u16) -> String {
+    format!("r{idx}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_mem::Endian;
+
+    #[test]
+    fn r31_is_hardwired_zero() {
+        let mut st = ArchState::new(Endian::Little);
+        (REG_CLASSES[0].write)(&mut st, 31, 0xdead);
+        assert_eq!((REG_CLASSES[0].read)(&st, 31), 0);
+        (REG_CLASSES[0].write)(&mut st, 5, 0xdead);
+        assert_eq!((REG_CLASSES[0].read)(&st, 5), 0xdead);
+    }
+
+    #[test]
+    fn names_parse() {
+        assert_eq!(parse_reg("r0"), Some(0));
+        assert_eq!(parse_reg("$17"), Some(17));
+        assert_eq!(parse_reg("sp"), Some(30));
+        assert_eq!(parse_reg("zero"), Some(31));
+        assert_eq!(parse_reg("ra"), Some(26));
+        assert_eq!(parse_reg("r32"), None);
+        assert_eq!(parse_reg("x1"), None);
+        assert_eq!(REG_NAMES.len(), 32);
+    }
+}

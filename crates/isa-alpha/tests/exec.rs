@@ -1,0 +1,235 @@
+//! End-to-end Alpha execution tests through the synthesized simulators.
+
+use lis_core::{STANDARD_BUILDSETS, ONE_ALL};
+use lis_runtime::Simulator;
+
+fn run(src: &str) -> Simulator {
+    let image = lis_isa_alpha::assemble(src).expect("assembles");
+    let mut sim = Simulator::new(lis_isa_alpha::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image).unwrap();
+    sim.run_to_halt(1_000_000).unwrap();
+    sim
+}
+
+const EXIT0: &str = "
+    mov 1, v0        ; EXIT
+    mov 0, a0
+    callsys
+";
+
+#[test]
+fn arithmetic_and_literals() {
+    let sim = run(&format!(
+        "
+_start: mov 100, r1
+        addq r1, 20, r2       ; 120
+        subq r2, r1, r3       ; 20
+        mulq r2, r3, r4       ; 2400
+        sll r4, 4, r5         ; 38400
+        srl r5, 2, r6         ; 9600
+        sra r5, 2, r7         ; 9600
+        cmplt r3, r2, r8      ; 1
+        cmpeq r3, 20, r9      ; 1
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 120);
+    assert_eq!(sim.state.gpr[3], 20);
+    assert_eq!(sim.state.gpr[4], 2400);
+    assert_eq!(sim.state.gpr[5], 38400);
+    assert_eq!(sim.state.gpr[6], 9600);
+    assert_eq!(sim.state.gpr[7], 9600);
+    assert_eq!(sim.state.gpr[8], 1);
+    assert_eq!(sim.state.gpr[9], 1);
+}
+
+#[test]
+fn longword_ops_sign_extend() {
+    let sim = run(&format!(
+        "
+_start: mov 1, r1
+        sll r1, 31, r1       ; 0x8000_0000
+        addl r1, 0, r2       ; sign-extends to 0xffff..8000_0000
+        subl r31, 1, r3      ; -1
+        mull r1, 2, r4       ; 0 (low 32 bits)
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 0xffff_ffff_8000_0000);
+    assert_eq!(sim.state.gpr[3], u64::MAX);
+    assert_eq!(sim.state.gpr[4], 0);
+}
+
+#[test]
+fn loads_stores_all_widths() {
+    let sim = run(&format!(
+        "
+_start: ldah r1, ha16(buf)(zero)
+        lda r1, slo16(buf)(r1)
+        mov 0xab, r2
+        stb r2, 0(r1)
+        mov 0x1234, r3
+        stw r3, 2(r1)
+        ldah r4, 0x1234(r31)
+        lda r4, 0x5678(r4)    ; r4 = 0x12345678
+        stl r4, 4(r1)
+        stq r4, 8(r1)
+        ldbu r5, 0(r1)
+        ldwu r6, 2(r1)
+        ldl r7, 4(r1)
+        ldq r8, 8(r1)
+        {EXIT0}
+        .data
+buf:    .space 16
+"
+    ));
+    assert_eq!(sim.state.gpr[5], 0xab);
+    assert_eq!(sim.state.gpr[6], 0x1234);
+    assert_eq!(sim.state.gpr[7], 0x12345678);
+    assert_eq!(sim.state.gpr[8], 0x12345678);
+}
+
+#[test]
+fn conditional_moves() {
+    let sim = run(&format!(
+        "
+_start: mov 0, r1
+        mov 5, r2
+        cmoveq r1, 11, r3     ; r1 == 0 -> r3 = 11
+        cmovne r1, 22, r4     ; not taken -> r4 = 0
+        cmovgt r2, 33, r5     ; 5 > 0 -> r5 = 33
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[3], 11);
+    assert_eq!(sim.state.gpr[4], 0);
+    assert_eq!(sim.state.gpr[5], 33);
+}
+
+#[test]
+fn branches_and_loop() {
+    // Sum 1..=100 with a loop.
+    let sim = run(&format!(
+        "
+_start: mov 0, r1          ; acc
+        mov 100, r2        ; i
+loop:   addq r1, r2, r1
+        subq r2, 1, r2
+        bne r2, loop
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[1], 5050);
+}
+
+#[test]
+fn subroutine_call_and_return() {
+    let sim = run(&format!(
+        "
+_start: lda r27, double
+        mov 21, a0
+        jsr (r27)           ; ra := return address
+        mov v0, r9
+        {EXIT0}
+double: addq a0, a0, v0
+        ret
+"
+    ));
+    assert_eq!(sim.state.gpr[9], 42);
+}
+
+#[test]
+fn bsr_links_and_branches() {
+    let sim = run(&format!(
+        "
+_start: bsr fn
+        mov v0, r9
+        {EXIT0}
+fn:     mov 9, v0
+        ret
+"
+    ));
+    assert_eq!(sim.state.gpr[9], 9);
+}
+
+#[test]
+fn stack_discipline() {
+    let sim = run(&format!(
+        "
+_start: mov 7, r1
+        subq sp, 16, sp
+        stq r1, 0(sp)
+        mov 0, r1
+        ldq r2, 0(sp)
+        addq sp, 16, sp
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 7);
+}
+
+#[test]
+fn syscall_output() {
+    let sim = run(
+        "
+_start: mov 4, v0          ; PUTUDEC
+        mov 12345, a0
+        callsys
+        mov 2, v0           ; WRITE
+        ldah a0, ha16(msg)(zero)
+        lda a0, slo16(msg)(a0)
+        mov 3, a1
+        callsys
+        mov 1, v0           ; EXIT
+        mov 3, a0
+        callsys
+        .data
+msg:    .ascii \"ok\\n\"
+",
+    );
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "12345\nok\n");
+    assert_eq!(sim.state.exit_code, 3);
+}
+
+#[test]
+fn byte_manipulation() {
+    let sim = run(&format!(
+        "
+_start: ldah r1, 0x1122(r31)
+        lda r1, 0x3344(r1)   ; r1 = 0x11223344
+        extbl r1, 1, r2      ; 0x33
+        extwl r1, 2, r3      ; 0x1122
+        insbl r1, 3, r4      ; 0x44 << 24
+        zapnot r1, 3, r5     ; keep low 2 bytes
+        cmpbge r31, r1, r6
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 0x33);
+    assert_eq!(sim.state.gpr[3], 0x1122);
+    assert_eq!(sim.state.gpr[4], 0x44u64 << 24);
+    assert_eq!(sim.state.gpr[5], 0x3344);
+}
+
+#[test]
+fn all_interfaces_agree_on_alpha() {
+    let src = format!(
+        "
+_start: mov 0, r1
+        mov 50, r2
+loop:   addq r1, r2, r1
+        subq r2, 1, r2
+        bne r2, loop
+        mov 4, v0
+        mov r1, a0
+        callsys
+        {EXIT0}"
+    );
+    let image = lis_isa_alpha::assemble(&src).unwrap();
+    let mut outputs = Vec::new();
+    for bs in STANDARD_BUILDSETS {
+        let mut sim = Simulator::new(lis_isa_alpha::spec(), bs).unwrap();
+        sim.load_program(&image).unwrap();
+        sim.run_to_halt(1_000_000).unwrap();
+        outputs.push((bs.name, String::from_utf8_lossy(sim.stdout()).into_owned(), sim.state.gpr));
+    }
+    for (name, out, gpr) in &outputs[1..] {
+        assert_eq!(out, &outputs[0].1, "{name}");
+        assert_eq!(gpr, &outputs[0].2, "{name}");
+    }
+    assert_eq!(outputs[0].1, "1275\n");
+}

@@ -1,0 +1,453 @@
+//! The ARM assembler — encodings derived from the instruction table.
+//!
+//! Classic (pre-UAL) syntax: `add r0, r1, r2, lsl #3`, `ldreqb r0, [r1, #4]!`,
+//! `str r2, [r3], #8`, `bl label`, `swi 0`. Condition suffixes follow the
+//! base mnemonic, then `s` (data processing) — e.g. `addeqs`, `ldrne`,
+//! `ldrneb`. `ldr rd, label` assembles a PC-relative literal load.
+
+use crate::regs::parse_reg;
+use crate::semantics::dp_bits;
+use lis_asm::{EncodeCtx, IsaAssembler, Operand};
+use lis_mem::Endian;
+
+/// The ARM [`IsaAssembler`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ArmAsm;
+
+const CONDS: &[(&str, u32)] = &[
+    ("eq", 0x0),
+    ("ne", 0x1),
+    ("cs", 0x2),
+    ("hs", 0x2),
+    ("cc", 0x3),
+    ("lo", 0x3),
+    ("mi", 0x4),
+    ("pl", 0x5),
+    ("vs", 0x6),
+    ("vc", 0x7),
+    ("hi", 0x8),
+    ("ls", 0x9),
+    ("ge", 0xa),
+    ("lt", 0xb),
+    ("gt", 0xc),
+    ("le", 0xd),
+    ("al", 0xe),
+];
+
+/// Base mnemonics, longest-first so suffix parsing is unambiguous.
+const BASES: &[&str] = &[
+    "ldrsb", "ldrsh", "ldrh", "ldrb", "strh", "strb", "ldr", "str", "mla", "mul", "clz", "swi",
+    "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq", "cmp", "cmn", "orr",
+    "mov", "bic", "mvn", "nop", "bx", "bl", "b",
+];
+
+/// Splits a mnemonic into `(base, cond, s_flag)`.
+fn split_mnemonic(mn: &str) -> Option<(&'static str, u32, bool)> {
+    for &base in BASES {
+        let Some(mut rest) = mn.strip_prefix(base) else { continue };
+        let mut cond = 0xe;
+        if rest.len() >= 2 {
+            if let Some(&(_, c)) = CONDS.iter().find(|(n, _)| rest.starts_with(n)) {
+                cond = c;
+                rest = &rest[2..];
+            }
+        }
+        let s = rest == "s";
+        if !rest.is_empty() && !s {
+            continue;
+        }
+        // `s` is only meaningful for data-processing and multiply.
+        if s && !matches!(
+            base,
+            "and" | "eor" | "sub" | "rsb" | "add" | "adc" | "sbc" | "rsc" | "orr" | "mov"
+                | "bic" | "mvn" | "mul" | "mla"
+        ) {
+            continue;
+        }
+        return Some((base, cond, s));
+    }
+    None
+}
+
+fn reg(op: &Operand, what: &str) -> Result<u32, String> {
+    op.reg()
+        .and_then(parse_reg)
+        .map(u32::from)
+        .ok_or_else(|| format!("expected register for {what}"))
+}
+
+/// Encodes a data-processing immediate: finds a rotation such that
+/// `imm8 ror (2*rot) == val`.
+fn encode_imm(val: u32) -> Option<u32> {
+    for rot in 0..16u32 {
+        let v = val.rotate_left(rot * 2);
+        if v <= 0xff {
+            return Some((rot << 8) | v);
+        }
+    }
+    None
+}
+
+const SHIFT_KINDS: &[(&str, u32)] = &[("lsl", 0), ("lsr", 1), ("asr", 2), ("ror", 3)];
+
+/// Encodes the register-form shifter tail: `rm [, shift]`.
+fn encode_reg_shift(rm: &Operand, shift: Option<&Operand>) -> Result<u32, String> {
+    let rm = reg(rm, "rm")?;
+    let Some(shift) = shift else { return Ok(rm) };
+    let Operand::Pair { key, arg } = shift else {
+        return Err("expected a shift specifier (`lsl #n`, ...)".into());
+    };
+    let kind = SHIFT_KINDS
+        .iter()
+        .find(|(n, _)| n == key)
+        .map(|(_, k)| *k)
+        .ok_or_else(|| format!("unknown shift `{key}`"))?;
+    match &**arg {
+        Operand::Imm(n) => {
+            // `lsr #32` and `asr #32` are architectural and encode as 0.
+            let n = if *n == 32 && (kind == 1 || kind == 2) { 0 } else { *n };
+            if !(0..=31).contains(&n) {
+                return Err(format!("shift amount {n} out of range"));
+            }
+            Ok(((n as u32) << 7) | (kind << 5) | rm)
+        }
+        Operand::Reg(rs) => {
+            let rs = parse_reg(rs).ok_or("bad shift register")? as u32;
+            Ok((rs << 8) | (kind << 5) | 0x10 | rm)
+        }
+        _ => Err("shift argument must be an immediate or register".into()),
+    }
+}
+
+/// Encodes the full shifter operand (operands after rd/rn).
+fn encode_shifter(ops: &[&Operand]) -> Result<u32, String> {
+    match ops {
+        [Operand::Imm(v)] => {
+            let enc = encode_imm(*v as u32)
+                .ok_or_else(|| format!("immediate {v:#x} not encodable as imm8 ror n"))?;
+            Ok(0x0200_0000 | enc)
+        }
+        [rm] => encode_reg_shift(rm, None),
+        [rm, sh] => encode_reg_shift(rm, Some(sh)),
+        _ => Err("too many shifter operands".into()),
+    }
+}
+
+/// Encodes the addressing mode of a word/byte transfer into `(P,U,W,I,offset bits, rn)`.
+fn encode_addr(
+    ops: &[Operand],
+    addr: u64,
+    halfword: bool,
+) -> Result<(u32, u32), String> {
+    let enc_off_imm = |off: i64| -> Result<(u32, u32), String> {
+        let (u, mag) = if off < 0 { (0u32, (-off) as u32) } else { (1, off as u32) };
+        if halfword {
+            if mag > 0xff {
+                return Err(format!("halfword offset {off} out of range"));
+            }
+            Ok((u << 23 | 0x0040_0000, ((mag & 0xf0) << 4) | (mag & 0xf)))
+        } else {
+            if mag > 0xfff {
+                return Err(format!("offset {off} out of range"));
+            }
+            Ok((u << 23, mag))
+        }
+    };
+    match ops {
+        // ldr rd, label  ->  pc-relative
+        [_, Operand::Imm(target)] => {
+            let off = *target - (addr as i64 + 8);
+            let (ubits, obits) = enc_off_imm(off)?;
+            Ok((0x0100_0000 | ubits | (15 << 16), obits))
+        }
+        [_, Operand::Mem { items, writeback }] => {
+            let w = if *writeback { 0x0020_0000 } else { 0 };
+            match items.as_slice() {
+                [Operand::Reg(rn)] => {
+                    let rn = parse_reg(rn).ok_or("bad base register")? as u32;
+                    let (ubits, obits) = enc_off_imm(0)?;
+                    Ok((0x0100_0000 | ubits | w | (rn << 16), obits))
+                }
+                [Operand::Reg(rn), Operand::Imm(off)] => {
+                    let rn = parse_reg(rn).ok_or("bad base register")? as u32;
+                    let (ubits, obits) = enc_off_imm(*off)?;
+                    Ok((0x0100_0000 | ubits | w | (rn << 16), obits))
+                }
+                [Operand::Reg(rn), rest @ ..] => {
+                    let rn = parse_reg(rn).ok_or("bad base register")? as u32;
+                    if halfword {
+                        let rm = reg(&rest[0], "rm")?;
+                        if rest.len() > 1 {
+                            return Err("halfword transfers take no shift".into());
+                        }
+                        Ok((0x0180_0000 | w | (rn << 16), rm))
+                    } else {
+                        let refs: Vec<&Operand> = rest.iter().collect();
+                        let sh = encode_reg_shift(refs[0], refs.get(1).copied())?;
+                        Ok((0x0380_0000 | w | (rn << 16), sh))
+                    }
+                }
+                _ => Err("bad addressing mode".into()),
+            }
+        }
+        // post-indexed: ldr rd, [rn], #off  or  [rn], rm
+        [_, Operand::Mem { items, writeback: false }, post] if items.len() == 1 => {
+            let Operand::Reg(rn) = &items[0] else { return Err("bad base register".into()) };
+            let rn = parse_reg(rn).ok_or("bad base register")? as u32;
+            match post {
+                Operand::Imm(off) => {
+                    let (ubits, obits) = enc_off_imm(*off)?;
+                    Ok((ubits | (rn << 16), obits))
+                }
+                Operand::Reg(_) => {
+                    let rm = reg(post, "rm")?;
+                    if halfword {
+                        Ok((0x0080_0000 | (rn << 16), rm))
+                    } else {
+                        Ok((0x0280_0000 | (rn << 16), rm))
+                    }
+                }
+                _ => Err("bad post-index operand".into()),
+            }
+        }
+        _ => Err("bad addressing mode".into()),
+    }
+}
+
+impl IsaAssembler for ArmAsm {
+    fn name(&self) -> &'static str {
+        "arm"
+    }
+
+    fn endian(&self) -> Endian {
+        Endian::Little
+    }
+
+    fn is_reg(&self, name: &str) -> bool {
+        parse_reg(name).is_some()
+    }
+
+    fn encode(&self, mn: &str, ops: &[Operand], ctx: &EncodeCtx<'_>) -> Result<u32, String> {
+        let (base, cond, s) = split_mnemonic(mn).ok_or_else(|| format!("unknown mnemonic `{mn}`"))?;
+        let cond_bits = cond << 28;
+        let s_bit = if s { 0x0010_0000 } else { 0 };
+
+        match base {
+            "nop" => return Ok(cond_bits | dp_bits(0xd)), // mov r0, r0
+            "swi" => {
+                let imm = ops.first().and_then(|o| o.imm()).unwrap_or(0) as u32;
+                return Ok(cond_bits | 0x0f00_0000 | (imm & 0x00ff_ffff));
+            }
+            "bx" => {
+                let rm = reg(ops.first().ok_or("bx needs a register")?, "rm")?;
+                return Ok(cond_bits | 0x012f_ff10 | rm);
+            }
+            "b" | "bl" => {
+                let target = ops
+                    .first()
+                    .and_then(|o| o.imm())
+                    .ok_or("branch needs a target address")?;
+                let off = target - (ctx.addr as i64 + 8);
+                if off % 4 != 0 {
+                    return Err("branch target not word-aligned".into());
+                }
+                let words = off / 4;
+                if !(-(1 << 23)..(1 << 23)).contains(&words) {
+                    return Err(format!("branch offset {off} out of range"));
+                }
+                let l = if base == "bl" { 0x0100_0000 } else { 0 };
+                return Ok(cond_bits | 0x0a00_0000 | l | (words as u32 & 0x00ff_ffff));
+            }
+            "mul" => {
+                let [rd, rm, rs] = ops else { return Err("mul needs `rd, rm, rs`".into()) };
+                return Ok(cond_bits
+                    | s_bit
+                    | 0x0000_0090
+                    | (reg(rd, "rd")? << 16)
+                    | (reg(rs, "rs")? << 8)
+                    | reg(rm, "rm")?);
+            }
+            "mla" => {
+                let [rd, rm, rs, rn] = ops else {
+                    return Err("mla needs `rd, rm, rs, rn`".into());
+                };
+                return Ok(cond_bits
+                    | s_bit
+                    | 0x0020_0090
+                    | (reg(rd, "rd")? << 16)
+                    | (reg(rn, "rn")? << 12)
+                    | (reg(rs, "rs")? << 8)
+                    | reg(rm, "rm")?);
+            }
+            "clz" => {
+                let [rd, rm] = ops else { return Err("clz needs `rd, rm`".into()) };
+                return Ok(cond_bits | 0x016f_0f10 | (reg(rd, "rd")? << 12) | reg(rm, "rm")?);
+            }
+            "ldr" | "str" | "ldrb" | "strb" | "ldrh" | "strh" | "ldrsb" | "ldrsh" => {
+                if ops.len() < 2 {
+                    return Err(format!("{base} needs `rd, <address>`"));
+                }
+                let rd = reg(&ops[0], "rd")?;
+                let halfword = matches!(base, "ldrh" | "strh" | "ldrsb" | "ldrsh");
+                let (mode, off) = encode_addr(ops, ctx.addr, halfword)?;
+                let l = if base.starts_with("ldr") { 0x0010_0000 } else { 0 };
+                let class = if halfword {
+                    
+                    match base {
+                        "strh" | "ldrh" => 0xb0,
+                        "ldrsb" => 0xd0,
+                        _ => 0xf0,
+                    }
+                } else {
+                    let b = if base.ends_with('b') { 0x0040_0000 } else { 0 };
+                    0x0400_0000 | b
+                };
+                return Ok(cond_bits | class | l | mode | (rd << 12) | off);
+            }
+            _ => {}
+        }
+
+        // Data processing.
+        let opcode = match base {
+            "and" => 0x0,
+            "eor" => 0x1,
+            "sub" => 0x2,
+            "rsb" => 0x3,
+            "add" => 0x4,
+            "adc" => 0x5,
+            "sbc" => 0x6,
+            "rsc" => 0x7,
+            "tst" => 0x8,
+            "teq" => 0x9,
+            "cmp" => 0xa,
+            "cmn" => 0xb,
+            "orr" => 0xc,
+            "mov" => 0xd,
+            "bic" => 0xe,
+            "mvn" => 0xf,
+            _ => return Err(format!("unhandled mnemonic `{base}`")),
+        };
+        let (fixed, shifter_ops): (u32, &[Operand]) = match opcode {
+            0xd | 0xf => {
+                // mov/mvn rd, <shifter>
+                if ops.is_empty() {
+                    return Err(format!("{base} needs operands"));
+                }
+                (reg(&ops[0], "rd")? << 12, &ops[1..])
+            }
+            0x8..=0xb => {
+                // tst/cmp rn, <shifter> — S is implicit.
+                if ops.is_empty() {
+                    return Err(format!("{base} needs operands"));
+                }
+                (reg(&ops[0], "rn")? << 16 | 0x0010_0000, &ops[1..])
+            }
+            _ => {
+                if ops.len() < 2 {
+                    return Err(format!("{base} needs `rd, rn, <shifter>`"));
+                }
+                ((reg(&ops[0], "rd")? << 12) | (reg(&ops[1], "rn")? << 16), &ops[2..])
+            }
+        };
+        if matches!(opcode, 0xd | 0xf) && ops[0].reg() == Some("pc") {
+            return Err("writing pc with data processing is not supported in this subset".into());
+        }
+        let refs: Vec<&Operand> = shifter_ops.iter().collect();
+        let shifter = encode_shifter(&refs)?;
+        Ok(cond_bits | dp_bits(opcode) | s_bit | fixed | shifter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_asm::assemble;
+
+    fn enc(line: &str) -> u32 {
+        let img = assemble(&ArmAsm, line).unwrap();
+        u32::from_le_bytes(img.sections[0].bytes[0..4].try_into().unwrap())
+    }
+
+    #[test]
+    fn mnemonic_splitting() {
+        assert_eq!(split_mnemonic("add"), Some(("add", 0xe, false)));
+        assert_eq!(split_mnemonic("addeq"), Some(("add", 0x0, false)));
+        assert_eq!(split_mnemonic("addeqs"), Some(("add", 0x0, true)));
+        assert_eq!(split_mnemonic("adds"), Some(("add", 0xe, true)));
+        assert_eq!(split_mnemonic("bls"), Some(("b", 0x9, false)));
+        assert_eq!(split_mnemonic("bl"), Some(("bl", 0xe, false)));
+        assert_eq!(split_mnemonic("ldrneb"), None); // type suffix precedes cond
+        assert_eq!(split_mnemonic("ldrbne"), Some(("ldrb", 0x1, false)));
+        assert_eq!(split_mnemonic("zzz"), None);
+    }
+
+    #[test]
+    fn dp_encodings() {
+        let w = enc("add r0, r1, r2");
+        assert_eq!(w, 0xe081_0002);
+        let w = enc("addeqs r0, r1, #1");
+        assert_eq!(w, 0x0291_0001);
+        let w = enc("mov r3, r4, lsl #2");
+        assert_eq!(w, 0xe1a0_3104);
+        let w = enc("mov r3, r4, lsl r5");
+        assert_eq!(w, 0xe1a0_3514);
+        let w = enc("cmp r1, #255");
+        assert_eq!(w, 0xe351_00ff);
+    }
+
+    #[test]
+    fn imm_rotation() {
+        assert_eq!(encode_imm(0xff), Some(0xff));
+        // 0x101 spans nine bits and no even rotation fits it into eight.
+        assert_eq!(encode_imm(0x101), None);
+        // Every encodable value round-trips through the hardware decoding.
+        for val in [0x0002_0000u32, 0x104, 0xff00_0000, 0x3fc] {
+            let e = encode_imm(val).unwrap();
+            let rot = (e >> 8) * 2;
+            assert_eq!((e & 0xff).rotate_right(rot), val);
+        }
+        assert!(assemble(&ArmAsm, "mov r0, #0x101").is_err());
+    }
+
+    #[test]
+    fn mem_encodings() {
+        assert_eq!(enc("ldr r0, [r1]"), 0xe591_0000);
+        assert_eq!(enc("ldr r0, [r1, #4]"), 0xe591_0004);
+        assert_eq!(enc("ldr r0, [r1, #-4]!"), 0xe531_0004);
+        assert_eq!(enc("str r0, [r1], #8"), 0xe481_0008);
+        assert_eq!(enc("ldr r0, [r1, r2]"), 0xe791_0002);
+        assert_eq!(enc("ldr r0, [r1, r2, lsl #2]"), 0xe791_0102);
+        assert_eq!(enc("ldrb r0, [r1]"), 0xe5d1_0000);
+        // pc-relative literal: the word right after the load sits at
+        // pc + 8 - 4, so the offset is -4.
+        let w = enc("ldr r0, x\nx: .word 123");
+        assert_eq!((w >> 16) & 0xf, 15);
+        assert_eq!(w & 0x0080_0000, 0, "offset is negative");
+        assert_eq!(w & 0xfff, 4);
+    }
+
+    #[test]
+    fn halfword_encodings() {
+        assert_eq!(enc("ldrh r0, [r1, #6]"), 0xe1d1_00b6);
+        assert_eq!(enc("strh r0, [r1]"), 0xe1c1_00b0);
+        assert_eq!(enc("ldrsb r0, [r1, #1]"), 0xe1d1_00d1);
+        assert_eq!(enc("ldrsh r0, [r1, r2]"), 0xe191_00f2);
+    }
+
+    #[test]
+    fn branches_and_misc() {
+        // b to self: offset -8 -> words -2.
+        assert_eq!(enc("x: b x"), 0xeaff_fffe);
+        assert_eq!(enc("x: blne x"), 0x1bff_fffe);
+        assert_eq!(enc("bx lr"), 0xe12f_ff1e);
+        assert_eq!(enc("swi 7"), 0xef00_0007);
+        assert_eq!(enc("mul r1, r2, r3"), 0xe001_0392);
+        assert_eq!(enc("mla r1, r2, r3, r4"), 0xe021_4392);
+        assert_eq!(enc("clz r1, r2"), 0xe16f_1f12);
+    }
+
+    #[test]
+    fn pc_write_rejected() {
+        assert!(assemble(&ArmAsm, "mov pc, lr").is_err());
+    }
+}

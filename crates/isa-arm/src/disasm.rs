@@ -1,0 +1,132 @@
+//! The ARM disassembler — derived from the same instruction table.
+
+use crate::regs::reg_name;
+use crate::semantics::INSTS;
+
+const COND_NAMES: &[&str] =
+    &["eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le", "", "nv"];
+
+fn cond(word: u32) -> &'static str {
+    COND_NAMES[(word >> 28) as usize]
+}
+
+fn shifter(word: u32) -> String {
+    if word & 0x0200_0000 != 0 {
+        let rot = ((word >> 8) & 0xf) * 2;
+        format!("#{}", (word & 0xff).rotate_right(rot))
+    } else {
+        let rm = reg_name((word & 0xf) as u16);
+        let kind = ["lsl", "lsr", "asr", "ror"][((word >> 5) & 3) as usize];
+        if word & 0x10 != 0 {
+            format!("{rm}, {kind} {}", reg_name(((word >> 8) & 0xf) as u16))
+        } else {
+            let amount = (word >> 7) & 0x1f;
+            if amount == 0 && kind == "lsl" {
+                rm
+            } else {
+                format!("{rm}, {kind} #{amount}")
+            }
+        }
+    }
+}
+
+/// Renders one instruction word as assembly.
+pub fn disasm(word: u32, pc: u64) -> String {
+    let Some(def) = INSTS.iter().find(|d| d.matches(word)) else {
+        return format!(".word {word:#010x}");
+    };
+    let c = cond(word);
+    let rd = reg_name(((word >> 12) & 0xf) as u16);
+    let rn = reg_name(((word >> 16) & 0xf) as u16);
+    let rm = reg_name((word & 0xf) as u16);
+    match def.name {
+        "swi" => format!("swi{c} {}", word & 0x00ff_ffff),
+        "bx" => format!("bx{c} {rm}"),
+        "clz" => format!("clz{c} {rd}, {rm}"),
+        "mul" => {
+            let s = if word & 0x0010_0000 != 0 { "s" } else { "" };
+            format!("mul{c}{s} {rn}, {rm}, {}", reg_name(((word >> 8) & 0xf) as u16))
+        }
+        "mla" => {
+            let s = if word & 0x0010_0000 != 0 { "s" } else { "" };
+            format!(
+                "mla{c}{s} {rn}, {rm}, {}, {rd}",
+                reg_name(((word >> 8) & 0xf) as u16)
+            )
+        }
+        "b" | "bl" => {
+            let off = ((word & 0x00ff_ffff) << 8) as i32 >> 6;
+            let target = pc.wrapping_add(8).wrapping_add(off as i64 as u64) & 0xffff_ffff;
+            format!("{}{c} {target:#x}", def.name)
+        }
+        "ldr" | "str" | "ldrb" | "strb" => {
+            let u = if word & 0x0080_0000 != 0 || word & 0xfff == 0 { "" } else { "-" };
+            let wb = if word & 0x0020_0000 != 0 { "!" } else { "" };
+            let p = word & 0x0100_0000 != 0;
+            let off = if word & 0x0200_0000 != 0 {
+                format!("{u}{}", shifter(word & !0x0200_0000))
+            } else {
+                format!("#{u}{}", word & 0xfff)
+            };
+            if p {
+                format!("{}{c} {rd}, [{rn}, {off}]{wb}", def.name)
+            } else {
+                format!("{}{c} {rd}, [{rn}], {off}", def.name)
+            }
+        }
+        "ldrh" | "strh" | "ldrsb" | "ldrsh" => {
+            let imm8 = ((word >> 4) & 0xf0) | (word & 0xf);
+            let reg_form = word & 0x0040_0000 == 0;
+            let u = if word & 0x0080_0000 != 0 || (!reg_form && imm8 == 0) { "" } else { "-" };
+            let p = word & 0x0100_0000 != 0;
+            let off = if word & 0x0040_0000 != 0 {
+                format!("#{u}{}", ((word >> 4) & 0xf0) | (word & 0xf))
+            } else {
+                format!("{u}{rm}")
+            };
+            if p {
+                format!("{}{c} {rd}, [{rn}, {off}]", def.name)
+            } else {
+                format!("{}{c} {rd}, [{rn}], {off}", def.name)
+            }
+        }
+        // data processing
+        name => {
+            let s = if word & 0x0010_0000 != 0 { "s" } else { "" };
+            let sh = shifter(word);
+            match name {
+                "mov" | "mvn" => format!("{name}{c}{s} {rd}, {sh}"),
+                "tst" | "teq" | "cmp" | "cmn" => format!("{name}{c} {rn}, {sh}"),
+                _ => format!("{name}{c}{s} {rd}, {rn}, {sh}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ArmAsm;
+    use lis_asm::assemble;
+
+    fn round(line: &str) -> String {
+        let img = assemble(&ArmAsm, line).unwrap();
+        let w = u32::from_le_bytes(img.sections[0].bytes[0..4].try_into().unwrap());
+        disasm(w, 0x1000)
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(round("add r0, r1, r2"), "add r0, r1, r2");
+        assert_eq!(round("addeqs r0, r1, #1"), "addeqs r0, r1, #1");
+        assert_eq!(round("mov r3, r4, lsl #2"), "mov r3, r4, lsl #2");
+        assert_eq!(round("cmp r1, #255"), "cmp r1, #255");
+        assert_eq!(round("ldr r0, [r1, #4]"), "ldr r0, [r1, #4]");
+        assert_eq!(round("str r0, [r1], #8"), "str r0, [r1], #8");
+        assert_eq!(round("ldrh r0, [r1, #6]"), "ldrh r0, [r1, #6]");
+        assert_eq!(round("x: b x"), "b 0x1000");
+        assert_eq!(round("bx lr"), "bx lr");
+        assert_eq!(round("swi 3"), "swi 3");
+        assert_eq!(round("mul r1, r2, r3"), "mul r1, r2, r3");
+    }
+}

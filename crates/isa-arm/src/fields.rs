@@ -1,0 +1,22 @@
+//! ARM-specific fields.
+//!
+//! The paper explicitly calls out "the shifter output for a processor
+//! implementing the ARM instruction set" as the kind of intermediate value a
+//! timing simulator may want; these fields make it (and the condition
+//! machinery) part of the published informational detail.
+
+use lis_core::{FieldDesc, FieldId};
+
+/// The condition code extracted from bits 31:28 at decode.
+pub const F_ARM_CC: FieldId = FieldId(16);
+/// The shifter operand value computed at evaluate.
+pub const F_SHIFT_OUT: FieldId = FieldId(17);
+/// The shifter carry-out computed at evaluate.
+pub const F_SHIFT_CARRY: FieldId = FieldId(18);
+
+/// Descriptors for the ARM-specific fields.
+pub const ARM_FIELDS: &[FieldDesc] = &[
+    FieldDesc { id: F_ARM_CC, name: "arm_cc", doc: "decoded condition code" },
+    FieldDesc { id: F_SHIFT_OUT, name: "shift_out", doc: "shifter operand value" },
+    FieldDesc { id: F_SHIFT_CARRY, name: "shift_carry", doc: "shifter carry-out" },
+];

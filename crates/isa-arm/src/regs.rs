@@ -1,0 +1,119 @@
+//! ARM register classes and accessors.
+//!
+//! Two classes: 16 general-purpose registers (`r13`=sp, `r14`=lr, `r15`=pc)
+//! and the CPSR. Reading `r15` through the accessor yields `pc + 8`, the
+//! architectural value an ARM instruction observes (two instructions ahead
+//! because of the classic three-stage pipeline); writing `r15` through a
+//! data-processing instruction is not supported in this subset — use `bx`
+//! or `mov pc, lr` is rejected by the assembler.
+
+use lis_core::{ArchState, RegClass, RegClassDef};
+
+/// The general-purpose register class.
+pub const GPR: RegClass = RegClass(0);
+/// The CPSR (flags) register class.
+pub const CPSR: RegClass = RegClass(1);
+
+/// Bit positions of the condition flags within the CPSR.
+pub mod flags {
+    /// Negative.
+    pub const N: u64 = 1 << 31;
+    /// Zero.
+    pub const Z: u64 = 1 << 30;
+    /// Carry / not-borrow.
+    pub const C: u64 = 1 << 29;
+    /// Signed overflow.
+    pub const V: u64 = 1 << 28;
+}
+
+fn read_gpr(st: &ArchState, idx: u16) -> u64 {
+    if idx == 15 {
+        (st.pc.wrapping_add(8)) & 0xffff_ffff
+    } else {
+        st.gpr[idx as usize]
+    }
+}
+
+fn write_gpr(st: &mut ArchState, idx: u16, val: u64) {
+    if idx != 15 {
+        st.gpr[idx as usize] = val & 0xffff_ffff;
+    }
+}
+
+fn read_cpsr(st: &ArchState, _idx: u16) -> u64 {
+    st.spr[0]
+}
+
+fn write_cpsr(st: &mut ArchState, _idx: u16, val: u64) {
+    st.spr[0] = val & 0xf000_0000;
+}
+
+/// Register classes of the ARM description.
+pub const REG_CLASSES: &[RegClassDef] = &[
+    RegClassDef { name: "gpr", count: 16, read: read_gpr, write: write_gpr },
+    RegClassDef { name: "cpsr", count: 1, read: read_cpsr, write: write_cpsr },
+];
+
+/// Parses a register name (already lower-cased).
+pub fn parse_reg(name: &str) -> Option<u16> {
+    match name {
+        "sp" => return Some(13),
+        "lr" => return Some(14),
+        "pc" => return Some(15),
+        "fp" => return Some(11),
+        "ip" => return Some(12),
+        "sl" => return Some(10),
+        _ => {}
+    }
+    let n = name.strip_prefix('r')?;
+    let v = n.parse::<u16>().ok()?;
+    (v < 16).then_some(v)
+}
+
+/// Canonical display name.
+pub fn reg_name(idx: u16) -> String {
+    match idx {
+        13 => "sp".into(),
+        14 => "lr".into(),
+        15 => "pc".into(),
+        _ => format!("r{idx}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_mem::Endian;
+
+    #[test]
+    fn r15_reads_pc_plus_8() {
+        let mut st = ArchState::new(Endian::Little);
+        st.pc = 0x1000;
+        assert_eq!(read_gpr(&st, 15), 0x1008);
+        write_gpr(&mut st, 15, 0xdead);
+        assert_eq!(st.pc, 0x1000, "write to r15 is discarded in this subset");
+    }
+
+    #[test]
+    fn gprs_are_32_bit() {
+        let mut st = ArchState::new(Endian::Little);
+        write_gpr(&mut st, 1, 0x1_2345_6789);
+        assert_eq!(read_gpr(&st, 1), 0x2345_6789);
+    }
+
+    #[test]
+    fn cpsr_keeps_flags_only() {
+        let mut st = ArchState::new(Endian::Little);
+        write_cpsr(&mut st, 0, 0xffff_ffff);
+        assert_eq!(read_cpsr(&st, 0), 0xf000_0000);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(parse_reg("sp"), Some(13));
+        assert_eq!(parse_reg("r15"), Some(15));
+        assert_eq!(parse_reg("r16"), None);
+        assert_eq!(reg_name(14), "lr");
+        assert_eq!(reg_name(3), "r3");
+    }
+}

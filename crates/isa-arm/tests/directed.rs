@@ -1,0 +1,228 @@
+//! Directed per-instruction validation for the ARM description: every
+//! instruction (and the condition/flag/shifter machinery) with known inputs
+//! and hand-computed results.
+
+use lis_core::{DynInst, ONE_ALL};
+use lis_runtime::Simulator;
+
+const N: u64 = 1 << 31;
+const Z: u64 = 1 << 30;
+const C: u64 = 1 << 29;
+const V: u64 = 1 << 28;
+
+/// Assembles `body`, presets GPRs and the CPSR, executes the body (bounded
+/// by its static length), and returns the simulator.
+fn exec(body: &str, setup: &[(usize, u64)], cpsr: u64) -> Simulator {
+    let src = format!("_start:\n{body}\n");
+    let image = lis_isa_arm::assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let n = image.sections.iter().find(|s| s.name == ".text").unwrap().bytes.len() / 4;
+    let mut sim = Simulator::new(lis_isa_arm::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image).unwrap();
+    for &(r, v) in setup {
+        sim.state.gpr[r] = v;
+    }
+    sim.state.spr[0] = cpsr;
+    let mut di = DynInst::new();
+    let end = 0x1000 + 4 * n as u64;
+    // Dynamic bound is generous: bodies may loop (e.g. bdnz tests).
+    for _ in 0..1000 {
+        if sim.state.pc >= end {
+            break;
+        }
+        sim.next_inst(&mut di).unwrap();
+        assert!(di.fault.is_none(), "fault {:?} in `{body}`", di.fault);
+    }
+    sim
+}
+
+type Case = (&'static str, &'static [(usize, u64)], &'static [(usize, u64)]);
+
+fn table(cases: &[Case]) {
+    for (asm, setup, expect) in cases {
+        let sim = exec(asm, setup, 0);
+        for &(r, v) in *expect {
+            assert_eq!(sim.state.gpr[r], v, "`{asm}`: r{r}");
+        }
+    }
+}
+
+/// Runs one flag-setting instruction and returns the resulting NZCV nibble.
+fn flags_of(asm: &str, setup: &[(usize, u64)], cpsr_in: u64) -> u64 {
+    exec(asm, setup, cpsr_in).state.spr[0] >> 28
+}
+
+#[test]
+fn data_processing_results() {
+    table(&[
+        ("and r3, r1, r2", &[(1, 0xf0f0), (2, 0xff00)], &[(3, 0xf000)]),
+        ("eor r3, r1, r2", &[(1, 0xff00), (2, 0x0ff0)], &[(3, 0xf0f0)]),
+        ("sub r3, r1, r2", &[(1, 9), (2, 7)], &[(3, 2)]),
+        ("rsb r3, r1, r2", &[(1, 7), (2, 9)], &[(3, 2)]),
+        ("add r3, r1, r2", &[(1, 7), (2, 9)], &[(3, 16)]),
+        ("orr r3, r1, r2", &[(1, 0xf0), (2, 0x0f)], &[(3, 0xff)]),
+        ("mov r3, r1", &[(1, 123)], &[(3, 123)]),
+        ("bic r3, r1, r2", &[(1, 0xff), (2, 0x0f)], &[(3, 0xf0)]),
+        ("mvn r3, r1", &[(1, 0)], &[(3, 0xffff_ffff)]),
+        ("mul r3, r1, r2", &[(1, 6), (2, 7)], &[(3, 42)]),
+        ("mla r3, r1, r2, r4", &[(1, 6), (2, 7), (4, 8)], &[(3, 50)]),
+        ("clz r3, r1", &[(1, 0x10)], &[(3, 27)]),
+        ("clz r3, r1", &[(1, 0)], &[(3, 32)]),
+    ]);
+}
+
+#[test]
+fn carry_dependent_ops() {
+    // adc/sbc/rsc read C.
+    let sim = exec("adc r3, r1, r2", &[(1, 1), (2, 2)], C);
+    assert_eq!(sim.state.gpr[3], 4);
+    let sim = exec("adc r3, r1, r2", &[(1, 1), (2, 2)], 0);
+    assert_eq!(sim.state.gpr[3], 3);
+    let sim = exec("sbc r3, r1, r2", &[(1, 9), (2, 4)], C);
+    assert_eq!(sim.state.gpr[3], 5);
+    let sim = exec("sbc r3, r1, r2", &[(1, 9), (2, 4)], 0);
+    assert_eq!(sim.state.gpr[3], 4);
+    let sim = exec("rsc r3, r1, r2", &[(1, 4), (2, 9)], 0);
+    assert_eq!(sim.state.gpr[3], 4);
+}
+
+#[test]
+fn flag_setting() {
+    // Z and N.
+    assert_eq!(flags_of("subs r3, r1, r2", &[(1, 5), (2, 5)], 0), (Z | C) >> 28);
+    assert_eq!(flags_of("subs r3, r1, r2", &[(1, 4), (2, 5)], 0), N >> 28);
+    // Unsigned borrow: C clear when a < b.
+    assert_eq!(flags_of("cmp r1, r2", &[(1, 4), (2, 5)], 0) & 0x2, 0);
+    assert_eq!(flags_of("cmp r1, r2", &[(1, 5), (2, 4)], 0) & 0x2, 0x2);
+    // Signed overflow: max positive + 1.
+    assert_eq!(
+        flags_of("adds r3, r1, r2", &[(1, 0x7fff_ffff), (2, 1)], 0),
+        (N | V) >> 28
+    );
+    // Carry out of the top bit.
+    assert_eq!(
+        flags_of("adds r3, r1, r2", &[(1, 0xffff_ffff), (2, 1)], 0),
+        (Z | C) >> 28
+    );
+    // tst/teq/cmn set flags without writing a register.
+    let sim = exec("tst r1, r2", &[(1, 1), (2, 2)], 0);
+    assert_eq!(sim.state.spr[0] & Z, Z);
+    assert_eq!(flags_of("teq r1, r2", &[(1, 5), (2, 5)], 0) & 0x4, 0x4);
+    assert_eq!(flags_of("cmn r1, r2", &[(1, 1), (2, 0xffff_ffff)], 0) & 0x6, 0x6);
+    // Logical S-ops take C from the shifter.
+    assert_eq!(flags_of("movs r3, r1, lsr #1", &[(1, 3)], 0) & 0x2, 0x2);
+    assert_eq!(flags_of("movs r3, r1, lsr #1", &[(1, 2)], 0) & 0x2, 0);
+    // muls sets N/Z and preserves C and V.
+    assert_eq!(flags_of("muls r3, r1, r2", &[(1, 0), (2, 5)], C | V), (Z | C | V) >> 28);
+}
+
+#[test]
+fn shifter_forms() {
+    table(&[
+        ("mov r3, r1, lsl #4", &[(1, 0xf)], &[(3, 0xf0)]),
+        ("mov r3, r1, lsr #4", &[(1, 0xf0)], &[(3, 0xf)]),
+        ("mov r3, r1, asr #4", &[(1, 0x8000_0000)], &[(3, 0xf800_0000)]),
+        ("mov r3, r1, ror #8", &[(1, 0xaa)], &[(3, 0xaa00_0000)]),
+        ("mov r3, r1, lsr #32", &[(1, 0x8000_0000)], &[(3, 0)]),
+        ("mov r3, r1, asr #32", &[(1, 0x8000_0000)], &[(3, 0xffff_ffff)]),
+        ("add r3, r2, r1, lsl r4", &[(1, 1), (2, 1), (4, 8)], &[(3, 0x101)]),
+        ("mov r3, r1, lsr r4", &[(1, 0x100), (4, 8)], &[(3, 1)]),
+        ("mov r3, r1, asr r4", &[(1, 0x8000_0000), (4, 40)], &[(3, 0xffff_ffff)]),
+        ("mov r3, r1, ror r4", &[(1, 0xf), (4, 4)], &[(3, 0xf000_0000)]),
+    ]);
+    // RRX: ror #0 rotates through carry.
+    let sim = exec("mov r3, r1, ror #0", &[(1, 2)], C);
+    assert_eq!(sim.state.gpr[3], 0x8000_0001);
+}
+
+#[test]
+fn conditional_execution_matrix() {
+    // (cond, cpsr, executes?)
+    let cases: &[(&str, u64, bool)] = &[
+        ("eq", Z, true),
+        ("eq", 0, false),
+        ("ne", 0, true),
+        ("cs", C, true),
+        ("cc", C, false),
+        ("mi", N, true),
+        ("pl", N, false),
+        ("vs", V, true),
+        ("vc", V, false),
+        ("hi", C, true),
+        ("hi", C | Z, false),
+        ("ls", Z, true),
+        ("ge", N | V, true),
+        ("ge", N, false),
+        ("lt", N, true),
+        ("gt", 0, true),
+        ("gt", Z, false),
+        ("le", Z, true),
+        ("al", 0, true),
+    ];
+    for &(cond, cpsr, executes) in cases {
+        let sim = exec(&format!("mov{cond} r3, #1"), &[], cpsr);
+        assert_eq!(sim.state.gpr[3], u64::from(executes), "mov{cond} under {cpsr:#010x}");
+    }
+}
+
+#[test]
+fn loads_and_stores_directed() {
+    table(&[
+        ("str r1, [r2]\nldr r3, [r2]", &[(1, 0xdead_beef), (2, 0x2000)], &[(3, 0xdead_beef)]),
+        ("strb r1, [r2]\nldrb r3, [r2]", &[(1, 0x1ff), (2, 0x2000)], &[(3, 0xff)]),
+        ("strh r1, [r2]\nldrh r3, [r2]", &[(1, 0x1_ffff), (2, 0x2000)], &[(3, 0xffff)]),
+        ("strb r1, [r2]\nldrsb r3, [r2]", &[(1, 0x80), (2, 0x2000)], &[(3, 0xffff_ff80)]),
+        ("strh r1, [r2]\nldrsh r3, [r2]", &[(1, 0x8000), (2, 0x2000)], &[(3, 0xffff_8000)]),
+        // pre-index with writeback
+        ("str r1, [r2, #8]!", &[(1, 5), (2, 0x2000)], &[(2, 0x2008)]),
+        // post-index
+        ("ldr r3, [r2], #4", &[(2, 0x2000)], &[(2, 0x2004)]),
+        // negative offset
+        ("str r1, [r2, #-4]\nldr r3, [r2, #-4]", &[(1, 9), (2, 0x2010)], &[(3, 9)]),
+        // register offset with shift
+        (
+            "str r1, [r2, r4, lsl #2]\nldr r3, [r2, r4, lsl #2]",
+            &[(1, 77), (2, 0x2000), (4, 3)],
+            &[(3, 77)],
+        ),
+        // halfword register offset
+        ("strh r1, [r2, r4]\nldrh r3, [r2, r4]", &[(1, 31), (2, 0x2000), (4, 6)], &[(3, 31)]),
+    ]);
+}
+
+#[test]
+fn branch_instructions() {
+    // b skips; bl links.
+    let sim = exec("b skip\nmov r9, #1\nskip: mov r10, #1", &[], 0);
+    assert_eq!(sim.state.gpr[9], 0);
+    assert_eq!(sim.state.gpr[10], 1);
+    let sim = exec("bl skip\nskip: mov r10, #1", &[], 0);
+    assert_eq!(sim.state.gpr[14], 0x1004, "bl links pc+4");
+    // Conditional branch falls through when the condition fails.
+    let sim = exec("beq skip\nmov r9, #1\nskip: mov r10, #1", &[], 0);
+    assert_eq!(sim.state.gpr[9], 1);
+    // bx returns through a register.
+    let sim = exec("bx r1\n.org 0x1010\nmov r10, #1", &[(1, 0x1010)], 0);
+    assert_eq!(sim.state.gpr[10], 1);
+}
+
+#[test]
+fn swi_and_r15() {
+    // swi dispatches the LIS OS ABI.
+    let sim = exec("mov r7, #3\nmov r0, #65\nswi 0", &[], 0);
+    assert_eq!(sim.os.stdout, b"A");
+    // Reading pc through a data op sees pc + 8.
+    let sim = exec("mov r3, pc", &[], 0);
+    assert_eq!(sim.state.gpr[3], 0x1008);
+}
+
+#[test]
+fn every_instruction_is_covered_by_directed_tests() {
+    let me = include_str!("directed.rs");
+    let missing: Vec<&str> = lis_isa_arm::spec()
+        .insts
+        .iter()
+        .map(|d| d.name)
+        .filter(|n| !me.contains(*n))
+        .collect();
+    assert!(missing.is_empty(), "instructions without directed tests: {missing:?}");
+}

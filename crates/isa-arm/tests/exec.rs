@@ -1,0 +1,249 @@
+//! End-to-end ARM execution tests through the synthesized simulators.
+
+use lis_core::{ONE_ALL, STANDARD_BUILDSETS};
+use lis_runtime::Simulator;
+
+fn run(src: &str) -> Simulator {
+    let image = lis_isa_arm::assemble(src).expect("assembles");
+    let mut sim = Simulator::new(lis_isa_arm::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image).unwrap();
+    sim.run_to_halt(1_000_000).unwrap();
+    sim
+}
+
+const EXIT0: &str = "
+    mov r7, #1
+    mov r0, #0
+    swi 0
+";
+
+#[test]
+fn dp_and_shifter() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #100
+        add r2, r1, #20        ; 120
+        sub r3, r2, r1         ; 20
+        rsb r4, r1, #250       ; 150
+        mov r5, r1, lsl #3     ; 800
+        mov r6, r5, lsr #2     ; 200
+        orr r8, r1, #3         ; 103
+        and r9, r8, #0xf       ; 7
+        bic r10, r8, #0xf      ; 96
+        mvn r11, #0            ; 0xffffffff
+        eor r12, r11, r11      ; 0
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 120);
+    assert_eq!(sim.state.gpr[3], 20);
+    assert_eq!(sim.state.gpr[4], 150);
+    assert_eq!(sim.state.gpr[5], 800);
+    assert_eq!(sim.state.gpr[6], 200);
+    assert_eq!(sim.state.gpr[8], 103);
+    assert_eq!(sim.state.gpr[9], 7);
+    assert_eq!(sim.state.gpr[10], 96);
+    assert_eq!(sim.state.gpr[11], 0xffff_ffff);
+    assert_eq!(sim.state.gpr[12], 0);
+}
+
+#[test]
+fn flags_and_conditional_execution() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #5
+        cmp r1, #5
+        moveq r2, #1          ; taken
+        movne r3, #1          ; skipped
+        cmp r1, #9
+        movlt r4, #2          ; taken (5 < 9)
+        movge r5, #2          ; skipped
+        subs r6, r1, r1       ; sets Z
+        moveq r8, #3
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[2], 1);
+    assert_eq!(sim.state.gpr[3], 0);
+    assert_eq!(sim.state.gpr[4], 2);
+    assert_eq!(sim.state.gpr[5], 0);
+    assert_eq!(sim.state.gpr[6], 0);
+    assert_eq!(sim.state.gpr[8], 3);
+}
+
+#[test]
+fn carry_chain_64_bit_add() {
+    // 0xffffffff + 1 = 0 carry 1; adc propagates into the high word.
+    let sim = run(&format!(
+        "
+_start: mvn r1, #0           ; low a
+        mov r2, #1           ; low b
+        mov r3, #2           ; high a
+        mov r4, #3           ; high b
+        adds r5, r1, r2      ; low sum = 0, C=1
+        adc r6, r3, r4       ; high sum = 6
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 0);
+    assert_eq!(sim.state.gpr[6], 6);
+}
+
+#[test]
+fn memory_addressing_modes() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #0x2000
+        mov r2, #42
+        str r2, [r1]           ; [0x2000] = 42
+        str r2, [r1, #4]
+        ldr r3, [r1]
+        mov r4, #0x2000
+        ldr r5, [r4], #8       ; post: r5 = 42, r4 = 0x2008
+        str r2, [r4, #-4]!     ; pre wb: r4 = 0x2004
+        ldr r6, [r1, #4]
+        mov r7, #4
+        ldr r8, [r1, r7]       ; reg offset
+        mov r9, #1
+        ldr r10, [r1, r9, lsl #2]
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[3], 42);
+    assert_eq!(sim.state.gpr[5], 42);
+    assert_eq!(sim.state.gpr[4], 0x2004);
+    assert_eq!(sim.state.gpr[6], 42);
+    assert_eq!(sim.state.gpr[8], 42);
+    assert_eq!(sim.state.gpr[10], 42);
+}
+
+#[test]
+fn byte_halfword_and_signed() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #0x2000
+        mvn r2, #0            ; 0xffffffff
+        strb r2, [r1]
+        strh r2, [r1, #2]
+        ldrb r3, [r1]         ; 0xff
+        ldrh r4, [r1, #2]     ; 0xffff
+        ldrsb r5, [r1]        ; -1
+        ldrsh r6, [r1, #2]    ; -1
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[3], 0xff);
+    assert_eq!(sim.state.gpr[4], 0xffff);
+    assert_eq!(sim.state.gpr[5], 0xffff_ffff);
+    assert_eq!(sim.state.gpr[6], 0xffff_ffff);
+}
+
+#[test]
+fn loop_multiply_and_clz() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #0            ; acc
+        mov r2, #10           ; i
+loop:   mla r1, r2, r2, r1    ; acc += i*i
+        subs r2, r2, #1
+        bne loop
+        mov r3, #1
+        mov r3, r3, lsl #20
+        clz r4, r3            ; 11
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[1], 385); // sum of squares 1..10
+    assert_eq!(sim.state.gpr[4], 11);
+}
+
+#[test]
+fn calls_with_bl_and_bx() {
+    let sim = run(&format!(
+        "
+_start: mov r0, #21
+        bl double
+        mov r9, r0
+        {EXIT0}
+double: add r0, r0, r0
+        bx lr
+"
+    ));
+    assert_eq!(sim.state.gpr[9], 42);
+}
+
+#[test]
+fn pc_relative_literal_load() {
+    let sim = run(&format!(
+        "
+_start: ldr r1, big
+        ldr r2, big+4
+        b over
+big:    .word 0x12345678
+        .word 0x9abcdef0
+over:   {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[1], 0x1234_5678);
+    assert_eq!(sim.state.gpr[2], 0x9abc_def0);
+}
+
+#[test]
+fn syscall_output_and_conditional_swi() {
+    let sim = run(
+        "
+_start: mov r7, #4            ; PUTUDEC
+        mov r0, #77
+        swi 0
+        cmp r0, #0
+        movne r7, #3           ; PUTC
+        movne r0, #'!'
+        swine 0
+        mov r7, #1
+        mov r0, #9
+        swi 0
+",
+    );
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "77\n!");
+    assert_eq!(sim.state.exit_code, 9);
+}
+
+#[test]
+fn shift_by_register_and_rrx() {
+    let sim = run(&format!(
+        "
+_start: mov r1, #1
+        mov r2, #8
+        mov r3, r1, lsl r2     ; 256
+        movs r4, r1, lsr #1    ; 0, C=1 (bit0 out)
+        mov r5, #0
+        mov r6, r5, ror #0     ; RRX: C goes into bit 31
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[3], 256);
+    assert_eq!(sim.state.gpr[4], 0);
+    assert_eq!(sim.state.gpr[6], 0x8000_0000);
+}
+
+#[test]
+fn all_interfaces_agree_on_arm() {
+    let src = format!(
+        "
+_start: mov r1, #0
+        mov r2, #30
+loop:   add r1, r1, r2
+        subs r2, r2, #1
+        bne loop
+        mov r7, #4
+        mov r0, r1
+        swi 0
+        {EXIT0}"
+    );
+    let image = lis_isa_arm::assemble(&src).unwrap();
+    let mut outputs = Vec::new();
+    for bs in STANDARD_BUILDSETS {
+        let mut sim = Simulator::new(lis_isa_arm::spec(), bs).unwrap();
+        sim.load_program(&image).unwrap();
+        sim.run_to_halt(1_000_000).unwrap();
+        outputs.push((bs.name, String::from_utf8_lossy(sim.stdout()).into_owned(), sim.state.gpr, sim.state.spr));
+    }
+    for (name, out, gpr, spr) in &outputs[1..] {
+        assert_eq!(out, &outputs[0].1, "{name}");
+        assert_eq!(gpr, &outputs[0].2, "{name}");
+        assert_eq!(spr, &outputs[0].3, "{name}");
+    }
+    assert_eq!(outputs[0].1, "465\n");
+}

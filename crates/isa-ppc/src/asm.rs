@@ -1,0 +1,520 @@
+//! The PowerPC assembler — encodings derived from the instruction table.
+//!
+//! Standard syntax: `addi r3, r1, 8`, `lwz r4, 12(r1)`, `stwu r1, -16(r1)`,
+//! `bc 16, 0, loop`, `bdnz loop`, `beq cr1, out`, `rlwinm r5, r6, 3, 0, 28`.
+//! Record forms take the trailing dot (`add. r3, r4, r5`). The usual
+//! pseudo-instructions are provided: `li`, `lis`, `la`, `mr`, `not`, `nop`,
+//! `blr`, `bctr`, `bdnz`, `bdz`, `beq`/`bne`/`blt`/`ble`/`bgt`/`bge`,
+//! `mflr`/`mtlr`/`mfctr`/`mtctr`/`mfxer`/`mtxer`, `slwi`/`srwi`, `subi`,
+//! `cmpw`/`cmpwi` with an optional CR field.
+
+use crate::regs::{parse_crf, parse_reg};
+use crate::semantics::{d_bits, x_bits};
+use lis_asm::{EncodeCtx, IsaAssembler, Operand};
+use lis_mem::Endian;
+
+/// The PowerPC [`IsaAssembler`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PpcAsm;
+
+fn reg(op: &Operand, what: &str) -> Result<u32, String> {
+    op.reg()
+        .and_then(parse_reg)
+        .map(u32::from)
+        .ok_or_else(|| format!("expected register for {what}"))
+}
+
+fn imm(op: &Operand, what: &str) -> Result<i64, String> {
+    op.imm().ok_or_else(|| format!("expected immediate for {what}"))
+}
+
+fn simm16(v: i64) -> Result<u32, String> {
+    if !(-32768..=32767).contains(&v) {
+        return Err(format!("immediate {v} out of signed 16-bit range"));
+    }
+    Ok(v as u16 as u32)
+}
+
+fn uimm16(v: i64) -> Result<u32, String> {
+    if !(0..=0xffff).contains(&v) {
+        return Err(format!("immediate {v} out of unsigned 16-bit range"));
+    }
+    Ok(v as u32)
+}
+
+fn field5(v: i64, what: &str) -> Result<u32, String> {
+    if !(0..32).contains(&v) {
+        return Err(format!("{what} {v} out of range 0..32"));
+    }
+    Ok(v as u32)
+}
+
+fn d_form(op: u32, rt: u32, ra: u32, imm: u32) -> u32 {
+    d_bits(op) | rt << 21 | ra << 16 | imm
+}
+
+fn x_form(op: u32, xop: u32, rt: u32, ra: u32, rb: u32, rc: bool) -> u32 {
+    x_bits(op, xop) | rt << 21 | ra << 16 | rb << 11 | rc as u32
+}
+
+fn branch_off(target: i64, addr: u64, bits: u32) -> Result<u32, String> {
+    let off = target - addr as i64;
+    if off % 4 != 0 {
+        return Err("branch target not word-aligned".into());
+    }
+    let limit = 1i64 << (bits - 1);
+    if !(-limit..limit).contains(&off) {
+        return Err(format!("branch offset {off} out of range"));
+    }
+    Ok((off as u32) & (((1u32 << bits) - 1) & !3))
+}
+
+/// `beq`-family condition encodings: `(BO, BI-within-field)`.
+const COND_BRANCHES: &[(&str, u32, u32)] = &[
+    ("blt", 12, 0),
+    ("bgt", 12, 1),
+    ("beq", 12, 2),
+    ("bso", 12, 3),
+    ("bge", 4, 0),
+    ("ble", 4, 1),
+    ("bne", 4, 2),
+    ("bns", 4, 3),
+];
+
+impl IsaAssembler for PpcAsm {
+    fn name(&self) -> &'static str {
+        "ppc"
+    }
+
+    fn endian(&self) -> Endian {
+        Endian::Big
+    }
+
+    fn is_reg(&self, name: &str) -> bool {
+        parse_reg(name).is_some() || parse_crf(name).is_some()
+    }
+
+    fn encode(&self, mn: &str, ops: &[Operand], ctx: &EncodeCtx<'_>) -> Result<u32, String> {
+        let (base, rc) = match mn.strip_suffix('.') {
+            Some(b) => (b, true),
+            None => (mn, false),
+        };
+        let rc_ok = |allowed: bool| -> Result<bool, String> {
+            if rc && !allowed {
+                Err(format!("`{mn}`: record form not supported here"))
+            } else {
+                Ok(rc)
+            }
+        };
+
+        // Condition-branch pseudos: beq [crf,] target (and friends).
+        if let Some(&(_, bo, bi_sub)) = COND_BRANCHES.iter().find(|(n, _, _)| *n == base) {
+            let (crf, t) = match ops {
+                [t] => (0, t),
+                [crf, t] => {
+                    let f = crf
+                        .reg()
+                        .and_then(parse_crf)
+                        .ok_or("expected a CR field (cr0..cr7)")? as u32;
+                    (f, t)
+                }
+                _ => return Err(format!("{base} needs `[crf,] target`")),
+            };
+            let off = branch_off(imm(t, "target")?, ctx.addr, 16)?;
+            return Ok(d_bits(16) | bo << 21 | (crf * 4 + bi_sub) << 16 | off);
+        }
+
+        match base {
+            // Pseudos -------------------------------------------------
+            "nop" => return Ok(d_form(24, 0, 0, 0)),
+            "li" => {
+                let [rd, v] = ops else { return Err("li needs `rd, imm`".into()) };
+                return Ok(d_form(14, reg(rd, "rd")?, 0, simm16(imm(v, "imm")?)?));
+            }
+            "lis" => {
+                let [rd, v] = ops else { return Err("lis needs `rd, imm`".into()) };
+                let v = imm(v, "imm")?;
+                let enc = if (0..=0xffff).contains(&v) { v as u32 } else { simm16(v)? };
+                return Ok(d_form(15, reg(rd, "rd")?, 0, enc));
+            }
+            "la" => {
+                let [rd, addr] = ops else { return Err("la needs `rd, d(ra)`".into()) };
+                let Operand::BaseDisp { disp, base } = addr else {
+                    return Err("la needs `d(ra)`".into());
+                };
+                let ra = parse_reg(base).ok_or("bad base register")? as u32;
+                return Ok(d_form(14, reg(rd, "rd")?, ra, simm16(*disp)?));
+            }
+            "subi" => {
+                let [rd, ra, v] = ops else { return Err("subi needs `rd, ra, imm`".into()) };
+                return Ok(d_form(14, reg(rd, "rd")?, reg(ra, "ra")?, simm16(-imm(v, "imm")?)?));
+            }
+            "mr" => {
+                let [ra, rs] = ops else { return Err("mr needs `ra, rs`".into()) };
+                let (ra, rs) = (reg(ra, "ra")?, reg(rs, "rs")?);
+                return Ok(x_form(31, 444, rs, ra, rs, rc_ok(true)?));
+            }
+            "not" => {
+                let [ra, rs] = ops else { return Err("not needs `ra, rs`".into()) };
+                let (ra, rs) = (reg(ra, "ra")?, reg(rs, "rs")?);
+                return Ok(x_form(31, 124, rs, ra, rs, rc_ok(true)?));
+            }
+            "slwi" | "srwi" => {
+                let [ra, rs, n] = ops else { return Err(format!("{base} needs `ra, rs, n`")) };
+                let n = field5(imm(n, "shift")?, "shift")?;
+                let (sh, mb, me) = if base == "slwi" { (n, 0, 31 - n) } else { (32 - n, n, 31) };
+                let sh = sh % 32;
+                return Ok(d_bits(21)
+                    | reg(rs, "rs")? << 21
+                    | reg(ra, "ra")? << 16
+                    | sh << 11
+                    | mb << 6
+                    | me << 1
+                    | rc_ok(true)? as u32);
+            }
+            "blr" => return Ok(x_bits(19, 16) | 20 << 21),
+            "blrl" => return Ok(x_bits(19, 16) | 20 << 21 | 1),
+            "bctr" => return Ok(x_bits(19, 528) | 20 << 21),
+            "bctrl" => return Ok(x_bits(19, 528) | 20 << 21 | 1),
+            "bdnz" | "bdz" => {
+                let [t] = ops else { return Err(format!("{base} needs a target")) };
+                let bo = if base == "bdnz" { 16 } else { 18 };
+                let off = branch_off(imm(t, "target")?, ctx.addr, 16)?;
+                return Ok(d_bits(16) | bo << 21 | off);
+            }
+            "mflr" | "mfctr" | "mfxer" => {
+                let [rd] = ops else { return Err(format!("{base} needs `rd`")) };
+                let spr = match base {
+                    "mflr" => 8,
+                    "mfctr" => 9,
+                    _ => 1,
+                };
+                return Ok(x_form(31, 339, reg(rd, "rd")?, spr & 0x1f, spr >> 5, false));
+            }
+            "mtlr" | "mtctr" | "mtxer" => {
+                let [rs] = ops else { return Err(format!("{base} needs `rs`")) };
+                let spr = match base {
+                    "mtlr" => 8,
+                    "mtctr" => 9,
+                    _ => 1,
+                };
+                return Ok(x_form(31, 467, reg(rs, "rs")?, spr & 0x1f, spr >> 5, false));
+            }
+            "mfcr" => {
+                let [rd] = ops else { return Err("mfcr needs `rd`".into()) };
+                return Ok(x_form(31, 19, reg(rd, "rd")?, 0, 0, false));
+            }
+            "sc" => return Ok(d_bits(17) | 2),
+            // Real instructions ---------------------------------------
+            "b" | "bl" => {
+                let [t] = ops else { return Err(format!("{base} needs a target")) };
+                let off = branch_off(imm(t, "target")?, ctx.addr, 26)?;
+                return Ok(d_bits(18) | off | (base == "bl") as u32);
+            }
+            "bc" | "bcl" => {
+                let [bo, bi, t] = ops else { return Err("bc needs `bo, bi, target`".into()) };
+                let off = branch_off(imm(t, "target")?, ctx.addr, 16)?;
+                return Ok(d_bits(16)
+                    | field5(imm(bo, "bo")?, "bo")? << 21
+                    | field5(imm(bi, "bi")?, "bi")? << 16
+                    | off
+                    | (base == "bcl") as u32);
+            }
+            "bclr" => {
+                let [bo, bi] = ops else { return Err("bclr needs `bo, bi`".into()) };
+                return Ok(x_bits(19, 16)
+                    | field5(imm(bo, "bo")?, "bo")? << 21
+                    | field5(imm(bi, "bi")?, "bi")? << 16);
+            }
+            "addi" | "addis" | "addic" | "subfic" | "mulli" => {
+                let [rd, ra, v] = ops else { return Err(format!("{base} needs `rd, ra, imm`")) };
+                let op = match base {
+                    "addi" => 14,
+                    "addis" => 15,
+                    "addic" => 12,
+                    "subfic" => 8,
+                    _ => 7,
+                };
+                let v = imm(v, "imm")?;
+                let enc = if base == "addis" && (0..=0xffff).contains(&v) {
+                    v as u32
+                } else {
+                    simm16(v)?
+                };
+                return Ok(d_form(op, reg(rd, "rd")?, reg(ra, "ra")?, enc));
+            }
+            "ori" | "oris" | "xori" | "xoris" | "andi" | "andis" => {
+                let [ra, rs, v] = ops else { return Err(format!("{base} needs `ra, rs, imm`")) };
+                let op = match base {
+                    "ori" => 24,
+                    "oris" => 25,
+                    "xori" => 26,
+                    "xoris" => 27,
+                    "andi" => 28,
+                    _ => 29,
+                };
+                return Ok(d_form(op, reg(rs, "rs")?, reg(ra, "ra")?, uimm16(imm(v, "imm")?)?));
+            }
+            "cmpwi" | "cmplwi" => {
+                let (crf, ra, v) = match ops {
+                    [ra, v] => (0, ra, v),
+                    [crf, ra, v] => (
+                        crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32,
+                        ra,
+                        v,
+                    ),
+                    _ => return Err(format!("{base} needs `[crf,] ra, imm`")),
+                };
+                let op = if base == "cmpwi" { 11 } else { 10 };
+                let enc =
+                    if base == "cmpwi" { simm16(imm(v, "imm")?)? } else { uimm16(imm(v, "imm")?)? };
+                return Ok(d_form(op, crf << 2, reg(ra, "ra")?, enc));
+            }
+            "cmpw" | "cmplw" => {
+                let (crf, ra, rb) = match ops {
+                    [ra, rb] => (0, ra, rb),
+                    [crf, ra, rb] => (
+                        crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32,
+                        ra,
+                        rb,
+                    ),
+                    _ => return Err(format!("{base} needs `[crf,] ra, rb`")),
+                };
+                let xop = if base == "cmpw" { 0 } else { 32 };
+                return Ok(x_form(31, xop, crf << 2, reg(ra, "ra")?, reg(rb, "rb")?, false));
+            }
+            "rlwinm" | "rlwimi" => {
+                let [ra, rs, sh, mb, me] = ops else {
+                    return Err(format!("{base} needs `ra, rs, sh, mb, me`"));
+                };
+                let op = if base == "rlwinm" { 21 } else { 20 };
+                return Ok(d_bits(op)
+                    | reg(rs, "rs")? << 21
+                    | reg(ra, "ra")? << 16
+                    | field5(imm(sh, "sh")?, "sh")? << 11
+                    | field5(imm(mb, "mb")?, "mb")? << 6
+                    | field5(imm(me, "me")?, "me")? << 1
+                    | rc_ok(true)? as u32);
+            }
+            "rlwnm" => {
+                let [ra, rs, rb, mb, me] = ops else {
+                    return Err("rlwnm needs `ra, rs, rb, mb, me`".into());
+                };
+                return Ok(d_bits(23)
+                    | reg(rs, "rs")? << 21
+                    | reg(ra, "ra")? << 16
+                    | reg(rb, "rb")? << 11
+                    | field5(imm(mb, "mb")?, "mb")? << 6
+                    | field5(imm(me, "me")?, "me")? << 1
+                    | rc_ok(true)? as u32);
+            }
+            "srawi" => {
+                let [ra, rs, sh] = ops else { return Err("srawi needs `ra, rs, sh`".into()) };
+                return Ok(x_form(
+                    31,
+                    824,
+                    reg(rs, "rs")?,
+                    reg(ra, "ra")?,
+                    field5(imm(sh, "sh")?, "sh")?,
+                    false,
+                ));
+            }
+            "neg" | "addze" => {
+                let [rd, ra] = ops else { return Err(format!("{base} needs `rd, ra`")) };
+                let xop = if base == "neg" { 104 } else { 202 };
+                let allow_rc = base == "neg";
+                return Ok(x_form(31, xop, reg(rd, "rd")?, reg(ra, "ra")?, 0, rc_ok(allow_rc)?));
+            }
+            "extsb" | "extsh" | "cntlzw" => {
+                let [ra, rs] = ops else { return Err(format!("{base} needs `ra, rs`")) };
+                let xop = match base {
+                    "extsb" => 954,
+                    "extsh" => 922,
+                    _ => 26,
+                };
+                return Ok(x_form(31, xop, reg(rs, "rs")?, reg(ra, "ra")?, 0, rc_ok(true)?));
+            }
+            _ => {}
+        }
+
+        // XO-form arithmetic `rd, ra, rb`.
+        if let Some(xop) = match base {
+            "add" => Some(266),
+            "subf" => Some(40),
+            "subfc" => Some(8),
+            "addc" => Some(10),
+            "adde" => Some(138),
+            "subfe" => Some(136),
+            "mullw" => Some(235),
+            "mulhw" => Some(75),
+            "mulhwu" => Some(11),
+            "divw" => Some(491),
+            "divwu" => Some(459),
+            _ => None,
+        } {
+            let [rd, ra, rb] = ops else { return Err(format!("{base} needs `rd, ra, rb`")) };
+            let carrying = matches!(base, "subfc" | "addc" | "adde" | "subfe");
+            return Ok(x_form(
+                31,
+                xop,
+                reg(rd, "rd")?,
+                reg(ra, "ra")?,
+                reg(rb, "rb")?,
+                rc_ok(!carrying)?,
+            ));
+        }
+
+        // X-form logical/shift `ra, rs, rb`.
+        if let Some(xop) = match base {
+            "and" => Some(28),
+            "or" => Some(444),
+            "xor" => Some(316),
+            "nand" => Some(476),
+            "nor" => Some(124),
+            "andc" => Some(60),
+            "orc" => Some(412),
+            "eqv" => Some(284),
+            "slw" => Some(24),
+            "srw" => Some(536),
+            "sraw" => Some(792),
+            _ => None,
+        } {
+            let [ra, rs, rb] = ops else { return Err(format!("{base} needs `ra, rs, rb`")) };
+            let allow_rc = base != "sraw";
+            return Ok(x_form(31, xop, reg(rs, "rs")?, reg(ra, "ra")?, reg(rb, "rb")?, rc_ok(allow_rc)?));
+        }
+
+        // Loads/stores: D-form `rt, d(ra)` and X-form `rt, ra, rb`.
+        if let Some(op) = match base {
+            "lwz" => Some(32),
+            "lwzu" => Some(33),
+            "lbz" => Some(34),
+            "lbzu" => Some(35),
+            "lhz" => Some(40),
+            "lhzu" => Some(41),
+            "lha" => Some(42),
+            "stw" => Some(36),
+            "stwu" => Some(37),
+            "stb" => Some(38),
+            "stbu" => Some(39),
+            "sth" => Some(44),
+            "sthu" => Some(45),
+            _ => None,
+        } {
+            let [rt, addr] = ops else { return Err(format!("{base} needs `rt, d(ra)`")) };
+            let (disp, ra) = match addr {
+                Operand::BaseDisp { disp, base } => {
+                    (*disp, parse_reg(base).ok_or("bad base register")? as u32)
+                }
+                Operand::Imm(abs) => (*abs, 0),
+                _ => return Err("expected `d(ra)` or an absolute address".into()),
+            };
+            if matches!(op, 33 | 35 | 41 | 37 | 39 | 45) && ra == 0 {
+                return Err(format!("{base} with rA = r0 is invalid"));
+            }
+            return Ok(d_form(op, reg(rt, "rt")?, ra, simm16(disp)?));
+        }
+        if let Some(xop) = match base {
+            "lwzx" => Some(23),
+            "lbzx" => Some(87),
+            "lhzx" => Some(279),
+            "stwx" => Some(151),
+            "stbx" => Some(215),
+            "sthx" => Some(407),
+            _ => None,
+        } {
+            let [rt, ra, rb] = ops else { return Err(format!("{base} needs `rt, ra, rb`")) };
+            return Ok(x_form(31, xop, reg(rt, "rt")?, reg(ra, "ra")?, reg(rb, "rb")?, false));
+        }
+
+        Err(format!("unknown mnemonic `{mn}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_asm::assemble;
+
+    fn enc(line: &str) -> u32 {
+        let img = assemble(&PpcAsm, line).unwrap();
+        u32::from_be_bytes(img.sections[0].bytes[0..4].try_into().unwrap())
+    }
+
+    #[test]
+    fn d_form_arith() {
+        // addi r3, r1, 8 -> 0x38610008
+        assert_eq!(enc("addi r3, r1, 8"), 0x3861_0008);
+        assert_eq!(enc("li r5, -1"), 0x38a0_ffff);
+        assert_eq!(enc("lis r4, 0x1234"), 0x3c80_1234);
+        assert_eq!(enc("subi r3, r3, 4"), 0x3863_fffc);
+    }
+
+    #[test]
+    fn xo_and_logical() {
+        // add r3, r4, r5 -> 0x7c642a14
+        assert_eq!(enc("add r3, r4, r5"), 0x7c64_2a14);
+        assert_eq!(enc("add. r3, r4, r5"), 0x7c64_2a15);
+        // or r3, r4, r5: rs=r4 in rd slot -> 0x7c832b78
+        assert_eq!(enc("or r3, r4, r5"), 0x7c83_2b78);
+        assert_eq!(enc("mr r7, r8"), 0x7d07_4378);
+        assert_eq!(enc("srawi r3, r4, 2"), 0x7c83_1670);
+    }
+
+    #[test]
+    fn rotates() {
+        // rlwinm r5, r6, 3, 0, 28 -> 0x54c51838
+        assert_eq!(enc("rlwinm r5, r6, 3, 0, 28"), 0x54c5_1838);
+        assert_eq!(enc("slwi r5, r6, 3"), enc("rlwinm r5, r6, 3, 0, 28"));
+        assert_eq!(enc("srwi r5, r6, 3"), enc("rlwinm r5, r6, 29, 3, 31"));
+    }
+
+    #[test]
+    fn memory() {
+        // lwz r4, 12(r1) -> 0x8081000c
+        assert_eq!(enc("lwz r4, 12(r1)"), 0x8081_000c);
+        assert_eq!(enc("stwu r1, -16(r1)"), 0x9421_fff0);
+        assert_eq!(enc("lwzx r3, r4, r5"), 0x7c64_282e);
+        assert!(assemble(&PpcAsm, "lwzu r4, 4(r0)").is_err());
+    }
+
+    #[test]
+    fn branches() {
+        // b to self: offset 0
+        assert_eq!(enc("x: b x"), 0x4800_0000);
+        assert_eq!(enc("x: bl x"), 0x4800_0001);
+        // bdnz to self: bc 16,0 off 0 -> 0x42000000
+        assert_eq!(enc("x: bdnz x"), 0x4200_0000);
+        // beq cr0 to self: bc 12,2 -> 0x41820000
+        assert_eq!(enc("x: beq x"), 0x4182_0000);
+        assert_eq!(enc("x: bne cr1, x"), 0x4086_0000);
+        assert_eq!(enc("blr"), 0x4e80_0020);
+        assert_eq!(enc("bctr"), 0x4e80_0420);
+    }
+
+    #[test]
+    fn spr_moves_and_sc() {
+        assert_eq!(enc("mflr r0"), 0x7c08_02a6);
+        assert_eq!(enc("mtlr r0"), 0x7c08_03a6);
+        assert_eq!(enc("mtctr r9"), 0x7d29_03a6);
+        assert_eq!(enc("sc"), 0x4400_0002);
+        assert_eq!(enc("mfcr r3"), 0x7c60_0026);
+    }
+
+    #[test]
+    fn compares() {
+        // cmpwi r3, 0 -> 0x2c030000
+        assert_eq!(enc("cmpwi r3, 0"), 0x2c03_0000);
+        assert_eq!(enc("cmpwi cr1, r3, 5"), 0x2c83_0005);
+        assert_eq!(enc("cmpw r3, r4"), 0x7c03_2000);
+        assert_eq!(enc("cmplwi r3, 10"), 0x2803_000a);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(assemble(&PpcAsm, "addi r1, r2, 99999").is_err());
+        assert!(assemble(&PpcAsm, "frob r1").is_err());
+        assert!(assemble(&PpcAsm, "adde. r1, r2, r3").is_err());
+        assert!(assemble(&PpcAsm, "rlwinm r1, r2, 40, 0, 31").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! PowerPC-specific fields.
+
+use lis_core::{FieldDesc, FieldId};
+
+/// The 4-bit condition nibble (LT,GT,EQ,SO) computed by a compare or a
+/// record-form (`.`) instruction, before insertion into the CR.
+pub const F_CR_NIBBLE: FieldId = FieldId(16);
+/// The carry bit produced by carrying arithmetic (`addic`, `adde`, `sraw`...).
+pub const F_CA_OUT: FieldId = FieldId(17);
+
+/// Descriptors for the PowerPC-specific fields.
+pub const PPC_FIELDS: &[FieldDesc] = &[
+    FieldDesc { id: F_CR_NIBBLE, name: "cr_nibble", doc: "condition nibble before CR insert" },
+    FieldDesc { id: F_CA_OUT, name: "ca_out", doc: "carry out of carrying arithmetic" },
+];

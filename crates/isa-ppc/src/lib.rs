@@ -1,0 +1,90 @@
+//! # lis-isa-ppc — single specification of the PowerPC instruction set
+//!
+//! A 32-bit, big-endian, user-mode integer subset of PowerPC (the third
+//! evaluated ISA): D/X/XO/M-form arithmetic and logic, the carry (CA)
+//! machinery, the rotate-and-mask family, compares into any CR field, the
+//! full `bc` branch machinery (CTR decrement + CR bit test), loads/stores
+//! with update and indexed forms, SPR moves, and `sc`.
+//!
+//! System calls use the LIS OS ABI: number in `r0`, arguments in `r3`/`r4`,
+//! result in `r3`, invoked by `sc`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod disasm;
+pub mod fields;
+pub mod regs;
+pub mod semantics;
+
+use lis_core::{count_lines, IsaSpec, SpecStats};
+use lis_mem::Endian;
+
+pub use asm::PpcAsm;
+
+static SPEC: IsaSpec = IsaSpec {
+    name: "ppc",
+    word_bits: 32,
+    endian: Endian::Big,
+    insts: semantics::INSTS,
+    reg_classes: regs::REG_CLASSES,
+    isa_fields: fields::PPC_FIELDS,
+    disasm: disasm::disasm,
+    pc_mask: 0xffff_fffc,
+    sp_gpr: 1,
+};
+
+/// Returns the PowerPC ISA specification.
+pub fn spec() -> &'static IsaSpec {
+    &SPEC
+}
+
+/// Assembles PowerPC source into a loadable image.
+///
+/// # Errors
+///
+/// Returns the first assembly error with its line number.
+///
+/// # Examples
+///
+/// ```
+/// let image = lis_isa_ppc::assemble("_start: addi r3, r1, 8\n")?;
+/// assert_eq!(image.entry, 0x1000);
+/// # Ok::<(), lis_asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<lis_mem::Image, lis_asm::AsmError> {
+    lis_asm::assemble(&PpcAsm, src)
+}
+
+/// Mechanical Table I statistics for the PowerPC description.
+pub fn spec_stats() -> SpecStats {
+    let isa = count_lines(include_str!("semantics.rs"))
+        .add(count_lines(include_str!("regs.rs")))
+        .add(count_lines(include_str!("fields.rs")));
+    let tooling = count_lines(include_str!("asm.rs")).add(count_lines(include_str!("disasm.rs")));
+    SpecStats {
+        isa: "ppc",
+        isa_description_lines: isa.code,
+        os_support_lines: 0,
+        tooling_lines: tooling.code,
+        num_instructions: semantics::INSTS.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates() {
+        spec().validate().unwrap();
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let s = spec_stats();
+        assert_eq!(s.num_instructions, 73);
+        assert!(s.isa_description_lines > 400);
+    }
+}

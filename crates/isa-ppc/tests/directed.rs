@@ -1,0 +1,266 @@
+//! Directed per-instruction validation for the PowerPC description: every
+//! instruction (and the CR/CA/CTR machinery) with known inputs and
+//! hand-computed results.
+
+use lis_core::{DynInst, ONE_ALL};
+use lis_runtime::Simulator;
+
+const CR: usize = 0;
+const XER: usize = 1;
+const LR: usize = 2;
+const CTR: usize = 3;
+const CA: u64 = 1 << 29;
+
+/// Assembles `body`, presets GPRs/SPRs, executes (bounded by static
+/// length), and returns the simulator.
+fn exec(body: &str, setup: &[(usize, u64)], spr: &[(usize, u64)]) -> Simulator {
+    let src = format!("_start:\n{body}\n");
+    let image = lis_isa_ppc::assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let n = image.sections.iter().find(|s| s.name == ".text").unwrap().bytes.len() / 4;
+    let mut sim = Simulator::new(lis_isa_ppc::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image).unwrap();
+    for &(r, v) in setup {
+        sim.state.gpr[r] = v;
+    }
+    for &(r, v) in spr {
+        sim.state.spr[r] = v;
+    }
+    let mut di = DynInst::new();
+    let end = 0x1000 + 4 * n as u64;
+    // Dynamic bound is generous: bodies may loop (e.g. bdnz tests).
+    for _ in 0..1000 {
+        if sim.state.pc >= end {
+            break;
+        }
+        sim.next_inst(&mut di).unwrap();
+        assert!(di.fault.is_none(), "fault {:?} in `{body}`", di.fault);
+    }
+    sim
+}
+
+type Case = (&'static str, &'static [(usize, u64)], &'static [(usize, u64)]);
+
+fn table(cases: &[Case]) {
+    for (asm, setup, expect) in cases {
+        let sim = exec(asm, setup, &[]);
+        for &(r, v) in *expect {
+            assert_eq!(sim.state.gpr[r], v, "`{asm}`: r{r}");
+        }
+    }
+}
+
+const M32: u64 = 0xffff_ffff;
+
+#[test]
+fn d_form_arithmetic() {
+    table(&[
+        ("addi r3, r4, 100", &[(4, 1)], &[(3, 101)]),
+        ("addi r3, r0, 5", &[(0, 99)], &[(3, 5)]), // rA=0 means literal zero
+        ("addis r3, r4, 2", &[(4, 4)], &[(3, 0x2_0004)]),
+        ("mulli r3, r4, -3", &[(4, 7)], &[(3, (-21i64 as u64) & M32)]),
+        ("subfic r3, r4, 100", &[(4, 30)], &[(3, 70)]),
+        ("addic r3, r4, 1", &[(4, M32)], &[(3, 0)]),
+    ]);
+    // addic carry-out lands in XER[CA].
+    let sim = exec("addic r3, r4, 1", &[(4, M32)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, CA);
+    let sim = exec("addic r3, r4, 1", &[(4, 5)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, 0);
+    // subfic: CA set iff no borrow.
+    let sim = exec("subfic r3, r4, 100", &[(4, 30)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, CA);
+    let sim = exec("subfic r3, r4, 30", &[(4, 100)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, 0);
+}
+
+#[test]
+fn xo_form_arithmetic() {
+    table(&[
+        ("add r3, r4, r5", &[(4, 7), (5, 9)], &[(3, 16)]),
+        ("subf r3, r4, r5", &[(4, 7), (5, 9)], &[(3, 2)]),
+        ("neg r3, r4", &[(4, 5)], &[(3, (-5i64 as u64) & M32)]),
+        ("mullw r3, r4, r5", &[(4, 0x10000), (5, 0x10000)], &[(3, 0)]),
+        ("mulhw r3, r4, r5", &[(4, 0x10000), (5, 0x10000)], &[(3, 1)]),
+        ("mulhw r3, r4, r5", &[(4, M32), (5, 2)], &[(3, M32)]), // -1 * 2 high = -1
+        ("mulhwu r3, r4, r5", &[(4, M32), (5, 2)], &[(3, 1)]),
+        ("divw r3, r4, r5", &[(4, (-20i64 as u64) & M32), (5, 3)], &[(3, (-6i64 as u64) & M32)]),
+        ("divwu r3, r4, r5", &[(4, 20), (5, 3)], &[(3, 6)]),
+        ("divw r3, r4, r5", &[(4, 20), (5, 0)], &[(3, 0)]), // documented: 0 on /0
+    ]);
+}
+
+#[test]
+fn carry_chain() {
+    // addc/adde propagate CA.
+    let sim = exec("addc r3, r4, r5\nadde r6, r7, r8", &[(4, M32), (5, 1), (7, 2), (8, 3)], &[]);
+    assert_eq!(sim.state.gpr[3], 0);
+    assert_eq!(sim.state.gpr[6], 6);
+    // subfc/subfe: 64-bit subtract.
+    let sim = exec("subfc r3, r4, r5\nsubfe r6, r7, r8", &[(4, 1), (5, 0), (7, 0), (8, 5)], &[]);
+    assert_eq!(sim.state.gpr[3], M32); // 0 - 1 borrows
+    assert_eq!(sim.state.gpr[6], 4); // 5 - 0 - borrow
+    // addze consumes CA.
+    let sim = exec("addze r3, r4", &[(4, 10)], &[(XER, CA)]);
+    assert_eq!(sim.state.gpr[3], 11);
+    let sim = exec("addze r3, r4", &[(4, 10)], &[]);
+    assert_eq!(sim.state.gpr[3], 10);
+}
+
+#[test]
+fn logical_x_form() {
+    table(&[
+        ("and r3, r4, r5", &[(4, 0xf0f0), (5, 0xff00)], &[(3, 0xf000)]),
+        ("or r3, r4, r5", &[(4, 0xf0), (5, 0x0f)], &[(3, 0xff)]),
+        ("xor r3, r4, r5", &[(4, 0xff00), (5, 0x0ff0)], &[(3, 0xf0f0)]),
+        ("nand r3, r4, r5", &[(4, M32), (5, 0xff)], &[(3, M32 - 0xff)]),
+        ("nor r3, r4, r5", &[(4, 0xf0), (5, 0x0f)], &[(3, M32 - 0xff)]),
+        ("andc r3, r4, r5", &[(4, 0xff), (5, 0x0f)], &[(3, 0xf0)]),
+        ("orc r3, r4, r5", &[(4, 0), (5, M32 - 0xff)], &[(3, 0xff)]),
+        ("eqv r3, r4, r5", &[(4, 0xff00), (5, 0xff00)], &[(3, M32)]),
+        ("not r3, r4", &[(4, 0)], &[(3, M32)]),
+        ("mr r3, r4", &[(4, 77)], &[(3, 77)]),
+        ("extsb r3, r4", &[(4, 0x80)], &[(3, 0xffff_ff80)]),
+        ("extsh r3, r4", &[(4, 0x8000)], &[(3, 0xffff_8000)]),
+        ("cntlzw r3, r4", &[(4, 0x10)], &[(3, 27)]),
+        ("cntlzw r3, r4", &[(4, 0)], &[(3, 32)]),
+    ]);
+}
+
+#[test]
+fn logical_immediates() {
+    table(&[
+        ("ori r3, r4, 0xff00", &[(4, 0xff)], &[(3, 0xffff)]),
+        ("oris r3, r4, 1", &[(4, 2)], &[(3, 0x1_0002)]),
+        ("xori r3, r4, 0xffff", &[(4, 0xff)], &[(3, 0xff00)]),
+        ("xoris r3, r4, 0xffff", &[(4, 0)], &[(3, 0xffff_0000)]),
+        ("andi. r3, r4, 0x0f0f", &[(4, 0xffff)], &[(3, 0x0f0f)]),
+        ("andis. r3, r4, 0xff00", &[(4, 0x1234_5678)], &[(3, 0x1200_0000)]),
+    ]);
+    // andi. records into CR0.
+    let sim = exec("andi. r3, r4, 0", &[(4, 0xffff)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x2, "EQ bit of CR0");
+}
+
+#[test]
+fn shifts_and_rotates() {
+    table(&[
+        ("slw r3, r4, r5", &[(4, 1), (5, 31)], &[(3, 0x8000_0000)]),
+        ("slw r3, r4, r5", &[(4, 1), (5, 32)], &[(3, 0)]),
+        ("srw r3, r4, r5", &[(4, 0x8000_0000), (5, 31)], &[(3, 1)]),
+        ("sraw r3, r4, r5", &[(4, 0x8000_0000), (5, 31)], &[(3, M32)]),
+        ("sraw r3, r4, r5", &[(4, 0x8000_0000), (5, 40)], &[(3, M32)]),
+        ("srawi r3, r4, 4", &[(4, (-32i64 as u64) & M32)], &[(3, (-2i64 as u64) & M32)]),
+        ("rlwinm r3, r4, 8, 0, 31", &[(4, 0x1122_3344)], &[(3, 0x2233_4411)]),
+        ("rlwinm r3, r4, 0, 24, 31", &[(4, 0x1122_3344)], &[(3, 0x44)]),
+        ("rlwnm r3, r4, r5, 0, 31", &[(4, 0x8000_0001), (5, 1)], &[(3, 3)]),
+        ("rlwimi r3, r4, 0, 24, 31", &[(3, 0x1111_1111), (4, 0xab)], &[(3, 0x1111_11ab)]),
+        ("slwi r3, r4, 4", &[(4, 0xf)], &[(3, 0xf0)]),
+        ("srwi r3, r4, 4", &[(4, 0xf0)], &[(3, 0xf)]),
+    ]);
+    // sraw CA: set when a negative value loses 1-bits.
+    let sim = exec("srawi r3, r4, 1", &[(4, (-3i64 as u64) & M32)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, CA);
+    let sim = exec("srawi r3, r4, 1", &[(4, (-4i64 as u64) & M32)], &[]);
+    assert_eq!(sim.state.spr[XER] & CA, 0);
+}
+
+#[test]
+fn record_forms_set_cr0() {
+    // add. with a negative result: LT.
+    let sim = exec("add. r3, r4, r5", &[(4, (-5i64 as u64) & M32), (5, 1)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x8);
+    // positive: GT; zero: EQ.
+    let sim = exec("add. r3, r4, r5", &[(4, 2), (5, 3)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x4);
+    let sim = exec("subf. r3, r4, r5", &[(4, 9), (5, 9)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x2);
+    // or. works too.
+    let sim = exec("or. r3, r4, r5", &[(4, 0), (5, 0)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x2);
+}
+
+#[test]
+fn compares_and_cr_fields() {
+    let sim = exec("cmpwi r4, 10", &[(4, 3)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x8, "3 < 10 signed");
+    let sim = exec("cmpwi cr2, r4, 10", &[(4, 30)], &[]);
+    assert_eq!((sim.state.spr[CR] >> 20) & 0xf, 0x4, "30 > 10 into cr2");
+    let sim = exec("cmplwi r4, 10", &[(4, M32)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x4, "0xffffffff > 10 unsigned");
+    let sim = exec("cmpw r4, r5", &[(4, M32), (5, 1)], &[]);
+    assert_eq!(sim.state.spr[CR] >> 28, 0x8, "-1 < 1 signed");
+    let sim = exec("cmplw cr7, r4, r5", &[(4, M32), (5, 1)], &[]);
+    assert_eq!(sim.state.spr[CR] & 0xf, 0x4, "0xffffffff > 1 unsigned into cr7");
+}
+
+#[test]
+fn memory_directed() {
+    table(&[
+        ("stw r4, 0x2000(r0)\nlwz r3, 0x2000(r0)", &[(4, 0xdead_beef)], &[(3, 0xdead_beef)]),
+        ("stb r4, 0x2000(r0)\nlbz r3, 0x2000(r0)", &[(4, 0x1ff)], &[(3, 0xff)]),
+        ("sth r4, 0x2000(r0)\nlhz r3, 0x2000(r0)", &[(4, 0x1_8000)], &[(3, 0x8000)]),
+        ("sth r4, 0x2000(r0)\nlha r3, 0x2000(r0)", &[(4, 0x8000)], &[(3, 0xffff_8000)]),
+        // update forms move the base
+        ("stwu r4, -8(r5)", &[(4, 7), (5, 0x2010)], &[(5, 0x2008)]),
+        ("lwzu r3, 4(r5)", &[(5, 0x2000)], &[(5, 0x2004)]),
+        ("lbzu r3, 1(r5)", &[(5, 0x2000)], &[(5, 0x2001)]),
+        ("lhzu r3, 2(r5)", &[(5, 0x2000)], &[(5, 0x2002)]),
+        ("stbu r4, 1(r5)", &[(5, 0x2000)], &[(5, 0x2001)]),
+        ("sthu r4, 2(r5)", &[(5, 0x2000)], &[(5, 0x2002)]),
+        // indexed forms
+        ("stwx r4, r5, r6\nlwzx r3, r5, r6", &[(4, 55), (5, 0x2000), (6, 8)], &[(3, 55)]),
+        ("stbx r4, r5, r6\nlbzx r3, r5, r6", &[(4, 0xab), (5, 0x2000), (6, 3)], &[(3, 0xab)]),
+        ("sthx r4, r5, r6\nlhzx r3, r5, r6", &[(4, 0xabcd), (5, 0x2000), (6, 6)], &[(3, 0xabcd)]),
+    ]);
+}
+
+#[test]
+fn branch_machinery() {
+    // bc with BO=12 (branch if CR bit set).
+    let sim = exec("cmpwi r4, 5\nbeq skip\nli r9, 1\nskip: li r10, 1", &[(4, 5)], &[]);
+    assert_eq!(sim.state.gpr[9], 0);
+    assert_eq!(sim.state.gpr[10], 1);
+    // bdnz decrements CTR and branches while nonzero.
+    let sim = exec("li r9, 0\nloop: addi r9, r9, 1\nbdnz loop", &[], &[(CTR, 4)]);
+    assert_eq!(sim.state.gpr[9], 4);
+    assert_eq!(sim.state.spr[CTR], 0);
+    // bdz branches when the decremented CTR hits zero.
+    let sim = exec("bdz skip\nli r9, 1\nskip: li r10, 1", &[], &[(CTR, 1)]);
+    assert_eq!(sim.state.gpr[9], 0);
+    // b / bl.
+    let sim = exec("bl skip\nskip: li r10, 1", &[], &[]);
+    assert_eq!(sim.state.spr[LR], 0x1004);
+    // blr returns through LR; bclr is its generalization.
+    let sim = exec("blr\n.org 0x1010\nli r10, 1", &[], &[(LR, 0x1010)]);
+    assert_eq!(sim.state.gpr[10], 1);
+    // bctr jumps through CTR (bcctr).
+    let sim = exec("bctr\n.org 0x1010\nli r10, 1", &[], &[(CTR, 0x1010)]);
+    assert_eq!(sim.state.gpr[10], 1);
+    // Raw bc with an explicit BO/BI: branch if CR0[EQ] clear (bne).
+    let sim = exec("bc 4, 2, skip\nli r9, 1\nskip: li r10, 1", &[], &[]);
+    assert_eq!(sim.state.gpr[9], 0, "CR0[EQ] starts clear, so bc 4,2 branches");
+}
+
+#[test]
+fn spr_moves_and_sc() {
+    let sim = exec("mtlr r4\nmflr r3\nmtctr r5\nmfctr r6\nmtxer r7\nmfxer r8\nmfcr r9", &[(4, 0x1234), (5, 0x5678), (7, CA)], &[]);
+    assert_eq!(sim.state.gpr[3], 0x1234);
+    assert_eq!(sim.state.gpr[6], 0x5678);
+    assert_eq!(sim.state.gpr[8], CA);
+    assert_eq!(sim.state.gpr[9], 0);
+    // mfspr/mtspr are what the mnemonics assemble to.
+    let sim = exec("li r0, 3\nli r3, 66\nsc", &[], &[]);
+    assert_eq!(sim.os.stdout, b"B");
+}
+
+#[test]
+fn every_instruction_is_covered_by_directed_tests() {
+    let me = include_str!("directed.rs");
+    let missing: Vec<&str> = lis_isa_ppc::spec()
+        .insts
+        .iter()
+        .map(|d| d.name)
+        .filter(|n| !me.contains(*n))
+        .collect();
+    assert!(missing.is_empty(), "instructions without directed tests: {missing:?}");
+}

@@ -1,0 +1,337 @@
+//! End-to-end PowerPC execution tests through the synthesized simulators.
+
+use lis_core::{ONE_ALL, STANDARD_BUILDSETS};
+use lis_runtime::Simulator;
+
+fn run(src: &str) -> Simulator {
+    let image = lis_isa_ppc::assemble(src).expect("assembles");
+    let mut sim = Simulator::new(lis_isa_ppc::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image).unwrap();
+    sim.run_to_halt(1_000_000).unwrap();
+    sim
+}
+
+const EXIT0: &str = "
+    li r0, 1
+    li r3, 0
+    sc
+";
+
+#[test]
+fn d_form_arithmetic() {
+    let sim = run(&format!(
+        "
+_start: li r4, 100
+        addi r5, r4, 20       ; 120
+        addis r6, r4, 1       ; 100 + 65536
+        mulli r7, r4, 7       ; 700
+        subfic r8, r4, 300    ; 200
+        subi r9, r4, 1        ; 99
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 120);
+    assert_eq!(sim.state.gpr[6], 65636);
+    assert_eq!(sim.state.gpr[7], 700);
+    assert_eq!(sim.state.gpr[8], 200);
+    assert_eq!(sim.state.gpr[9], 99);
+}
+
+#[test]
+fn xo_arithmetic_and_division() {
+    let sim = run(&format!(
+        "
+_start: li r4, 84
+        li r5, 2
+        add r6, r4, r5        ; 86
+        subf r7, r5, r4       ; 82
+        mullw r8, r4, r5      ; 168
+        divw r9, r4, r5       ; 42
+        divwu r10, r4, r5     ; 42
+        neg r11, r5           ; -2
+        li r12, 0
+        divw r13, r4, r12     ; div by zero -> 0 (documented)
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[6], 86);
+    assert_eq!(sim.state.gpr[7], 82);
+    assert_eq!(sim.state.gpr[8], 168);
+    assert_eq!(sim.state.gpr[9], 42);
+    assert_eq!(sim.state.gpr[10], 42);
+    assert_eq!(sim.state.gpr[11], 0xffff_fffe);
+    assert_eq!(sim.state.gpr[13], 0);
+}
+
+#[test]
+fn carry_chain() {
+    // 64-bit add: 0xffffffff + 1 with carry into the high word.
+    let sim = run(&format!(
+        "
+_start: lis r4, 0xffff
+        ori r4, r4, 0xffff    ; low a = 0xffffffff
+        li r5, 1              ; low b
+        li r6, 2              ; high a
+        li r7, 3              ; high b
+        addc r8, r4, r5       ; 0, CA=1
+        adde r9, r6, r7       ; 6
+        li r10, 5
+        addze r11, r10        ; CA consumed by adde -> depends on adde's carry
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[8], 0);
+    assert_eq!(sim.state.gpr[9], 6);
+    // adde 2+3+1 = 6 with no carry out, so addze adds 0.
+    assert_eq!(sim.state.gpr[11], 5);
+}
+
+#[test]
+fn logical_and_record_forms() {
+    let sim = run(&format!(
+        "
+_start: li r4, 0xf0
+        li r5, 0x0f
+        or r6, r4, r5         ; 0xff
+        and r7, r4, r5        ; 0
+        xor r8, r6, r4        ; 0x0f
+        nand r9, r4, r4       ; ~0xf0
+        andi. r10, r6, 0xf0   ; 0xf0, sets CR0 = GT
+        mfcr r11
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[6], 0xff);
+    assert_eq!(sim.state.gpr[7], 0);
+    assert_eq!(sim.state.gpr[8], 0x0f);
+    assert_eq!(sim.state.gpr[9], 0xffff_ff0f);
+    assert_eq!(sim.state.gpr[10], 0xf0);
+    assert_eq!(sim.state.gpr[11] >> 28, 0x4, "CR0 should be GT");
+}
+
+#[test]
+fn rotates_and_shifts() {
+    let sim = run(&format!(
+        "
+_start: li r4, 0xff
+        slwi r5, r4, 8        ; 0xff00
+        srwi r6, r5, 4        ; 0xff0
+        rlwinm r7, r4, 4, 24, 27  ; rotate 4, keep bits 24..27 -> 0xf0
+        li r8, -8
+        srawi r9, r8, 1       ; -4, CA=0
+        li r10, 16
+        slw r11, r4, r10      ; 0xff0000
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 0xff00);
+    assert_eq!(sim.state.gpr[6], 0xff0);
+    assert_eq!(sim.state.gpr[7], 0xf0);
+    assert_eq!(sim.state.gpr[9], 0xffff_fffc);
+    assert_eq!(sim.state.gpr[11], 0xff_0000);
+}
+
+#[test]
+fn sign_extension_and_cntlzw() {
+    let sim = run(&format!(
+        "
+_start: li r4, 0x80
+        extsb r5, r4          ; -128
+        lis r6, 0x8000
+        srwi r6, r6, 16       ; 0x8000
+        extsh r7, r6          ; -32768
+        li r8, 1
+        slwi r8, r8, 20
+        cntlzw r9, r8         ; 11
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 0xffff_ff80);
+    assert_eq!(sim.state.gpr[7], 0xffff_8000);
+    assert_eq!(sim.state.gpr[9], 11);
+}
+
+#[test]
+fn memory_update_and_indexed() {
+    let sim = run(&format!(
+        "
+_start: lis r4, 2            ; r4 = 0x20000 (data base)
+        li r5, 77
+        stw r5, 0(r4)
+        stw r5, 4(r4)
+        lwz r6, 0(r4)
+        mr r7, r4
+        lwzu r8, 4(r7)        ; r8 = 77, r7 = 0x20004
+        li r9, 4
+        lwzx r10, r4, r9
+        sth r5, 8(r4)
+        lhz r11, 8(r4)
+        stb r5, 10(r4)
+        lbz r12, 10(r4)
+        li r13, -1
+        sth r13, 12(r4)
+        lha r14, 12(r4)       ; sign-extended -1
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[6], 77);
+    assert_eq!(sim.state.gpr[7], 0x20004);
+    assert_eq!(sim.state.gpr[8], 77);
+    assert_eq!(sim.state.gpr[10], 77);
+    assert_eq!(sim.state.gpr[11], 77);
+    assert_eq!(sim.state.gpr[12], 77);
+    assert_eq!(sim.state.gpr[14], 0xffff_ffff);
+}
+
+#[test]
+fn stack_frames_with_stwu() {
+    let sim = run(&format!(
+        "
+_start: li r4, 7
+        stwu r4, -16(r1)      ; push frame
+        lwz r5, 0(r1)
+        addi r1, r1, 16       ; pop
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 7);
+    assert_eq!(sim.state.gpr[1], lis_runtime::STACK_TOP);
+}
+
+#[test]
+fn compares_and_conditional_branches() {
+    let sim = run(&format!(
+        "
+_start: li r4, 5
+        cmpwi r4, 5
+        beq is5
+        li r5, 0
+        b out
+is5:    li r5, 1
+out:    cmpwi cr3, r4, 9
+        blt cr3, less
+        li r6, 0
+        b fin
+less:   li r6, 1
+fin:    {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 1);
+    assert_eq!(sim.state.gpr[6], 1);
+}
+
+#[test]
+fn ctr_loop_with_bdnz() {
+    let sim = run(&format!(
+        "
+_start: li r4, 10
+        mtctr r4
+        li r5, 0
+loop:   addi r5, r5, 3
+        bdnz loop
+        mfctr r6
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[5], 30);
+    assert_eq!(sim.state.gpr[6], 0);
+}
+
+#[test]
+fn function_calls_with_lr() {
+    let sim = run(&format!(
+        "
+_start: li r3, 21
+        bl double
+        mr r9, r3
+        {EXIT0}
+double: add r3, r3, r3
+        blr
+"
+    ));
+    assert_eq!(sim.state.gpr[9], 42);
+}
+
+#[test]
+fn indirect_call_via_ctr() {
+    let sim = run(&format!(
+        "
+_start: lis r4, hi16(fn)
+        ori r4, r4, lo16(fn)
+        mtctr r4
+        li r3, 5
+        bctrl
+        mr r9, r3
+        {EXIT0}
+fn:     mulli r3, r3, 11
+        blr
+"
+    ));
+    assert_eq!(sim.state.gpr[9], 55);
+}
+
+#[test]
+fn syscall_output() {
+    let sim = run(
+        "
+_start: li r0, 4              ; PUTUDEC
+        li r3, 321
+        sc
+        li r0, 2              ; WRITE
+        lis r3, hi16(msg)
+        ori r3, r3, lo16(msg)
+        li r4, 3
+        sc
+        li r0, 1
+        li r3, 5
+        sc
+        .data
+msg:    .ascii \"ppc\"
+",
+    );
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "321\nppc");
+    assert_eq!(sim.state.exit_code, 5);
+}
+
+#[test]
+fn big_endian_layout() {
+    let sim = run(&format!(
+        "
+_start: lis r4, 2
+        lis r5, 0x1122
+        ori r5, r5, 0x3344
+        stw r5, 0(r4)
+        lbz r6, 0(r4)         ; big-endian: MSB first
+        lbz r7, 3(r4)
+        {EXIT0}"
+    ));
+    assert_eq!(sim.state.gpr[6], 0x11);
+    assert_eq!(sim.state.gpr[7], 0x44);
+}
+
+#[test]
+fn all_interfaces_agree_on_ppc() {
+    let src = format!(
+        "
+_start: li r5, 0
+        li r6, 40
+        mtctr r6
+loop:   add r5, r5, r6
+        subi r6, r6, 1
+        bdnz loop
+        li r0, 4
+        mr r3, r5
+        sc
+        {EXIT0}"
+    );
+    let image = lis_isa_ppc::assemble(&src).unwrap();
+    let mut outputs = Vec::new();
+    for bs in STANDARD_BUILDSETS {
+        let mut sim = Simulator::new(lis_isa_ppc::spec(), bs).unwrap();
+        sim.load_program(&image).unwrap();
+        sim.run_to_halt(1_000_000).unwrap();
+        outputs.push((
+            bs.name,
+            String::from_utf8_lossy(sim.stdout()).into_owned(),
+            sim.state.gpr,
+            sim.state.spr,
+        ));
+    }
+    for (name, out, gpr, spr) in &outputs[1..] {
+        assert_eq!(out, &outputs[0].1, "{name}");
+        assert_eq!(gpr, &outputs[0].2, "{name}");
+        assert_eq!(spr, &outputs[0].3, "{name}");
+    }
+    // sum of 40+39+...+1 = 820
+    assert_eq!(outputs[0].1, "820\n");
+}

@@ -1,0 +1,76 @@
+//! Assembler/disassembler fixpoint property: for any decodable word, the
+//! disassembly reassembles to a word with the *same* disassembly (encodings
+//! need not be bit-identical — immediates may re-encode canonically — but
+//! the architectural meaning must round-trip).
+
+use lis_isa_ppc as isa;
+use proptest::prelude::*;
+
+const PC: u64 = 0x1000;
+
+fn reassemble(text: &str) -> Option<u32> {
+    // Not everything the disassembler prints is assembler syntax (e.g. the
+    // `nv` condition); skip anything the assembler refuses.
+    let src = format!("_start: {text}\n");
+    let image = isa::assemble(&src).ok()?;
+    let sec = image.sections.iter().find(|s| s.name == ".text")?;
+    let bytes: [u8; 4] = sec.bytes[0..4].try_into().ok()?;
+    Some(match isa::spec().endian {
+        lis_mem::Endian::Big => u32::from_be_bytes(bytes),
+        lis_mem::Endian::Little => u32::from_le_bytes(bytes),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn disasm_reassembles_to_a_fixpoint(idx in 0usize..1000, noise in any::<u32>()) {
+        let spec = isa::spec();
+        // Bias generation toward decodable words: take a definition's fixed
+        // bits and randomize everything outside its mask.
+        let def = &spec.insts[idx % spec.insts.len()];
+        let word = def.bits | (noise & !def.mask);
+        prop_assume!(spec.decode(word).is_some());
+        let text = (spec.disasm)(word, PC);
+        prop_assume!(!text.starts_with(".word"));
+        // Not all decodable words have assembler syntax (reserved bits,
+        // unusual condition fields); the ones that do must be fixpoints.
+        if let Some(word2) = reassemble(&text) {
+            let text2 = (spec.disasm)(word2, PC);
+            prop_assert_eq!(
+                &text, &text2,
+                "word {:#010x} -> [{}] -> {:#010x} -> [{}]", word, text, word2, text2
+            );
+            // And the re-encoded word decodes to the same instruction.
+            prop_assert_eq!(spec.decode(word), spec.decode(word2));
+        }
+    }
+}
+
+/// The fixpoint property must not be vacuous: most decodable words must
+/// actually reassemble.
+#[test]
+fn reassembly_coverage_is_high() {
+    let spec = isa::spec();
+    let mut decodable = 0u32;
+    let mut reassembled = 0u32;
+    let mut x = 0x1234_5678u32;
+    for _ in 0..20_000 {
+        // xorshift
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        if spec.decode(x).is_none() {
+            continue;
+        }
+        decodable += 1;
+        let text = (spec.disasm)(x, PC);
+        if reassemble(&text).is_some() {
+            reassembled += 1;
+        }
+    }
+    assert!(decodable > 100, "sample too small: {decodable}");
+    let rate = reassembled as f64 / decodable as f64;
+    assert!(rate > 0.5, "only {rate:.2} of decodable words reassemble");
+}

@@ -1,0 +1,499 @@
+//! The sparse paged memory itself.
+
+use crate::{AccessKind, Endian, Image, MemFault};
+use std::collections::HashMap;
+
+/// Size of a memory page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const PAGE_SHIFT: u64 = 12;
+
+/// Lowest address considered valid; accesses below it fault, which catches
+/// null-pointer dereferences in simulated programs.
+const NULL_GUARD: u64 = 0x1000;
+
+type Page = [u8; PAGE_SIZE];
+
+/// Sparse, paged, byte-addressed memory.
+///
+/// Pages are allocated lazily and zero-filled on first touch. Reads of
+/// untouched pages return zero without allocating, so sparse data segments
+/// cost nothing. A guarded range (`[0x1000, limit)`) rejects wild and null
+/// addresses with [`MemFault::OutOfRange`].
+///
+/// A one-entry page cache makes the sequential access patterns of
+/// instruction fetch and block predecode cheap.
+///
+/// # Examples
+///
+/// ```
+/// use lis_mem::{Endian, Mem};
+///
+/// let mut mem = Mem::new();
+/// mem.write_u64(0x2000, 0x0123_4567_89ab_cdef, Endian::Big)?;
+/// assert_eq!(mem.read_u8(0x2000)?, 0x01);
+/// assert_eq!(mem.read_u16(0x2006, Endian::Big)?, 0xcdef);
+/// # Ok::<(), lis_mem::MemFault>(())
+/// ```
+#[derive(Debug)]
+pub struct Mem {
+    pages: HashMap<u64, Box<Page>>,
+    limit: u64,
+    last_page: u64,
+    last_ptr: *mut Page,
+}
+
+impl Clone for Mem {
+    fn clone(&self) -> Self {
+        // The page cache must not be copied: it points into *this* instance's
+        // page boxes, not the clone's.
+        Mem {
+            pages: self.pages.clone(),
+            limit: self.limit,
+            last_page: u64::MAX,
+            last_ptr: std::ptr::null_mut(),
+        }
+    }
+}
+
+// SAFETY: `last_ptr` always points into a `Box<Page>` owned by `pages` (or is
+// null); it is a cache, never shared, and invalidated on any structural
+// change. `Mem` is therefore as thread-safe as the `HashMap` it owns.
+unsafe impl Send for Mem {}
+unsafe impl Sync for Mem {}
+
+impl Default for Mem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mem {
+    /// Creates an empty memory with the default 1 TiB address limit.
+    pub fn new() -> Self {
+        Self::with_limit(1 << 40)
+    }
+
+    /// Creates an empty memory whose valid addresses are `[0x1000, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not page-aligned or does not exceed the null
+    /// guard page.
+    pub fn with_limit(limit: u64) -> Self {
+        assert!(
+            limit > NULL_GUARD && limit.is_multiple_of(PAGE_SIZE as u64),
+            "limit must be page-aligned and above the null guard"
+        );
+        Mem {
+            pages: HashMap::new(),
+            limit,
+            last_page: u64::MAX,
+            last_ptr: std::ptr::null_mut(),
+        }
+    }
+
+    /// Upper bound (exclusive) of the valid address range.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Number of pages actually allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, addr: u64, size: u8, kind: AccessKind) -> Result<(), MemFault> {
+        if addr < NULL_GUARD || addr.saturating_add(size as u64) > self.limit {
+            return Err(MemFault::OutOfRange { addr, kind });
+        }
+        if size > 1 && !addr.is_multiple_of(size as u64) {
+            return Err(MemFault::Unaligned { addr, size, kind });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn page_ref(&self, pno: u64) -> Option<&Page> {
+        if pno == self.last_page && !self.last_ptr.is_null() {
+            // SAFETY: see the Send/Sync comment; the cache is kept coherent.
+            return Some(unsafe { &*self.last_ptr });
+        }
+        self.pages.get(&pno).map(|b| &**b)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, pno: u64) -> &mut Page {
+        if pno == self.last_page && !self.last_ptr.is_null() {
+            // SAFETY: cache is coherent and we hold &mut self.
+            return unsafe { &mut *self.last_ptr };
+        }
+        let page = self
+            .pages
+            .entry(pno)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        self.last_page = pno;
+        self.last_ptr = &mut **page as *mut Page;
+        // SAFETY: pointer freshly derived from the owned box.
+        unsafe { &mut *self.last_ptr }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] if any byte falls outside the valid
+    /// range. Bulk reads have no alignment requirement.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        if addr < NULL_GUARD || addr.saturating_add(buf.len() as u64) > self.limit {
+            return Err(MemFault::OutOfRange {
+                addr,
+                kind: AccessKind::Load,
+            });
+        }
+        let mut a = addr;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let pno = a >> PAGE_SHIFT;
+            let po = (a % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - po).min(buf.len() - off);
+            match self.page_ref(pno) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[po..po + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            a += n as u64;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes all of `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] if any byte falls outside the valid
+    /// range. Bulk writes have no alignment requirement.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        if addr < NULL_GUARD || addr.saturating_add(data.len() as u64) > self.limit {
+            return Err(MemFault::OutOfRange {
+                addr,
+                kind: AccessKind::Store,
+            });
+        }
+        let mut a = addr;
+        let mut off = 0usize;
+        while off < data.len() {
+            let pno = a >> PAGE_SHIFT;
+            let po = (a % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - po).min(data.len() - off);
+            self.page_mut(pno)[po..po + n].copy_from_slice(&data[off..off + n]);
+            a += n as u64;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] for addresses outside the valid range.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        self.check(addr, 1, AccessKind::Load)?;
+        Ok(self.peek_u8(addr))
+    }
+
+    #[inline]
+    fn peek_u8(&self, addr: u64) -> u8 {
+        match self.page_ref(addr >> PAGE_SHIFT) {
+            Some(p) => p[(addr % PAGE_SIZE as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] for addresses outside the valid range.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, val: u8) -> Result<(), MemFault> {
+        self.check(addr, 1, AccessKind::Store)?;
+        self.page_mut(addr >> PAGE_SHIFT)[(addr % PAGE_SIZE as u64) as usize] = val;
+        Ok(())
+    }
+
+    #[inline]
+    fn read_naturally<const N: usize>(
+        &self,
+        addr: u64,
+        endian: Endian,
+        kind: AccessKind,
+    ) -> Result<[u8; N], MemFault> {
+        self.check(addr, N as u8, kind)?;
+        let pno = addr >> PAGE_SHIFT;
+        let po = (addr % PAGE_SIZE as u64) as usize;
+        let mut raw = [0u8; N];
+        if let Some(p) = self.page_ref(pno) {
+            raw.copy_from_slice(&p[po..po + N]);
+        }
+        if endian == Endian::Big {
+            raw.reverse();
+        }
+        Ok(raw)
+    }
+
+    #[inline]
+    fn write_naturally<const N: usize>(
+        &mut self,
+        addr: u64,
+        mut raw: [u8; N],
+        endian: Endian,
+    ) -> Result<(), MemFault> {
+        self.check(addr, N as u8, AccessKind::Store)?;
+        if endian == Endian::Big {
+            raw.reverse();
+        }
+        let pno = addr >> PAGE_SHIFT;
+        let po = (addr % PAGE_SIZE as u64) as usize;
+        self.page_mut(pno)[po..po + N].copy_from_slice(&raw);
+        Ok(())
+    }
+
+    /// Reads a naturally aligned 16-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn read_u16(&self, addr: u64, endian: Endian) -> Result<u16, MemFault> {
+        Ok(u16::from_le_bytes(self.read_naturally(
+            addr,
+            endian,
+            AccessKind::Load,
+        )?))
+    }
+
+    /// Reads a naturally aligned 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn read_u32(&self, addr: u64, endian: Endian) -> Result<u32, MemFault> {
+        Ok(u32::from_le_bytes(self.read_naturally(
+            addr,
+            endian,
+            AccessKind::Load,
+        )?))
+    }
+
+    /// Reads a naturally aligned 64-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn read_u64(&self, addr: u64, endian: Endian) -> Result<u64, MemFault> {
+        Ok(u64::from_le_bytes(self.read_naturally(
+            addr,
+            endian,
+            AccessKind::Load,
+        )?))
+    }
+
+    /// Fetches a naturally aligned 32-bit instruction word.
+    ///
+    /// Identical to [`Mem::read_u32`] except faults are tagged as
+    /// [`AccessKind::Fetch`], so simulators can distinguish instruction-access
+    /// faults from data-access faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn fetch_u32(&self, addr: u64, endian: Endian) -> Result<u32, MemFault> {
+        Ok(u32::from_le_bytes(self.read_naturally(
+            addr,
+            endian,
+            AccessKind::Fetch,
+        )?))
+    }
+
+    /// Writes a naturally aligned 16-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn write_u16(&mut self, addr: u64, val: u16, endian: Endian) -> Result<(), MemFault> {
+        self.write_naturally(addr, val.to_le_bytes(), endian)
+    }
+
+    /// Writes a naturally aligned 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, val: u32, endian: Endian) -> Result<(), MemFault> {
+        self.write_naturally(addr, val.to_le_bytes(), endian)
+    }
+
+    /// Writes a naturally aligned 64-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, val: u64, endian: Endian) -> Result<(), MemFault> {
+        self.write_naturally(addr, val.to_le_bytes(), endian)
+    }
+
+    /// Loads an [`Image`]'s sections into memory and returns its entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] if a section does not fit in the
+    /// valid address range.
+    pub fn load_image(&mut self, image: &Image) -> Result<u64, MemFault> {
+        for sec in &image.sections {
+            self.write_bytes(sec.addr, &sec.bytes)?;
+        }
+        Ok(image.entry)
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes starting at
+    /// `addr`. Useful for syscall emulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] if the string runs off the valid
+    /// range before a NUL byte or the `max` bound is reached.
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max as u64 {
+            let b = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_reads() {
+        let mem = Mem::new();
+        assert_eq!(mem.read_u32(0x5000, Endian::Little).unwrap(), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_all_widths_le() {
+        let mut mem = Mem::new();
+        mem.write_u8(0x1000, 0xab).unwrap();
+        mem.write_u16(0x1002, 0xbeef, Endian::Little).unwrap();
+        mem.write_u32(0x1004, 0xdead_beef, Endian::Little).unwrap();
+        mem.write_u64(0x1008, 0x0102_0304_0506_0708, Endian::Little)
+            .unwrap();
+        assert_eq!(mem.read_u8(0x1000).unwrap(), 0xab);
+        assert_eq!(mem.read_u16(0x1002, Endian::Little).unwrap(), 0xbeef);
+        assert_eq!(mem.read_u32(0x1004, Endian::Little).unwrap(), 0xdead_beef);
+        assert_eq!(
+            mem.read_u64(0x1008, Endian::Little).unwrap(),
+            0x0102_0304_0506_0708
+        );
+    }
+
+    #[test]
+    fn endianness_is_per_access() {
+        let mut mem = Mem::new();
+        mem.write_u32(0x1000, 0x0102_0304, Endian::Big).unwrap();
+        assert_eq!(mem.read_u8(0x1000).unwrap(), 0x01);
+        assert_eq!(mem.read_u8(0x1003).unwrap(), 0x04);
+        assert_eq!(mem.read_u32(0x1000, Endian::Little).unwrap(), 0x0403_0201);
+    }
+
+    #[test]
+    fn unaligned_access_faults() {
+        let mut mem = Mem::new();
+        let err = mem.read_u32(0x1001, Endian::Little).unwrap_err();
+        assert!(matches!(err, MemFault::Unaligned { size: 4, .. }));
+        let err = mem.write_u64(0x1004, 0, Endian::Little).unwrap_err();
+        assert!(matches!(err, MemFault::Unaligned { size: 8, .. }));
+        assert_eq!(err.addr(), 0x1004);
+    }
+
+    #[test]
+    fn null_guard_faults() {
+        let mut mem = Mem::new();
+        assert!(mem.read_u32(0x0, Endian::Little).is_err());
+        assert!(mem.read_u8(0xfff).is_err());
+        assert!(mem.write_u8(0x10, 1).is_err());
+        assert!(mem.read_u8(0x1000).is_ok());
+    }
+
+    #[test]
+    fn limit_faults() {
+        let mut mem = Mem::with_limit(0x10000);
+        assert!(mem.write_u8(0xffff, 1).is_ok());
+        let err = mem.write_u8(0x10000, 1).unwrap_err();
+        assert!(matches!(err, MemFault::OutOfRange { .. }));
+        assert_eq!(err.kind(), AccessKind::Store);
+        // A multi-byte access straddling the limit also faults.
+        assert!(mem.write_u32(0xfffc, 0, Endian::Little).is_ok());
+        assert!(mem.read_u64(0xfff8, Endian::Little).is_ok());
+        assert!(mem.read_u64(0x10000 - 4, Endian::Little).is_err());
+    }
+
+    #[test]
+    fn bulk_crosses_pages() {
+        let mut mem = Mem::new();
+        let data: Vec<u8> = (0..=255).cycle().take(3 * PAGE_SIZE).map(|b| b as u8).collect();
+        mem.write_bytes(0x1ffe, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read_bytes(0x1ffe, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bulk_read_of_hole_is_zero() {
+        let mut mem = Mem::new();
+        mem.write_u8(0x1000, 0xff).unwrap();
+        let mut buf = [1u8; 16];
+        mem.read_bytes(0x9000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn fetch_faults_are_tagged() {
+        let mem = Mem::new();
+        let err = mem.fetch_u32(0x2, Endian::Little).unwrap_err();
+        assert_eq!(err.kind(), AccessKind::Fetch);
+    }
+
+    #[test]
+    fn cstr_reads() {
+        let mut mem = Mem::new();
+        mem.write_bytes(0x1000, b"hello\0world").unwrap();
+        assert_eq!(mem.read_cstr(0x1000, 64).unwrap(), b"hello");
+        assert_eq!(mem.read_cstr(0x1006, 3).unwrap(), b"wor");
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Mem::new();
+        a.write_u32(0x1000, 7, Endian::Little).unwrap();
+        let b = a.clone();
+        a.write_u32(0x1000, 9, Endian::Little).unwrap();
+        assert_eq!(b.read_u32(0x1000, Endian::Little).unwrap(), 7);
+        assert_eq!(a.read_u32(0x1000, Endian::Little).unwrap(), 9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-based property tests: the paged memory must behave exactly like a
+//! flat byte map, for any interleaving of reads and writes of any width and
+//! either endianness.
+
+use lis_mem::{Endian, Mem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    W8(u64, u8),
+    W16(u64, u16, Endian),
+    W32(u64, u32, Endian),
+    W64(u64, u64, Endian),
+    Bulk(u64, Vec<u8>),
+}
+
+fn endian() -> impl Strategy<Value = Endian> {
+    prop_oneof![Just(Endian::Little), Just(Endian::Big)]
+}
+
+/// Addresses clustered into a few pages so operations actually collide.
+fn addr() -> impl Strategy<Value = u64> {
+    (0x1000u64..0x4000).prop_map(|a| a & !7)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (addr(), any::<u8>()).prop_map(|(a, v)| Op::W8(a, v)),
+        (addr(), any::<u16>(), endian()).prop_map(|(a, v, e)| Op::W16(a, v, e)),
+        (addr(), any::<u32>(), endian()).prop_map(|(a, v, e)| Op::W32(a, v, e)),
+        (addr(), any::<u64>(), endian()).prop_map(|(a, v, e)| Op::W64(a, v, e)),
+        (addr(), proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(a, v)| Op::Bulk(a, v)),
+    ]
+}
+
+fn model_write(model: &mut HashMap<u64, u8>, addr: u64, bytes: &[u8]) {
+    for (i, b) in bytes.iter().enumerate() {
+        model.insert(addr + i as u64, *b);
+    }
+}
+
+fn to_bytes(v: u64, len: usize, e: Endian) -> Vec<u8> {
+    let le = v.to_le_bytes();
+    let mut bytes: Vec<u8> = le[..len].to_vec();
+    if e == Endian::Big {
+        bytes.reverse();
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_matches_flat_byte_model(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut mem = Mem::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::W8(a, v) => {
+                    mem.write_u8(*a, *v).unwrap();
+                    model_write(&mut model, *a, &[*v]);
+                }
+                Op::W16(a, v, e) => {
+                    mem.write_u16(*a, *v, *e).unwrap();
+                    model_write(&mut model, *a, &to_bytes(*v as u64, 2, *e));
+                }
+                Op::W32(a, v, e) => {
+                    mem.write_u32(*a, *v, *e).unwrap();
+                    model_write(&mut model, *a, &to_bytes(*v as u64, 4, *e));
+                }
+                Op::W64(a, v, e) => {
+                    mem.write_u64(*a, *v, *e).unwrap();
+                    model_write(&mut model, *a, &to_bytes(*v, 8, *e));
+                }
+                Op::Bulk(a, bytes) => {
+                    mem.write_bytes(*a, bytes).unwrap();
+                    model_write(&mut model, *a, bytes);
+                }
+            }
+        }
+        // Every byte the model knows must read back identically, through
+        // every access width.
+        for (&a, &expected) in &model {
+            prop_assert_eq!(mem.read_u8(a).unwrap(), expected);
+        }
+        // Word reads agree with byte composition in both endiannesses.
+        for &a in model.keys() {
+            let base = a & !7;
+            let mut le = [0u8; 8];
+            for (i, slot) in le.iter_mut().enumerate() {
+                *slot = model.get(&(base + i as u64)).copied().unwrap_or(0);
+            }
+            prop_assert_eq!(mem.read_u64(base, Endian::Little).unwrap(), u64::from_le_bytes(le));
+            prop_assert_eq!(mem.read_u64(base, Endian::Big).unwrap(), u64::from_be_bytes(le));
+        }
+        // Untouched addresses read as zero.
+        prop_assert_eq!(mem.read_u64(0x8000, Endian::Little).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_round_trip_any_alignment(
+        addr in 0x1000u64..0x3000,
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut mem = Mem::new();
+        mem.write_bytes(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read_bytes(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,125 @@
+//! The indexed decode table.
+//!
+//! The reference decoder in `lis-core` is a linear mask/match scan. The
+//! engine builds a 256-way table over the top byte of the instruction word:
+//! each bucket holds only the definitions whose encodings are compatible
+//! with that byte, so a decode is a short scan. Definitions whose masks do
+//! not constrain the top byte (e.g. ARM's condition field) simply appear in
+//! several buckets.
+
+use lis_core::IsaSpec;
+
+/// A 256-bucket first-byte-indexed decoder derived from an [`IsaSpec`].
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    buckets: Vec<Vec<u16>>,
+}
+
+impl DecodeTable {
+    /// Builds the table from an ISA description.
+    pub fn build(isa: &IsaSpec) -> DecodeTable {
+        let mut buckets = vec![Vec::new(); 256];
+        for (i, def) in isa.insts.iter().enumerate() {
+            let mask_hi = (def.mask >> 24) as u8;
+            let bits_hi = (def.bits >> 24) as u8;
+            for (b, bucket) in buckets.iter_mut().enumerate() {
+                if (b as u8) & mask_hi == bits_hi & mask_hi {
+                    bucket.push(i as u16);
+                }
+            }
+        }
+        DecodeTable { buckets }
+    }
+
+    /// Decodes one instruction word to its definition index.
+    ///
+    /// Definition order gives priority, exactly as in the reference scan.
+    #[inline]
+    pub fn decode(&self, isa: &IsaSpec, word: u32) -> Option<u16> {
+        let bucket = &self.buckets[(word >> 24) as usize];
+        bucket
+            .iter()
+            .copied()
+            .find(|&i| isa.insts[i as usize].matches(word))
+    }
+
+    /// Average bucket occupancy, for diagnostics.
+    pub fn mean_bucket_len(&self) -> f64 {
+        let total: usize = self.buckets.iter().map(Vec::len).sum();
+        total as f64 / self.buckets.len() as f64
+    }
+}
+
+/// A fast, deterministic hasher for PC-keyed maps (block and decode caches).
+/// PCs are small, well-distributed integers; SipHash is overkill on the hot
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcHasher(u64);
+
+impl std::hash::Hasher for PcHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci-style multiplicative mix; enough for page-aligned PCs.
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// `BuildHasher` for the PC hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcHashBuilder;
+
+impl std::hash::BuildHasher for PcHashBuilder {
+    type Hasher = PcHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> PcHasher {
+        PcHasher(0)
+    }
+}
+
+/// A `HashMap` keyed by PC using the fast hasher.
+pub type PcMap<V> = std::collections::HashMap<u64, V, PcHashBuilder>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn table_agrees_with_reference_scan() {
+        let isa = toy::spec();
+        let table = DecodeTable::build(isa);
+        for word in [0x0112_0005u32, 0x0212_3000, 0x0712_0000, 0xffff_ffff, 0] {
+            assert_eq!(table.decode(isa, word), isa.decode(word), "word {word:#x}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_narrow_for_top_byte_opcodes() {
+        let isa = toy::spec();
+        let table = DecodeTable::build(isa);
+        assert!(table.mean_bucket_len() < isa.num_insts() as f64);
+    }
+
+    #[test]
+    fn pc_map_works() {
+        let mut m: PcMap<u32> = PcMap::default();
+        for pc in (0x1000u64..0x2000).step_by(4) {
+            m.insert(pc, pc as u32);
+        }
+        assert_eq!(m.get(&0x1ffc), Some(&0x1ffc));
+        assert_eq!(m.len(), 0x400);
+    }
+}

@@ -1,0 +1,1009 @@
+//! The synthesis engine: one simulator per (ISA, buildset).
+//!
+//! [`Simulator`] is the functional simulator the toolkit *synthesizes* from a
+//! single ISA specification and one [`BuildsetDef`]. The buildset selects
+//! which entry points exist ([`Simulator::next_block`],
+//! [`Simulator::next_inst`], or [`Simulator::step_inst`]), which fields are
+//! published at every call boundary, and whether rollback is supported.
+//!
+//! Specialization happens in three places, mirroring the paper's synthesis:
+//!
+//! * **Semantic detail** decides how much per-call bookkeeping (header
+//!   copies, publication, dispatch) is paid per instruction: once per block,
+//!   once per instruction, or seven times per instruction.
+//! * **Informational detail** decides how many field stores the publication
+//!   loop performs; hidden fields never leave the working frame.
+//! * **Speculation** decides whether every architectural write captures an
+//!   undo record.
+//!
+//! The [`Backend`] choice is the analog of the paper's binary translation:
+//! the cached backend predecodes basic blocks once and reuses them, while
+//! the interpreted backend re-fetches and re-decodes every time (the paper's
+//! footnote 5 comparison).
+
+use crate::decode::{DecodeTable, PcMap};
+use crate::error::{invalid_interface, BuildError, IfaceError, SimStop};
+use crate::stats::{RunSummary, SimStats};
+use lis_core::{
+    check_interface, ArchState, BuildsetDef, DynInst, Exec, Fault, Frame, InstClass, InstHeader,
+    IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, F_OPCODE,
+};
+use lis_mem::Image;
+use std::rc::Rc;
+
+/// Marker for an undecodable word inside a predecoded block.
+const ILLEGAL: u16 = u16::MAX;
+
+/// Default maximum basic-block length in instructions.
+pub const DEFAULT_MAX_BLOCK: usize = 64;
+
+/// Default stack top used by [`Simulator::load_program`].
+pub const STACK_TOP: u64 = 0x00f0_0000;
+
+/// Execution backend (the binary-translation analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Predecode basic blocks once and cache them (default).
+    #[default]
+    Cached,
+    /// Re-fetch and re-decode every instruction on every execution.
+    Interpreted,
+}
+
+/// One predecoded instruction inside a cached block.
+///
+/// Decode actions are, by contract, pure functions of the instruction bits
+/// (they read no architectural state), so their results — the operand
+/// identifiers and decode-time fields — can be captured once when the block
+/// is built and replayed on every execution. This hoisting is the toolkit's
+/// analog of the paper's binary-translation optimization scope: work moves
+/// out of the per-execution loop at block granularity.
+#[derive(Clone, Copy)]
+struct PredecInst {
+    /// Instruction index, or [`ILLEGAL`].
+    op: u16,
+    /// Raw instruction word.
+    bits: u32,
+    /// Captured operand identifiers.
+    ops: Operands,
+    /// Captured decode-time `(field, value)` pairs.
+    fields: [(u8, u64); 4],
+    /// Number of valid entries in `fields`.
+    nfields: u8,
+    /// True when the decode action must re-run at execution time (it
+    /// faulted or produced more fields than the capture buffer holds).
+    fallback: bool,
+    /// The instruction's resolved action pointers, so the block loop
+    /// dispatches without re-walking the instruction table.
+    actions: lis_core::StepActions,
+}
+
+impl std::fmt::Debug for PredecInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredecInst")
+            .field("op", &self.op)
+            .field("bits", &format_args!("{:#010x}", self.bits))
+            .field("fallback", &self.fallback)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A predecoded basic block.
+#[derive(Debug)]
+struct Block {
+    insts: Vec<PredecInst>,
+}
+
+/// A speculation checkpoint.
+#[derive(Debug, Clone, Copy)]
+struct Checkpoint {
+    undo: UndoMark,
+    pc: u64,
+    os: OsMark,
+    halted: bool,
+    exit_code: i64,
+}
+
+/// Identifier of an open checkpoint, returned by [`Simulator::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointId(usize);
+
+/// A synthesized functional simulator with one derived interface.
+///
+/// # Examples
+///
+/// ```
+/// use lis_runtime::{toy, Simulator};
+/// use lis_core::{ONE_ALL, DynInst};
+/// use lis_mem::{Image, Section};
+///
+/// let image = Image {
+///     entry: 0x1000,
+///     sections: vec![Section {
+///         name: ".text".into(),
+///         addr: 0x1000,
+///         bytes: [toy::addi(1, 0, 1 /* exit */), toy::addi(2, 0, 42), toy::sys()]
+///             .iter()
+///             .flat_map(|w| w.to_le_bytes())
+///             .collect(),
+///     }],
+///     symbols: Default::default(),
+/// };
+/// let mut sim = Simulator::new(toy::spec(), ONE_ALL)?;
+/// sim.load_program(&image)?;
+/// let summary = sim.run_to_halt(1000)?;
+/// assert_eq!(summary.exit_code, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    isa: &'static IsaSpec,
+    bs: BuildsetDef,
+    backend: Backend,
+    /// Architectural state (public for loaders, checkers, and tests).
+    pub state: ArchState,
+    /// OS emulation state (captured stdout, heap break, tick counter).
+    pub os: OsState,
+    undo: UndoLog,
+    table: DecodeTable,
+    frame: Frame,
+    ops: Operands,
+    header: InstHeader,
+    opcode: u16,
+    expected: Step,
+    inst_fault: bool,
+    blocks: PcMap<Rc<Block>>,
+    inst_cache: PcMap<(u16, u32)>,
+    checkpoints: Vec<Checkpoint>,
+    /// Execution statistics.
+    pub stats: SimStats,
+    max_block: usize,
+}
+
+impl Simulator {
+    /// Synthesizes a simulator for `isa` with the interface `buildset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidInterface`] when the interface lint
+    /// rejects the buildset (a value would be lost at a call boundary), or
+    /// [`BuildError::InvalidSpec`] when the ISA description is inconsistent.
+    pub fn new(isa: &'static IsaSpec, buildset: BuildsetDef) -> Result<Simulator, BuildError> {
+        isa.validate().map_err(BuildError::InvalidSpec)?;
+        check_interface(isa, &buildset).map_err(|d| invalid_interface(&buildset, d))?;
+        Ok(Simulator {
+            isa,
+            bs: buildset,
+            backend: Backend::Cached,
+            state: ArchState::new(isa.endian),
+            os: OsState::new(0),
+            undo: UndoLog::new(),
+            table: DecodeTable::build(isa),
+            frame: Frame::new(),
+            ops: Operands::new(),
+            header: InstHeader::default(),
+            opcode: ILLEGAL,
+            expected: Step::Fetch,
+            inst_fault: false,
+            blocks: PcMap::default(),
+            inst_cache: PcMap::default(),
+            checkpoints: Vec::new(),
+            stats: SimStats::default(),
+            max_block: DEFAULT_MAX_BLOCK,
+        })
+    }
+
+    /// Selects the execution backend (default: [`Backend::Cached`]).
+    pub fn set_backend(&mut self, backend: Backend) -> &mut Self {
+        self.backend = backend;
+        self.clear_caches();
+        self
+    }
+
+    /// Sets the maximum predecoded block length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn set_max_block(&mut self, len: usize) -> &mut Self {
+        assert!(len > 0, "block length must be positive");
+        self.max_block = len;
+        self.clear_caches();
+        self
+    }
+
+    /// The ISA this simulator executes.
+    pub fn isa(&self) -> &'static IsaSpec {
+        self.isa
+    }
+
+    /// The buildset (interface) this simulator was synthesized for.
+    pub fn buildset(&self) -> &BuildsetDef {
+        &self.bs
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Discards all predecoded state (needed after loading new code).
+    pub fn clear_caches(&mut self) {
+        self.blocks.clear();
+        self.inst_cache.clear();
+    }
+
+    /// Loads a program image, points the PC at its entry, sets up the stack
+    /// pointer and heap break.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault if the image does not fit in memory.
+    pub fn load_program(&mut self, image: &Image) -> Result<(), Fault> {
+        let entry = self.state.mem.load_image(image)?;
+        self.state.pc = entry & self.isa.pc_mask;
+        let sp = STACK_TOP & self.isa.pc_mask;
+        self.state.gpr[self.isa.sp_gpr as usize] = sp;
+        let brk = (image.high_water() + 0xfff) & !0xfff;
+        self.os.brk = brk;
+        self.clear_caches();
+        Ok(())
+    }
+
+    /// Re-runs the same program from scratch: architectural and OS state are
+    /// reset and the image is reloaded, but predecoded blocks are *kept* —
+    /// they describe the same text section, and keeping them lets repeated
+    /// runs amortize predecode cost exactly the way the paper's binary
+    /// translation amortizes over long simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault if the image does not fit in memory.
+    pub fn reset_program(&mut self, image: &Image) -> Result<(), Fault> {
+        self.state = ArchState::new(self.isa.endian);
+        self.os = OsState::new(0);
+        self.undo.clear();
+        self.checkpoints.clear();
+        self.expected = Step::Fetch;
+        self.opcode = ILLEGAL;
+        let entry = self.state.mem.load_image(image)?;
+        self.state.pc = entry & self.isa.pc_mask;
+        self.state.gpr[self.isa.sp_gpr as usize] = STACK_TOP & self.isa.pc_mask;
+        self.os.brk = (image.high_water() + 0xfff) & !0xfff;
+        Ok(())
+    }
+
+    /// Captured program stdout so far.
+    pub fn stdout(&self) -> &[u8] {
+        &self.os.stdout
+    }
+
+    /// Redirects the PC (e.g. after a timing simulator resolves a
+    /// mispredicted branch differently).
+    pub fn redirect(&mut self, pc: u64) {
+        self.state.pc = pc & self.isa.pc_mask;
+        self.expected = Step::Fetch;
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation control
+    // ------------------------------------------------------------------
+
+    /// Opens a checkpoint. All architectural effects after this point can be
+    /// rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::SpeculationDisabled`] unless the buildset
+    /// enables speculation.
+    pub fn checkpoint(&mut self) -> Result<CheckpointId, IfaceError> {
+        if !self.bs.speculation {
+            return Err(IfaceError::SpeculationDisabled);
+        }
+        let cp = Checkpoint {
+            undo: self.undo.mark(),
+            pc: self.state.pc,
+            os: self.os.mark(),
+            halted: self.state.halted,
+            exit_code: self.state.exit_code,
+        };
+        self.checkpoints.push(cp);
+        self.stats.checkpoints += 1;
+        Ok(CheckpointId(self.checkpoints.len() - 1))
+    }
+
+    /// Rolls architectural state, OS state, and the PC back to `id`,
+    /// discarding it and every newer checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::BadCheckpoint`] if `id` was already consumed.
+    pub fn rollback(&mut self, id: CheckpointId) -> Result<(), IfaceError> {
+        if id.0 >= self.checkpoints.len() {
+            return Err(IfaceError::BadCheckpoint);
+        }
+        let cp = self.checkpoints[id.0];
+        self.undo.rollback(cp.undo, &mut self.state);
+        self.os.rollback(cp.os);
+        self.state.pc = cp.pc;
+        self.state.halted = cp.halted;
+        self.state.exit_code = cp.exit_code;
+        self.checkpoints.truncate(id.0);
+        self.expected = Step::Fetch;
+        self.stats.rollbacks += 1;
+        Ok(())
+    }
+
+    /// Confirms the speculation begun at `id`: the checkpoint (and every
+    /// newer one) can no longer be rolled back to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::BadCheckpoint`] if `id` was already consumed.
+    pub fn commit(&mut self, id: CheckpointId) -> Result<(), IfaceError> {
+        if id.0 >= self.checkpoints.len() {
+            return Err(IfaceError::BadCheckpoint);
+        }
+        self.checkpoints.truncate(id.0);
+        if self.checkpoints.is_empty() {
+            self.undo.clear();
+        }
+        Ok(())
+    }
+
+    /// Overrides a memory value (the speculative-functional-first recovery
+    /// channel). The write is undo-captured when a checkpoint is open.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory faults for invalid addresses.
+    pub fn poke_mem(&mut self, addr: u64, size: u8, val: u64) -> Result<(), Fault> {
+        let mut ex = self.exec(ILLEGAL);
+        ex.store(addr, size, val)
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn exec(&mut self, opcode: u16) -> Exec<'_> {
+        Exec {
+            isa: self.isa,
+            frame: &mut self.frame,
+            ops: &mut self.ops,
+            header: &mut self.header,
+            opcode,
+            state: &mut self.state,
+            os: &mut self.os,
+            undo: if self.bs.speculation { Some(&mut self.undo) } else { None },
+        }
+    }
+
+    #[inline]
+    fn begin_inst(&mut self, pc: u64) {
+        self.frame.clear();
+        self.ops.clear();
+        self.header.pc = pc;
+        self.header.phys_pc = pc; // identity address translation
+        self.header.next_pc = pc.wrapping_add(4) & self.isa.pc_mask;
+        self.header.instr_bits = 0;
+        self.inst_fault = false;
+    }
+
+    #[inline]
+    fn fetch(&mut self) -> Result<(), Fault> {
+        self.header.instr_bits =
+            self.state.mem.fetch_u32(self.header.phys_pc, self.isa.endian)?;
+        Ok(())
+    }
+
+    #[inline]
+    fn run_action(&mut self, opcode: u16, step: Step) -> Result<(), Fault> {
+        let def = self.isa.inst(opcode);
+        if let Some(action) = def.actions.action(step) {
+            let mut ex = self.exec(opcode);
+            action(&mut ex)?;
+        }
+        Ok(())
+    }
+
+    /// Runs decode..exception for a decoded instruction (One/Block paths).
+    #[inline]
+    fn run_all_actions(&mut self, opcode: u16) -> Result<(), Fault> {
+        self.frame.set(F_OPCODE, opcode as u64);
+        let actions = self.isa.inst(opcode).actions;
+        let mut ex = self.exec(opcode);
+        if let Some(a) = actions.decode {
+            a(&mut ex)?;
+        }
+        if let Some(a) = actions.operand_fetch {
+            a(&mut ex)?;
+        }
+        if let Some(a) = actions.evaluate {
+            a(&mut ex)?;
+        }
+        if let Some(a) = actions.memory {
+            a(&mut ex)?;
+        }
+        if let Some(a) = actions.writeback {
+            a(&mut ex)?;
+        }
+        if let Some(a) = actions.exception {
+            a(&mut ex)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn publish(&mut self, di: &mut DynInst, fault: Option<Fault>) {
+        di.header = self.header;
+        di.fault = fault;
+        di.publish(&self.frame, self.bs.visibility.fields, &self.ops, self.bs.visibility.operand_ids);
+    }
+
+    /// End-of-instruction housekeeping shared by all semantic levels.
+    #[inline]
+    fn retire(&mut self) {
+        self.state.pc = self.header.next_pc;
+        self.stats.insts += 1;
+        if self.bs.speculation && self.checkpoints.is_empty() {
+            self.undo.clear();
+        }
+    }
+
+    #[inline]
+    fn check_semantic(&self, wanted: Semantic) -> Result<(), IfaceError> {
+        if self.bs.semantic != wanted {
+            return Err(IfaceError::WrongSemantic { active: self.bs.semantic, wanted });
+        }
+        if self.state.halted {
+            return Err(IfaceError::Halted);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Entry point: one call per instruction
+    // ------------------------------------------------------------------
+
+    /// Executes one instruction and publishes it into `di`.
+    ///
+    /// On an architectural fault, `di.fault` is set and the PC is left at
+    /// the faulting instruction; the timing simulator decides what happens
+    /// next.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError`] for wrong-semantic or post-exit calls.
+    pub fn next_inst(&mut self, di: &mut DynInst) -> Result<(), IfaceError> {
+        self.check_semantic(Semantic::One)?;
+        self.stats.calls += 1;
+        let pc = self.state.pc & self.isa.pc_mask;
+        self.begin_inst(pc);
+
+        let result = (|| -> Result<(), Fault> {
+            let opcode = if self.backend == Backend::Cached {
+                if let Some(&(op, bits)) = self.inst_cache.get(&pc) {
+                    self.header.instr_bits = bits;
+                    op
+                } else {
+                    self.fetch()?;
+                    let op = self
+                        .table
+                        .decode(self.isa, self.header.instr_bits)
+                        .ok_or(Fault::IllegalInstruction { pc, bits: self.header.instr_bits })?;
+                    self.inst_cache.insert(pc, (op, self.header.instr_bits));
+                    op
+                }
+            } else {
+                self.fetch()?;
+                self.table
+                    .decode(self.isa, self.header.instr_bits)
+                    .ok_or(Fault::IllegalInstruction { pc, bits: self.header.instr_bits })?
+            };
+            self.run_all_actions(opcode)
+        })();
+
+        match result {
+            Ok(()) => {
+                self.publish(di, None);
+                self.retire();
+            }
+            Err(fault) => {
+                self.publish(di, Some(fault));
+                self.stats.faults += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Entry point: fast-forward
+    // ------------------------------------------------------------------
+
+    /// Executes up to `n` instructions with **no** published information at
+    /// all — the paper's fast-forward interface for sampled simulation
+    /// ("perhaps one call to execute N instructions", §II-C). Returns the
+    /// number of instructions executed (fewer than `n` if the program exits
+    /// or a fault occurs; the fault will re-occur on the next regular call).
+    ///
+    /// Available on block-semantic interfaces, where the paper places the
+    /// fast-forward path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError`] for wrong-semantic or post-exit calls.
+    pub fn fast_forward(&mut self, n: u64) -> Result<u64, IfaceError> {
+        self.check_semantic(Semantic::Block)?;
+        self.stats.calls += 1;
+        let mut done = 0u64;
+        'outer: while done < n && !self.state.halted {
+            let pc = self.state.pc & self.isa.pc_mask;
+            let Ok(block) = self.lookup_block(pc) else { break };
+            self.stats.blocks += 1;
+            for (i, e) in block.insts.iter().enumerate() {
+                let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
+                self.begin_inst(ipc);
+                self.header.instr_bits = e.bits;
+                let result = if e.op == ILLEGAL {
+                    Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits })
+                } else if e.fallback {
+                    self.run_all_actions(e.op)
+                } else {
+                    self.ops = e.ops;
+                    for &(f, v) in &e.fields[..e.nfields as usize] {
+                        self.frame.set(lis_core::FieldId(f), v);
+                    }
+                    self.frame.set(F_OPCODE, e.op as u64);
+                    let actions = e.actions;
+                    let mut ex = self.exec(e.op);
+                    [
+                        actions.operand_fetch,
+                        actions.evaluate,
+                        actions.memory,
+                        actions.writeback,
+                        actions.exception,
+                    ]
+                    .into_iter()
+                    .flatten()
+                    .try_for_each(|a| a(&mut ex))
+                };
+                if result.is_err() {
+                    // Leave the PC at the faulting instruction; a regular
+                    // interface call will reproduce and report the fault.
+                    break 'outer;
+                }
+                self.retire();
+                done += 1;
+                if self.state.halted
+                    || done == n
+                    || self.header.next_pc != ipc.wrapping_add(4) & self.isa.pc_mask
+                {
+                    continue 'outer;
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Entry point: one call per basic block
+    // ------------------------------------------------------------------
+
+    /// Executes one basic block, publishing one record per instruction into
+    /// `out` (cleared first). Returns the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError`] for wrong-semantic or post-exit calls.
+    pub fn next_block(&mut self, out: &mut Vec<DynInst>) -> Result<usize, IfaceError> {
+        self.check_semantic(Semantic::Block)?;
+        self.stats.calls += 1;
+        self.stats.blocks += 1;
+        let pc = self.state.pc & self.isa.pc_mask;
+        // `out` slots are reused across calls: existing records are
+        // overwritten in place, so the per-instruction cost is the
+        // publication itself, not buffer construction.
+        let mut count = 0usize;
+
+        let block = match self.lookup_block(pc) {
+            Ok(b) => b,
+            Err(fault) => {
+                // The very first fetch of the block faulted.
+                self.begin_inst(pc);
+                if out.is_empty() {
+                    out.push(DynInst::new());
+                }
+                out[0].clear();
+                let (head, _) = out.split_at_mut(1);
+                self.publish(&mut head[0], Some(fault));
+                self.stats.faults += 1;
+                out.truncate(1);
+                return Ok(0);
+            }
+        };
+
+        for (i, e) in block.insts.iter().enumerate() {
+            let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
+            self.begin_inst(ipc);
+            self.header.instr_bits = e.bits;
+            let result = if e.op == ILLEGAL {
+                Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits })
+            } else if e.fallback {
+                self.run_all_actions(e.op)
+            } else {
+                // Replay the captured decode results and run the remaining
+                // steps through the cached action pointers.
+                self.ops = e.ops;
+                for &(f, v) in &e.fields[..e.nfields as usize] {
+                    self.frame.set(lis_core::FieldId(f), v);
+                }
+                self.frame.set(F_OPCODE, e.op as u64);
+                (|| -> Result<(), Fault> {
+                    let actions = e.actions;
+                    let mut ex = self.exec(e.op);
+                    if let Some(a) = actions.operand_fetch {
+                        a(&mut ex)?;
+                    }
+                    if let Some(a) = actions.evaluate {
+                        a(&mut ex)?;
+                    }
+                    if let Some(a) = actions.memory {
+                        a(&mut ex)?;
+                    }
+                    if let Some(a) = actions.writeback {
+                        a(&mut ex)?;
+                    }
+                    if let Some(a) = actions.exception {
+                        a(&mut ex)?;
+                    }
+                    Ok(())
+                })()
+            };
+            if out.len() == count {
+                out.push(DynInst::new());
+            }
+            let di = &mut out[count];
+            di.clear();
+            count += 1;
+            match result {
+                Ok(()) => {
+                    let header = self.header;
+                    di.header = header;
+                    di.fault = None;
+                    di.publish(
+                        &self.frame,
+                        self.bs.visibility.fields,
+                        &self.ops,
+                        self.bs.visibility.operand_ids,
+                    );
+                    self.retire();
+                    if self.state.halted {
+                        break;
+                    }
+                    if self.header.next_pc != ipc.wrapping_add(4) & self.isa.pc_mask {
+                        break; // taken control flow ends the block
+                    }
+                }
+                Err(fault) => {
+                    di.header = self.header;
+                    di.fault = Some(fault);
+                    di.publish(
+                        &self.frame,
+                        self.bs.visibility.fields,
+                        &self.ops,
+                        self.bs.visibility.operand_ids,
+                    );
+                    self.stats.faults += 1;
+                    break;
+                }
+            }
+        }
+        out.truncate(count);
+        Ok(count)
+    }
+
+    fn lookup_block(&mut self, pc: u64) -> Result<Rc<Block>, Fault> {
+        if self.backend == Backend::Cached {
+            if let Some(b) = self.blocks.get(&pc) {
+                return Ok(Rc::clone(b));
+            }
+        }
+        let block = Rc::new(self.build_block(pc)?);
+        self.stats.blocks_built += 1;
+        if self.backend == Backend::Cached {
+            self.blocks.insert(pc, Rc::clone(&block));
+        }
+        Ok(block)
+    }
+
+    /// Captures an instruction's decode results for replay; falls back to
+    /// exec-time decoding when the decode action faults or produces more
+    /// fields than the capture buffer holds.
+    fn predecode(&mut self, op: u16, bits: u32, pc: u64) -> PredecInst {
+        let actions = self.isa.inst(op).actions;
+        let fallback = PredecInst {
+            op,
+            bits,
+            ops: Operands::new(),
+            fields: [(0, 0); 4],
+            nfields: 0,
+            fallback: true,
+            actions,
+        };
+        self.begin_inst(pc);
+        self.header.instr_bits = bits;
+        if let Some(dec) = self.isa.inst(op).actions.decode {
+            let mut ex = self.exec(op);
+            if dec(&mut ex).is_err() {
+                return fallback;
+            }
+        }
+        let mut fields = [(0u8, 0u64); 4];
+        let mut n = 0usize;
+        for f in self.frame.valid().iter() {
+            if n == fields.len() {
+                return fallback;
+            }
+            fields[n] = (f.0, self.frame.raw(f.index()));
+            n += 1;
+        }
+        PredecInst { op, bits, ops: self.ops, fields, nfields: n as u8, fallback: false, actions }
+    }
+
+    fn build_block(&mut self, pc: u64) -> Result<Block, Fault> {
+        let mut insts: Vec<PredecInst> = Vec::new();
+        let mut p = pc;
+        loop {
+            let bits = match self.state.mem.fetch_u32(p & self.isa.pc_mask, self.isa.endian) {
+                Ok(b) => b,
+                Err(f) => {
+                    if insts.is_empty() {
+                        return Err(f.into());
+                    }
+                    break;
+                }
+            };
+            match self.table.decode(self.isa, bits) {
+                Some(op) => {
+                    insts.push(self.predecode(op, bits, p));
+                    let class = self.isa.inst(op).class;
+                    if matches!(class, InstClass::Branch | InstClass::Jump | InstClass::Syscall) {
+                        break;
+                    }
+                }
+                None => {
+                    insts.push(PredecInst {
+                        op: ILLEGAL,
+                        bits,
+                        ops: Operands::new(),
+                        fields: [(0, 0); 4],
+                        nfields: 0,
+                        fallback: false,
+                        actions: lis_core::StepActions::NONE,
+                    });
+                    break;
+                }
+            }
+            if insts.len() >= self.max_block {
+                break;
+            }
+            p = p.wrapping_add(4);
+        }
+        Ok(Block { insts })
+    }
+
+    // ------------------------------------------------------------------
+    // Entry point: seven calls per instruction
+    // ------------------------------------------------------------------
+
+    /// Executes one step of the current instruction, publishing visible
+    /// state into `di` at the call boundary. Values hidden by the interface
+    /// genuinely do not survive between calls — the engine reloads its
+    /// working frame from `di` at the start of each step, which is what
+    /// makes the interface lint's visibility requirements real.
+    ///
+    /// Between the `OperandFetch` and `Exception` calls the timing simulator
+    /// may freely modify operand-value fields in `di` (bypass injection);
+    /// the modified values are what the following steps consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::OutOfOrderStep`] if steps are called out of
+    /// order, and the usual wrong-semantic/halted errors.
+    pub fn step_inst(&mut self, step: Step, di: &mut DynInst) -> Result<(), IfaceError> {
+        self.check_semantic(Semantic::Step)?;
+        if step != self.expected {
+            return Err(IfaceError::OutOfOrderStep { expected: self.expected, got: step });
+        }
+        self.stats.calls += 1;
+
+        let result: Result<(), Fault> = (|| {
+            match step {
+                Step::Fetch => {
+                    let pc = self.state.pc & self.isa.pc_mask;
+                    self.begin_inst(pc);
+                    self.opcode = ILLEGAL;
+                    self.fetch()
+                }
+                Step::Decode => {
+                    self.reload(di);
+                    let pc = self.header.pc;
+                    let bits = self.header.instr_bits;
+                    let op = if self.backend == Backend::Cached {
+                        match self.inst_cache.get(&pc) {
+                            Some(&(op, _)) => op,
+                            None => {
+                                let op = self
+                                    .table
+                                    .decode(self.isa, bits)
+                                    .ok_or(Fault::IllegalInstruction { pc, bits })?;
+                                self.inst_cache.insert(pc, (op, bits));
+                                op
+                            }
+                        }
+                    } else {
+                        self.table
+                            .decode(self.isa, bits)
+                            .ok_or(Fault::IllegalInstruction { pc, bits })?
+                    };
+                    self.opcode = op;
+                    self.frame.set(F_OPCODE, op as u64);
+                    self.run_action(op, Step::Decode)
+                }
+                _ => {
+                    self.reload(di);
+                    let op = self.opcode;
+                    debug_assert_ne!(op, ILLEGAL, "step after decode fault");
+                    self.run_action(op, step)
+                }
+            }
+        })();
+
+        match result {
+            Ok(()) => {
+                self.publish(di, None);
+                if step == Step::Exception {
+                    self.retire();
+                    self.expected = Step::Fetch;
+                } else {
+                    self.expected = step.next().unwrap_or(Step::Fetch);
+                }
+            }
+            Err(fault) => {
+                // The instruction is aborted; the next call starts a fresh
+                // fetch at the (unadvanced) PC.
+                self.publish(di, Some(fault));
+                self.stats.faults += 1;
+                self.expected = Step::Fetch;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Per-operand control (timing-directed bypass support)
+    // ------------------------------------------------------------------
+
+    /// Re-reads source operand `i` from *current* architectural state and
+    /// republishes its value into `di` — the paper's individual operand-read
+    /// call, letting a timing-directed simulator choose exactly when each
+    /// source is fetched (e.g. after an older in-flight instruction's
+    /// writeback). Legal on step-level interfaces between the `Decode` and
+    /// `Evaluate` calls; returns the value read, or `None` if the
+    /// instruction has no such source operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::WrongSemantic`] off step-level interfaces and
+    /// [`IfaceError::OutOfOrderStep`] outside the decode→evaluate window.
+    pub fn fetch_src_operand(
+        &mut self,
+        di: &mut DynInst,
+        i: usize,
+    ) -> Result<Option<u64>, IfaceError> {
+        if self.bs.semantic != Semantic::Step {
+            return Err(IfaceError::WrongSemantic { active: self.bs.semantic, wanted: Semantic::Step });
+        }
+        if !matches!(self.expected, Step::OperandFetch | Step::Evaluate) {
+            return Err(IfaceError::OutOfOrderStep { expected: self.expected, got: Step::OperandFetch });
+        }
+        self.reload(di);
+        let Some(&r) = di.operands().and_then(|o| o.srcs().get(i)) else {
+            return Ok(None);
+        };
+        let v = (self.isa.reg_classes[r.class as usize].read)(&self.state, r.index);
+        self.frame.set(lis_core::SRC_FIELDS[i], v);
+        self.publish(di, di.fault);
+        Ok(Some(v))
+    }
+
+    /// Writes destination operand `i` from the value published in `di` to
+    /// architectural state *now* — the paper's individual operand-write
+    /// call. Legal on step-level interfaces after `Evaluate`; returns
+    /// whether a value was written (false when the instruction did not
+    /// produce that destination, e.g. a squashed conditional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IfaceError::WrongSemantic`] off step-level interfaces and
+    /// [`IfaceError::OutOfOrderStep`] before the evaluate call has run.
+    pub fn write_dest_operand(&mut self, di: &DynInst, i: usize) -> Result<bool, IfaceError> {
+        if self.bs.semantic != Semantic::Step {
+            return Err(IfaceError::WrongSemantic { active: self.bs.semantic, wanted: Semantic::Step });
+        }
+        if !matches!(self.expected, Step::Memory | Step::Writeback | Step::Exception) {
+            return Err(IfaceError::OutOfOrderStep { expected: self.expected, got: Step::Writeback });
+        }
+        let Some(&r) = di.operands().and_then(|o| o.dests().get(i)) else {
+            return Ok(false);
+        };
+        let Some(v) = di.field(lis_core::DEST_FIELDS[i]) else {
+            return Ok(false);
+        };
+        let def = &self.isa.reg_classes[r.class as usize];
+        if self.bs.speculation {
+            let old = (def.read)(&self.state, r.index);
+            self.undo.push(lis_core::UndoRec::Reg { write: def.write, idx: r.index, old });
+        }
+        (def.write)(&mut self.state, r.index, v);
+        Ok(true)
+    }
+
+    #[inline]
+    fn reload(&mut self, di: &DynInst) {
+        self.header = di.header;
+        di.reload(&mut self.frame, &mut self.ops);
+    }
+
+    // ------------------------------------------------------------------
+    // Driver
+    // ------------------------------------------------------------------
+
+    /// Drives the simulator until the program exits, a fault occurs, or
+    /// `max_insts` instructions have executed. The driving loop uses the
+    /// buildset's own semantic level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimStop::Fault`] on an architectural fault,
+    /// [`SimStop::MaxInsts`] when the budget runs out.
+    pub fn run_to_halt(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
+        let start = self.stats.insts;
+        let mut di = DynInst::new();
+        let mut buf: Vec<DynInst> = Vec::with_capacity(self.max_block);
+        while !self.state.halted {
+            if self.stats.insts - start >= max_insts {
+                return Err(SimStop::MaxInsts);
+            }
+            match self.bs.semantic {
+                Semantic::One => {
+                    self.next_inst(&mut di)?;
+                    if let Some(f) = di.fault {
+                        return Err(SimStop::Fault(f));
+                    }
+                }
+                Semantic::Block => {
+                    self.next_block(&mut buf)?;
+                    if let Some(f) = buf.last().and_then(|d| d.fault) {
+                        return Err(SimStop::Fault(f));
+                    }
+                }
+                Semantic::Step => {
+                    for step in Step::ALL {
+                        self.step_inst(step, &mut di)?;
+                        if let Some(f) = di.fault {
+                            return Err(SimStop::Fault(f));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RunSummary {
+            insts: self.stats.insts - start,
+            halted: self.state.halted,
+            exit_code: self.state.exit_code,
+        })
+    }
+}

@@ -1,0 +1,109 @@
+//! Errors of the synthesis engine and the derived interfaces.
+
+use lis_core::{BuildsetDef, Fault, LintDiag, Semantic, Step};
+use std::fmt;
+
+/// Error constructing a simulator for a buildset.
+#[derive(Debug, Clone)]
+pub enum BuildError {
+    /// The interface hides a value that must cross a call boundary; the
+    /// contained diagnostics come from the interface lint.
+    InvalidInterface {
+        /// Name of the rejected buildset.
+        buildset: &'static str,
+        /// The dataflow violations.
+        diags: Vec<LintDiag>,
+    },
+    /// The ISA description itself failed validation.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidInterface { buildset, diags } => {
+                write!(f, "interface `{buildset}` is invalid ({} dataflow violations)", diags.len())
+            }
+            BuildError::InvalidSpec(msg) => write!(f, "invalid ISA description: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error using a derived interface incorrectly at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceError {
+    /// The called entry point does not belong to the active buildset.
+    WrongSemantic {
+        /// Semantic detail of the active buildset.
+        active: Semantic,
+        /// Semantic detail the call requires.
+        wanted: Semantic,
+    },
+    /// Step-level calls must follow execution order.
+    OutOfOrderStep {
+        /// The step the engine expected next.
+        expected: Step,
+        /// The step that was called.
+        got: Step,
+    },
+    /// The simulated program has already exited.
+    Halted,
+    /// Speculation methods need a buildset with speculation support.
+    SpeculationDisabled,
+    /// A rollback or commit referenced a checkpoint that no longer exists.
+    BadCheckpoint,
+}
+
+impl fmt::Display for IfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IfaceError::WrongSemantic { active, wanted } => {
+                write!(f, "entry point requires {wanted} semantic detail but the interface is {active}")
+            }
+            IfaceError::OutOfOrderStep { expected, got } => {
+                write!(f, "step call out of order: expected {expected}, got {got}")
+            }
+            IfaceError::Halted => f.write_str("program has exited"),
+            IfaceError::SpeculationDisabled => f.write_str("interface has no speculation support"),
+            IfaceError::BadCheckpoint => f.write_str("checkpoint no longer exists"),
+        }
+    }
+}
+
+impl std::error::Error for IfaceError {}
+
+/// Why a driver loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStop {
+    /// An architectural fault was reported and no handler exists.
+    Fault(Fault),
+    /// The instruction budget was exhausted.
+    MaxInsts,
+    /// An interface usage error (engine bug or driver bug).
+    Iface(IfaceError),
+}
+
+impl fmt::Display for SimStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimStop::Fault(fault) => write!(f, "stopped on fault: {fault}"),
+            SimStop::MaxInsts => f.write_str("instruction budget exhausted"),
+            SimStop::Iface(e) => write!(f, "interface error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimStop {}
+
+impl From<IfaceError> for SimStop {
+    fn from(e: IfaceError) -> Self {
+        SimStop::Iface(e)
+    }
+}
+
+/// Builds the [`BuildError::InvalidInterface`] variant from lint output.
+pub(crate) fn invalid_interface(bs: &BuildsetDef, diags: Vec<LintDiag>) -> BuildError {
+    BuildError::InvalidInterface { buildset: bs.name, diags }
+}

@@ -1,0 +1,44 @@
+//! # lis-timing — decoupled timing-simulator organizations
+//!
+//! Working implementations of every microarchitectural simulator
+//! organization in the paper's taxonomy (Figure 1), each built on a
+//! synthesized functional simulator with exactly the interface detail its
+//! organization requires:
+//!
+//! * [`run_integrated`] — timing mixed with functionality (the baseline);
+//! * [`run_functional_first`] — functional simulator produces a trace,
+//!   timing consumes it (`block-decode` interface);
+//! * [`run_timing_directed`] — timing drives each step of each instruction
+//!   (`step-all` interface, scoreboard from operand identifiers);
+//! * [`run_timing_first`] — timing implements functionality, checked
+//!   per-instruction by a minimal functional simulator, flush-and-reload on
+//!   mismatch;
+//! * [`run_speculative_functional_first`] — functional runs ahead under
+//!   checkpoints; timing corrects memory and rolls back on divergence
+//!   (`block-decode-spec` interface);
+//! * [`run_functional_first_ooo`] — a SimpleScalar/Zesto-style out-of-order
+//!   consumer of the same functional-first trace.
+//!
+//! The shared substrate — a set-associative [`Cache`], a bimodal
+//! [`Predictor`], and the in-order [`CoreModel`] — keeps cycle accounting
+//! identical across organizations so their reports are comparable.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod model;
+mod ooo;
+mod orgs;
+mod predict;
+mod report;
+
+pub use cache::{Cache, CacheConfig};
+pub use model::CoreModel;
+pub use ooo::{run_functional_first_ooo, OooConfig};
+pub use orgs::{
+    run_functional_first, run_integrated, run_speculative_functional_first, run_timing_directed,
+    run_timing_first, MemOverride,
+};
+pub use predict::Predictor;
+pub use report::{CoreConfig, TimingReport};

@@ -1,0 +1,117 @@
+//! A bimodal branch predictor with a branch target buffer.
+
+/// Two-bit-counter direction predictor plus a direct-mapped BTB.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    counters: Vec<u8>,
+    btb_tags: Vec<u64>,
+    btb_targets: Vec<u64>,
+    mask: usize,
+    /// Correct direction predictions.
+    pub correct: u64,
+    /// Mispredictions (direction or target).
+    pub mispredicts: u64,
+}
+
+impl Predictor {
+    /// Builds a predictor with `entries` counters/BTB slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Predictor {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Predictor {
+            counters: vec![1; entries], // weakly not-taken
+            btb_tags: vec![u64::MAX; entries],
+            btb_targets: vec![0; entries],
+            mask: entries - 1,
+            correct: 0,
+            mispredicts: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Predicts a branch at `pc`: `(taken, predicted_target)`.
+    pub fn predict(&self, pc: u64) -> (bool, Option<u64>) {
+        let i = self.index(pc);
+        let taken = self.counters[i] >= 2;
+        let target = (self.btb_tags[i] == pc).then(|| self.btb_targets[i]);
+        (taken, target)
+    }
+
+    /// Updates with the architectural outcome; returns whether the earlier
+    /// prediction was fully correct (direction and, when taken, target).
+    pub fn update(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        let i = self.index(pc);
+        let (pred_taken, pred_target) = self.predict(pc);
+        let ok = pred_taken == taken && (!taken || pred_target == Some(target));
+        if ok {
+            self.correct += 1;
+        } else {
+            self.mispredicts += 1;
+        }
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+            self.btb_tags[i] = pc;
+            self.btb_targets[i] = target;
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        ok
+    }
+
+    /// Misprediction rate so far.
+    pub fn mispredict_rate(&self) -> f64 {
+        let total = self.correct + self.mispredicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_loop_branch() {
+        let mut p = Predictor::new(64);
+        let pc = 0x1000;
+        // Train: always taken to 0x2000.
+        let mut last_ok = false;
+        for _ in 0..8 {
+            last_ok = p.update(pc, true, 0x2000);
+        }
+        assert!(last_ok, "predictor should have learned the branch");
+        assert_eq!(p.predict(pc), (true, Some(0x2000)));
+        // A single not-taken outcome is a mispredict but doesn't unlearn.
+        assert!(!p.update(pc, false, 0));
+        assert!(p.predict(pc).0);
+    }
+
+    #[test]
+    fn target_change_counts_as_mispredict() {
+        let mut p = Predictor::new(64);
+        let pc = 0x1000;
+        for _ in 0..4 {
+            p.update(pc, true, 0x2000);
+        }
+        assert!(!p.update(pc, true, 0x3000), "new target must mispredict");
+        assert!(p.update(pc, true, 0x3000));
+    }
+
+    #[test]
+    fn initial_state_predicts_not_taken() {
+        let p = Predictor::new(16);
+        assert_eq!(p.predict(0x1000), (false, None));
+        assert_eq!(p.mispredict_rate(), 0.0);
+    }
+}

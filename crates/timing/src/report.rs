@@ -1,0 +1,112 @@
+//! Timing-simulation configuration and reporting.
+
+use crate::cache::CacheConfig;
+
+/// Pipeline/memory parameters shared by the timing models.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreConfig {
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Branch predictor entries.
+    pub predictor_entries: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            icache: CacheConfig::L1I,
+            dcache: CacheConfig::L1D,
+            mispredict_penalty: 8,
+            predictor_entries: 1024,
+        }
+    }
+}
+
+/// What one timing-simulator organization produced for one program.
+#[derive(Debug, Clone, Default)]
+pub struct TimingReport {
+    /// Organization name.
+    pub organization: &'static str,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub insts: u64,
+    /// Calls made through the functional interface.
+    pub interface_calls: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Timing-vs-functional mismatches detected (timing-first only).
+    pub mismatches: u64,
+    /// Rollbacks performed (speculative functional-first only).
+    pub rollbacks: u64,
+    /// Program exit code.
+    pub exit_code: i64,
+    /// Captured program output.
+    pub stdout: Vec<u8>,
+}
+
+impl TimingReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Interface calls per instruction — the semantic-detail cost metric.
+    pub fn calls_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.interface_calls as f64 / self.insts as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>10} insts {:>12} cycles  IPC {:.3}  calls/inst {:>5.2}  miss(i/d) {}/{}  mispred {}",
+            self.organization,
+            self.insts,
+            self.cycles,
+            self.ipc(),
+            self.calls_per_inst(),
+            self.icache_misses,
+            self.dcache_misses,
+            self.mispredicts
+        )?;
+        if self.mismatches > 0 {
+            write!(f, "  mismatches {}", self.mismatches)?;
+        }
+        if self.rollbacks > 0 {
+            write!(f, "  rollbacks {}", self.rollbacks)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = TimingReport { cycles: 200, insts: 100, interface_calls: 700, ..Default::default() };
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.calls_per_inst() - 7.0).abs() < 1e-12);
+        assert_eq!(TimingReport::default().ipc(), 0.0);
+        assert!(!r.to_string().is_empty());
+    }
+}

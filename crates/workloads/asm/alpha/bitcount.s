@@ -1,0 +1,31 @@
+; Kernighan popcount over 128 LCG values.
+_start: mov 42, s0                 ; x
+        ldah s3, 1(zero)           ; 65536
+        lda s4, 1(s3)              ; 65537
+        mov 0, s1                  ; total
+        mov 0, s2                  ; n
+        mov 128, s5
+loop:   mulq s0, 75, s0
+        lda s0, 74(s0)
+        srl s0, 16, t0
+        subq s3, 1, t2
+        and s0, t2, t1
+        subq t1, t0, s0
+        cmplt s0, 0, t3
+        beq t3, nofix
+        addq s0, s4, s0
+nofix:  mov s0, t4                 ; v = x
+pop:    beq t4, next
+        subq t4, 1, t5
+        and t4, t5, t4             ; v &= v - 1
+        addq s1, 1, s1
+        br pop
+next:   addq s2, 1, s2
+        cmplt s2, s5, t6
+        bne t6, loop
+        mov 4, v0                  ; PUTUDEC
+        mov s1, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys

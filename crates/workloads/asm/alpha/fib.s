@@ -1,0 +1,27 @@
+; Naive recursive Fibonacci of 18.
+_start: mov 18, a0
+        bsr fib
+        mov v0, a0
+        mov 4, v0                  ; PUTUDEC
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys
+fib:    cmplt a0, 2, t0
+        beq t0, rec
+        mov a0, v0
+        ret
+rec:    subq sp, 24, sp
+        stq ra, 0(sp)
+        stq a0, 8(sp)
+        subq a0, 1, a0
+        bsr fib
+        stq v0, 16(sp)
+        ldq a0, 8(sp)
+        subq a0, 2, a0
+        bsr fib
+        ldq t1, 16(sp)
+        addq v0, t1, v0
+        ldq ra, 0(sp)
+        addq sp, 24, sp
+        ret

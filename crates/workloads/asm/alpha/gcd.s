@@ -1,0 +1,40 @@
+; Sum of subtraction-Euclid GCDs over 32 LCG pairs.
+_start: mov 42, s0                 ; x
+        ldah s3, 1(zero)           ; 65536
+        lda s4, 1(s3)              ; 65537
+        mov 0, s1                  ; sum
+        mov 0, s2                  ; pair counter
+pair:   bsr lcg                    ; v0 = next x
+        bis v0, 1, t8              ; a = x | 1
+        bsr lcg
+        bis v0, 1, t9              ; b = x | 1
+gloop:  cmpeq t8, t9, t0
+        bne t0, done1
+        cmpult t9, t8, t0
+        beq t0, bless
+        subq t8, t9, t8
+        br gloop
+bless:  subq t9, t8, t9
+        br gloop
+done1:  addq s1, t8, s1
+        addq s2, 1, s2
+        cmplt s2, 32, t0
+        bne t0, pair
+        mov 4, v0                  ; PUTUDEC
+        mov s1, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys
+; x' = (x*75 + 74) mod 65537; returns in v0, updates s0
+lcg:    mulq s0, 75, s0
+        lda s0, 74(s0)
+        srl s0, 16, t0
+        subq s3, 1, t2
+        and s0, t2, t1
+        subq t1, t0, s0
+        cmplt s0, 0, t3
+        beq t3, lnofix
+        addq s0, s4, s0
+lnofix: mov s0, v0
+        ret

@@ -1,0 +1,33 @@
+; 12x12 integer matrix multiply with synthesized elements:
+;   a(i,k) = ((i + 2k) & 7) + 1,  b(k,j) = ((3k + j) & 3) + 1
+_start: mov 0, s0                  ; sum
+        mov 0, t0                  ; i
+iloop:  mov 0, t1                  ; j
+jloop:  mov 0, t2                  ; k
+        mov 0, t3                  ; c accumulator
+kloop:  addq t2, t2, t4            ; 2k
+        addq t0, t4, t4            ; i + 2k
+        and t4, 7, t4
+        addq t4, 1, t4             ; a
+        mulq t2, 3, t5             ; 3k
+        addq t5, t1, t5            ; 3k + j
+        and t5, 3, t5
+        addq t5, 1, t5             ; b
+        mulq t4, t5, t6
+        addq t3, t6, t3
+        addq t2, 1, t2
+        cmplt t2, 12, t7
+        bne t7, kloop
+        addq s0, t3, s0
+        addq t1, 1, t1
+        cmplt t1, 12, t7
+        bne t7, jloop
+        addq t0, 1, t0
+        cmplt t0, 12, t7
+        bne t7, iloop
+        mov 4, v0                  ; PUTUDEC
+        mov s0, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys

@@ -1,0 +1,30 @@
+; Sieve of Eratosthenes: count primes below 1000.
+_start: ldah t0, ha16(flags)(zero)
+        lda t0, slo16(flags)(t0)   ; t0 = flags base
+        mov 1000, t7               ; limit
+        mov 0, t1                  ; count
+        mov 2, t2                  ; i
+outer:  cmplt t2, t7, t3
+        beq t3, done
+        addq t0, t2, t4
+        ldbu t5, 0(t4)
+        bne t5, next
+        addq t1, 1, t1
+        mulq t2, t2, t6            ; j = i*i
+inner:  cmplt t6, t7, t3
+        beq t3, next
+        addq t0, t6, t4
+        mov 1, t5
+        stb t5, 0(t4)
+        addq t6, t2, t6
+        br inner
+next:   addq t2, 1, t2
+        br outer
+done:   mov 4, v0                  ; PUTUDEC
+        mov t1, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys
+        .data
+flags:  .space 1000

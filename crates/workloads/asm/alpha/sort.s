@@ -1,0 +1,61 @@
+; Bubble-sort 64 LCG-generated 15-bit values, then weighted-sum.
+_start: ldah s5, ha16(arr)(zero)
+        lda s5, slo16(arr)(s5)     ; s5 = arr
+        mov 42, s0                 ; x
+        ldah s3, 1(zero)           ; 65536
+        lda s4, 1(s3)              ; 65537
+        mov 0, s2                  ; i
+fill:   mulq s0, 75, s0
+        lda s0, 74(s0)
+        srl s0, 16, t0
+        subq s3, 1, t2
+        and s0, t2, t1
+        subq t1, t0, s0
+        cmplt s0, 0, t3
+        beq t3, nofix
+        addq s0, s4, s0
+nofix:  s4addq s2, s5, t4          ; &arr[i] = arr + 4*i
+        mov 0x7fff, t6
+        and s0, t6, t7
+        stl t7, 0(t4)
+        addq s2, 1, s2
+        cmplt s2, 64, t5
+        bne t5, fill
+        ; bubble sort
+        mov 0, s1                  ; i
+bi:     mov 63, t0
+        subq t0, s1, t8            ; bound = 63 - i
+        mov 0, s2                  ; j
+bj:     cmplt s2, t8, t5
+        beq t5, binext
+        s4addq s2, s5, t4
+        ldl t0, 0(t4)
+        ldl t1, 4(t4)
+        cmple t0, t1, t5
+        bne t5, noswap
+        stl t1, 0(t4)
+        stl t0, 4(t4)
+noswap: addq s2, 1, s2
+        br bj
+binext: addq s1, 1, s1
+        cmplt s1, 64, t5
+        bne t5, bi
+        ; weighted sum
+        mov 0, s1
+        mov 0, s2
+wsum:   s4addq s2, s5, t4
+        ldl t0, 0(t4)
+        addq s2, 1, t1
+        mulq t0, t1, t0
+        addq s1, t0, s1
+        addq s2, 1, s2
+        cmplt s2, 64, t5
+        bne t5, wsum
+        mov 4, v0                  ; PUTUDEC
+        mov s1, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys
+        .data
+arr:    .space 256

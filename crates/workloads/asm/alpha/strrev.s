@@ -1,0 +1,52 @@
+; Fill a 64-byte buffer from the LCG, reverse it, weighted-sum it.
+_start: ldah s5, ha16(buf)(zero)
+        lda s5, slo16(buf)(s5)     ; s5 = buf
+        mov 42, s0                 ; x
+        ldah s3, 1(zero)           ; 65536
+        lda s4, 1(s3)              ; 65537
+        mov 0, s2                  ; i
+fill:   mulq s0, 75, s0
+        lda s0, 74(s0)
+        srl s0, 16, t0
+        subq s3, 1, t2
+        and s0, t2, t1
+        subq t1, t0, s0
+        cmplt s0, 0, t3
+        beq t3, nofix
+        addq s0, s4, s0
+nofix:  addq s5, s2, t4
+        stb s0, 0(t4)
+        addq s2, 1, s2
+        cmplt s2, 64, t5
+        bne t5, fill
+        ; reverse in place
+        mov s5, t0                 ; p
+        lda t1, 63(s5)             ; q
+rev:    cmplt t0, t1, t5
+        beq t5, sum
+        ldbu t2, 0(t0)
+        ldbu t3, 0(t1)
+        stb t3, 0(t0)
+        stb t2, 0(t1)
+        addq t0, 1, t0
+        subq t1, 1, t1
+        br rev
+        ; weighted sum
+sum:    mov 0, s1
+        mov 0, s2
+wsum:   addq s5, s2, t4
+        ldbu t2, 0(t4)
+        addq s2, 1, t3             ; i+1
+        mulq t2, t3, t2
+        addq s1, t2, s1
+        addq s2, 1, s2
+        cmplt s2, 64, t5
+        bne t5, wsum
+        mov 4, v0                  ; PUTUDEC
+        mov s1, a0
+        callsys
+        mov 1, v0                  ; EXIT
+        mov 0, a0
+        callsys
+        .data
+buf:    .space 64

@@ -1,0 +1,30 @@
+; Kernighan popcount over 128 LCG values.
+_start: mov r1, #42               ; x
+        mov r4, #75
+        mov r5, #0x10000
+        add r5, r5, #1            ; 65537
+        mov r9, #0                ; total
+        mov r10, #0               ; n
+loop:   mul r6, r1, r4
+        add r6, r6, #74
+        mov r8, r6, lsr #16
+        sub r6, r6, r8, lsl #16
+        sub r1, r6, r8
+        cmp r1, #0
+        addlt r1, r1, r5
+        mov r2, r1                ; v = x
+pop:    cmp r2, #0
+        beq next
+        sub r3, r2, #1
+        and r2, r2, r3
+        add r9, r9, #1
+        b pop
+next:   add r10, r10, #1
+        cmp r10, #128
+        blt loop
+        mov r0, r9
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0

@@ -1,0 +1,25 @@
+; Naive recursive Fibonacci of 18.
+_start: mov r0, #18
+        bl fib
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0
+fib:    cmp r0, #2
+        bge rec
+        bx lr
+rec:    sub sp, sp, #12
+        str lr, [sp]
+        str r0, [sp, #4]
+        sub r0, r0, #1
+        bl fib
+        str r0, [sp, #8]
+        ldr r0, [sp, #4]
+        sub r0, r0, #2
+        bl fib
+        ldr r1, [sp, #8]
+        add r0, r0, r1
+        ldr lr, [sp]
+        add sp, sp, #12
+        bx lr

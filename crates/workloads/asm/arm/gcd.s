@@ -1,0 +1,34 @@
+; Sum of subtraction-Euclid GCDs over 32 LCG pairs.
+_start: mov r1, #42               ; x
+        mov r4, #75
+        mov r5, #0x10000
+        add r5, r5, #1            ; 65537
+        mov r9, #0                ; sum
+        mov r10, #0               ; pair counter
+pair:   bl lcg
+        orr r2, r1, #1            ; a
+        bl lcg
+        orr r3, r1, #1            ; b
+gloop:  cmp r2, r3
+        subgt r2, r2, r3
+        sublt r3, r3, r2
+        bne gloop
+        add r9, r9, r2
+        add r10, r10, #1
+        cmp r10, #32
+        blt pair
+        mov r0, r9
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0
+; x' = (x*75 + 74) mod 65537 in r1 (clobbers r6, r8)
+lcg:    mul r6, r1, r4
+        add r6, r6, #74
+        mov r8, r6, lsr #16
+        sub r6, r6, r8, lsl #16
+        sub r1, r6, r8
+        cmp r1, #0
+        addlt r1, r1, r5
+        bx lr

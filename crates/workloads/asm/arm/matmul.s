@@ -1,0 +1,31 @@
+; 12x12 integer matrix multiply with synthesized elements.
+_start: mov r10, #0               ; sum
+        mov r1, #0                ; i
+iloop:  mov r2, #0                ; j
+jloop:  mov r3, #0                ; k
+        mov r4, #0                ; c
+kloop:  add r5, r1, r3, lsl #1    ; i + 2k
+        and r5, r5, #7
+        add r5, r5, #1            ; a
+        add r6, r3, r3, lsl #1    ; 3k
+        add r6, r6, r2            ; 3k + j
+        and r6, r6, #3
+        add r6, r6, #1            ; b
+        mul r8, r5, r6
+        add r4, r4, r8
+        add r3, r3, #1
+        cmp r3, #12
+        blt kloop
+        add r10, r10, r4
+        add r2, r2, #1
+        cmp r2, #12
+        blt jloop
+        add r1, r1, #1
+        cmp r1, #12
+        blt iloop
+        mov r0, r10
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0

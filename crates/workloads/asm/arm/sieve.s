@@ -1,0 +1,28 @@
+; Sieve of Eratosthenes: count primes below 1000.
+_start: mov r4, #0x20000          ; flags base
+        mov r9, #1000
+        mov r1, #0                ; count
+        mov r2, #2                ; i
+outer:  cmp r2, r9
+        bge done
+        ldrb r5, [r4, r2]
+        cmp r5, #0
+        bne next
+        add r1, r1, #1
+        mul r6, r2, r2            ; j = i*i
+inner:  cmp r6, r9
+        bge next
+        mov r5, #1
+        strb r5, [r4, r6]
+        add r6, r6, r2
+        b inner
+next:   add r2, r2, #1
+        b outer
+done:   mov r0, r1
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0
+        .data
+flags:  .space 1000

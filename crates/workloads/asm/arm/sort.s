@@ -1,0 +1,56 @@
+; Bubble-sort 64 LCG-generated 15-bit values, then weighted-sum.
+_start: mov r9, #0x20000          ; arr
+        mov r1, #42               ; x
+        mov r4, #75
+        mov r5, #0x10000
+        add r5, r5, #1            ; 65537
+        mov r3, #0                ; i
+fill:   mul r6, r1, r4
+        add r6, r6, #74
+        mov r8, r6, lsr #16
+        sub r6, r6, r8, lsl #16
+        sub r1, r6, r8
+        cmp r1, #0
+        addlt r1, r1, r5
+        mov r6, r1, lsl #17       ; keep low 15 bits
+        mov r6, r6, lsr #17
+        str r6, [r9, r3, lsl #2]
+        add r3, r3, #1
+        cmp r3, #64
+        blt fill
+        ; bubble sort
+        mov r10, #0               ; i
+bi:     mov r11, #63
+        sub r11, r11, r10         ; bound
+        mov r3, #0                ; j
+bj:     cmp r3, r11
+        bge binext
+        ldr r6, [r9, r3, lsl #2]
+        add r2, r3, #1
+        ldr r8, [r9, r2, lsl #2]
+        cmp r6, r8
+        ble noswap
+        str r8, [r9, r3, lsl #2]
+        str r6, [r9, r2, lsl #2]
+noswap: add r3, r3, #1
+        b bj
+binext: add r10, r10, #1
+        cmp r10, #64
+        blt bi
+        ; weighted sum
+        mov r2, #0                ; s
+        mov r3, #0                ; i
+wsum:   ldr r6, [r9, r3, lsl #2]
+        add r8, r3, #1
+        mla r2, r6, r8, r2
+        add r3, r3, #1
+        cmp r3, #64
+        blt wsum
+        mov r0, r2
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0
+        .data
+arr:    .space 256

@@ -1,0 +1,47 @@
+; Fill a 64-byte buffer from the LCG, reverse it, weighted-sum it.
+_start: mov r9, #0x20000          ; buf
+        mov r1, #42               ; x
+        mov r4, #75
+        mov r5, #0x10000
+        add r5, r5, #1            ; 65537
+        mov r3, #0                ; i
+fill:   mul r6, r1, r4
+        add r6, r6, #74
+        mov r8, r6, lsr #16
+        sub r6, r6, r8, lsl #16
+        sub r1, r6, r8
+        cmp r1, #0
+        addlt r1, r1, r5
+        strb r1, [r9, r3]
+        add r3, r3, #1
+        cmp r3, #64
+        blt fill
+        ; reverse in place
+        mov r2, r9                ; p
+        add r3, r9, #63           ; q
+rev:    cmp r2, r3
+        bge sum
+        ldrb r6, [r2]
+        ldrb r8, [r3]
+        strb r8, [r2]
+        strb r6, [r3]
+        add r2, r2, #1
+        sub r3, r3, #1
+        b rev
+        ; weighted sum
+sum:    mov r2, #0                ; s
+        mov r3, #0                ; i
+wsum:   ldrb r6, [r9, r3]
+        add r8, r3, #1
+        mla r2, r6, r8, r2
+        add r3, r3, #1
+        cmp r3, #64
+        blt wsum
+        mov r0, r2
+        mov r7, #4                ; PUTUDEC
+        swi 0
+        mov r7, #1                ; EXIT
+        mov r0, #0
+        swi 0
+        .data
+buf:    .space 64

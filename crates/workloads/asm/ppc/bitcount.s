@@ -1,0 +1,30 @@
+; Kernighan popcount over 128 LCG values.
+_start: li r5, 42                 ; x
+        lis r8, 1
+        ori r8, r8, 1             ; 65537
+        li r14, 0                 ; total
+        li r15, 0                 ; n
+loop:   mulli r5, r5, 75
+        addi r5, r5, 74
+        srwi r9, r5, 16
+        rlwinm r10, r5, 0, 16, 31
+        subf r5, r9, r10
+        cmpwi r5, 0
+        bge nofix
+        add r5, r5, r8
+nofix:  mr r6, r5                 ; v = x
+pop:    cmpwi r6, 0
+        beq next
+        subi r7, r6, 1
+        and r6, r6, r7
+        addi r14, r14, 1
+        b pop
+next:   addi r15, r15, 1
+        cmpwi r15, 128
+        blt loop
+        li r0, 4                  ; PUTUDEC
+        mr r3, r14
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc

@@ -1,0 +1,26 @@
+; Naive recursive Fibonacci of 18.
+_start: li r3, 18
+        bl fib
+        li r0, 4                  ; PUTUDEC (result already in r3)
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc
+fib:    cmpwi r3, 2
+        bge rec
+        blr
+rec:    mflr r5
+        stwu r5, -16(r1)
+        stw r3, 4(r1)
+        subi r3, r3, 1
+        bl fib
+        stw r3, 8(r1)
+        lwz r3, 4(r1)
+        subi r3, r3, 2
+        bl fib
+        lwz r5, 8(r1)
+        add r3, r3, r5
+        lwz r5, 0(r1)
+        mtlr r5
+        addi r1, r1, 16
+        blr

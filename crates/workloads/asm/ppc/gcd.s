@@ -1,0 +1,37 @@
+; Sum of subtraction-Euclid GCDs over 32 LCG pairs.
+_start: li r5, 42                 ; x
+        lis r8, 1
+        ori r8, r8, 1             ; 65537
+        li r14, 0                 ; sum
+        li r15, 0                 ; pair counter
+pair:   bl lcg
+        ori r6, r5, 1             ; a
+        bl lcg
+        ori r7, r5, 1             ; b
+gloop:  cmpw r6, r7
+        beq done1
+        bgt asub
+        subf r7, r6, r7           ; b -= a
+        b gloop
+asub:   subf r6, r7, r6           ; a -= b
+        b gloop
+done1:  add r14, r14, r6
+        addi r15, r15, 1
+        cmpwi r15, 32
+        blt pair
+        li r0, 4                  ; PUTUDEC
+        mr r3, r14
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc
+; x' = (x*75 + 74) mod 65537 in r5 (clobbers r9, r10)
+lcg:    mulli r5, r5, 75
+        addi r5, r5, 74
+        srwi r9, r5, 16
+        rlwinm r10, r5, 0, 16, 31
+        subf r5, r9, r10
+        cmpwi r5, 0
+        bge lnofix
+        add r5, r5, r8
+lnofix: blr

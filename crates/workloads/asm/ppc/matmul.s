@@ -1,0 +1,32 @@
+; 12x12 integer matrix multiply with synthesized elements.
+_start: li r10, 0                 ; sum
+        li r5, 0                  ; i
+iloop:  li r6, 0                  ; j
+jloop:  li r7, 0                  ; k
+        li r8, 0                  ; c
+kloop:  slwi r9, r7, 1            ; 2k
+        add r9, r9, r5            ; i + 2k
+        andi. r9, r9, 7
+        addi r9, r9, 1            ; a
+        mulli r11, r7, 3          ; 3k
+        add r11, r11, r6          ; 3k + j
+        andi. r11, r11, 3
+        addi r11, r11, 1          ; b
+        mullw r12, r9, r11
+        add r8, r8, r12
+        addi r7, r7, 1
+        cmpwi r7, 12
+        blt kloop
+        add r10, r10, r8
+        addi r6, r6, 1
+        cmpwi r6, 12
+        blt jloop
+        addi r5, r5, 1
+        cmpwi r5, 12
+        blt iloop
+        li r0, 4                  ; PUTUDEC
+        mr r3, r10
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc

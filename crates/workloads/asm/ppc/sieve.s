@@ -1,0 +1,28 @@
+; Sieve of Eratosthenes: count primes below 1000.
+_start: lis r5, 2                 ; flags base = 0x20000
+        li r9, 1000
+        li r6, 0                  ; count
+        li r7, 2                  ; i
+outer:  cmpw r7, r9
+        bge done
+        lbzx r8, r5, r7
+        cmpwi r8, 0
+        bne next
+        addi r6, r6, 1
+        mullw r10, r7, r7         ; j = i*i
+inner:  cmpw r10, r9
+        bge next
+        li r8, 1
+        stbx r8, r5, r10
+        add r10, r10, r7
+        b inner
+next:   addi r7, r7, 1
+        b outer
+done:   li r0, 4                  ; PUTUDEC
+        mr r3, r6
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc
+        .data
+flags:  .space 1000

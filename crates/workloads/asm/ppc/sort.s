@@ -1,0 +1,59 @@
+; Bubble-sort 64 LCG-generated 15-bit values, then weighted-sum.
+_start: lis r14, 2                ; arr = 0x20000
+        li r5, 42                 ; x
+        lis r8, 1
+        ori r8, r8, 1             ; 65537
+        li r7, 0                  ; i
+fill:   mulli r5, r5, 75
+        addi r5, r5, 74
+        srwi r9, r5, 16
+        rlwinm r10, r5, 0, 16, 31
+        subf r5, r9, r10
+        cmpwi r5, 0
+        bge nofix
+        add r5, r5, r8
+nofix:  rlwinm r9, r5, 0, 17, 31  ; low 15 bits
+        slwi r10, r7, 2
+        stwx r9, r14, r10
+        addi r7, r7, 1
+        cmpwi r7, 64
+        blt fill
+        ; bubble sort
+        li r15, 0                 ; i
+bi:     li r16, 63
+        subf r16, r15, r16        ; bound = 63 - i
+        li r7, 0                  ; j
+bj:     cmpw r7, r16
+        bge binext
+        slwi r10, r7, 2
+        lwzx r9, r14, r10
+        addi r11, r10, 4
+        lwzx r12, r14, r11
+        cmpw r9, r12
+        ble noswap
+        stwx r12, r14, r10
+        stwx r9, r14, r11
+noswap: addi r7, r7, 1
+        b bj
+binext: addi r15, r15, 1
+        cmpwi r15, 64
+        blt bi
+        ; weighted sum
+        li r6, 0                  ; s
+        li r7, 0                  ; i
+wsum:   slwi r10, r7, 2
+        lwzx r9, r14, r10
+        addi r11, r7, 1
+        mullw r9, r9, r11
+        add r6, r6, r9
+        addi r7, r7, 1
+        cmpwi r7, 64
+        blt wsum
+        li r0, 4                  ; PUTUDEC
+        mr r3, r6
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc
+        .data
+arr:    .space 256

@@ -1,0 +1,48 @@
+; Fill a 64-byte buffer from the LCG, reverse it, weighted-sum it.
+_start: lis r14, 2                ; buf = 0x20000
+        li r5, 42                 ; x
+        lis r8, 1
+        ori r8, r8, 1             ; 65537
+        li r7, 0                  ; i
+fill:   mulli r5, r5, 75
+        addi r5, r5, 74
+        srwi r9, r5, 16
+        rlwinm r10, r5, 0, 16, 31
+        subf r5, r9, r10
+        cmpwi r5, 0
+        bge nofix
+        add r5, r5, r8
+nofix:  stbx r5, r14, r7
+        addi r7, r7, 1
+        cmpwi r7, 64
+        blt fill
+        ; reverse in place
+        mr r6, r14                ; p
+        addi r7, r14, 63          ; q
+rev:    cmpw r6, r7
+        bge sum
+        lbz r9, 0(r6)
+        lbz r10, 0(r7)
+        stb r10, 0(r6)
+        stb r9, 0(r7)
+        addi r6, r6, 1
+        subi r7, r7, 1
+        b rev
+        ; weighted sum
+sum:    li r6, 0                  ; s
+        li r7, 0                  ; i
+wsum:   lbzx r9, r14, r7
+        addi r10, r7, 1
+        mullw r9, r9, r10
+        add r6, r6, r9
+        addi r7, r7, 1
+        cmpwi r7, 64
+        blt wsum
+        li r0, 4                  ; PUTUDEC
+        mr r3, r6
+        sc
+        li r0, 1                  ; EXIT
+        li r3, 0
+        sc
+        .data
+buf:    .space 64

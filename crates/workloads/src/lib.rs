@@ -1,0 +1,109 @@
+//! # lis-workloads — benchmark kernels and validation suites
+//!
+//! The paper validates its simulators with SPEC CPU2000 and MediaBench;
+//! those binaries are not available here, so this crate substitutes a suite
+//! of hand-written assembly kernels per ISA (sieve, recursive Fibonacci,
+//! matrix multiply, rolling hash, string reversal, bubble sort) plus a
+//! random-program generator. Every kernel implements the same 32-bit
+//! algorithm as a Rust golden model in [`golden`], prints one decimal result,
+//! and exits — so validation is an exact stdout comparison, identical across
+//! the three ISAs and all twelve interfaces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod golden;
+
+use lis_core::IsaSpec;
+use lis_mem::Image;
+
+/// One runnable benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Kernel name (shared across ISAs).
+    pub name: &'static str,
+    /// ISA name (`alpha`, `arm`, `ppc`).
+    pub isa: &'static str,
+    /// Assembly source.
+    pub source: &'static str,
+    /// Approximate dynamic instructions for one run (for scaling).
+    pub approx_insts: u64,
+}
+
+impl Workload {
+    /// Assembles the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error (these sources are tested, so an error
+    /// indicates a toolkit regression).
+    pub fn assemble(&self) -> Result<Image, lis_asm::AsmError> {
+        match self.isa {
+            "alpha" => lis_isa_alpha::assemble(self.source),
+            "arm" => lis_isa_arm::assemble(self.source),
+            "ppc" => lis_isa_ppc::assemble(self.source),
+            other => unreachable!("unknown ISA {other}"),
+        }
+    }
+
+    /// The expected stdout, from the golden model.
+    pub fn expected_stdout(&self) -> String {
+        golden::expected(self.name).expect("kernel has a golden model")
+    }
+}
+
+/// The ISA specification for a workload's ISA name.
+pub fn spec_of(isa: &str) -> &'static IsaSpec {
+    match isa {
+        "alpha" => lis_isa_alpha::spec(),
+        "arm" => lis_isa_arm::spec(),
+        "ppc" => lis_isa_ppc::spec(),
+        other => unreachable!("unknown ISA {other}"),
+    }
+}
+
+macro_rules! suite {
+    ($isa:literal: $($name:literal @ $insts:expr),* $(,)?) => {
+        &[$(Workload {
+            name: $name,
+            isa: $isa,
+            source: include_str!(concat!("../asm/", $isa, "/", $name, ".s")),
+            approx_insts: $insts,
+        }),*]
+    };
+}
+
+/// The Alpha kernel suite.
+pub const ALPHA_SUITE: &[Workload] = suite! {
+    "alpha": "sieve" @ 20_000, "fib" @ 80_000, "matmul" @ 30_000,
+    "hash31" @ 5_000, "strrev" @ 2_000, "sort" @ 40_000,
+    "gcd" @ 30_000, "bitcount" @ 5_000,
+};
+
+/// The ARM kernel suite.
+pub const ARM_SUITE: &[Workload] = suite! {
+    "arm": "sieve" @ 20_000, "fib" @ 80_000, "matmul" @ 30_000,
+    "hash31" @ 5_000, "strrev" @ 2_000, "sort" @ 40_000,
+    "gcd" @ 30_000, "bitcount" @ 5_000,
+};
+
+/// The PowerPC kernel suite.
+pub const PPC_SUITE: &[Workload] = suite! {
+    "ppc": "sieve" @ 20_000, "fib" @ 80_000, "matmul" @ 30_000,
+    "hash31" @ 5_000, "strrev" @ 2_000, "sort" @ 40_000,
+    "gcd" @ 30_000, "bitcount" @ 5_000,
+};
+
+/// The kernel suite for an ISA by name.
+pub fn suite_of(isa: &str) -> &'static [Workload] {
+    match isa {
+        "alpha" => ALPHA_SUITE,
+        "arm" => ARM_SUITE,
+        "ppc" => PPC_SUITE,
+        other => unreachable!("unknown ISA {other}"),
+    }
+}
+
+/// All three ISA names, in the paper's order.
+pub const ISAS: [&str; 3] = ["alpha", "arm", "ppc"];

@@ -1,0 +1,50 @@
+//! Every kernel, on every ISA, must reproduce its golden model exactly.
+
+use lis_core::ONE_ALL;
+use lis_runtime::Simulator;
+use lis_workloads::{spec_of, suite_of, ISAS};
+
+#[test]
+fn all_kernels_match_their_golden_models() {
+    for isa in ISAS {
+        for w in suite_of(isa) {
+            let image = w.assemble().unwrap_or_else(|e| panic!("{isa}/{}: {e}", w.name));
+            let mut sim = Simulator::new(spec_of(isa), ONE_ALL).unwrap();
+            sim.load_program(&image).unwrap();
+            let summary = sim
+                .run_to_halt(50_000_000)
+                .unwrap_or_else(|e| panic!("{isa}/{}: {e}", w.name));
+            assert_eq!(summary.exit_code, 0, "{isa}/{}", w.name);
+            assert_eq!(
+                String::from_utf8_lossy(sim.stdout()),
+                w.expected_stdout(),
+                "{isa}/{} output mismatch",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_across_isas() {
+    // The same algorithm, in three instruction sets, through three different
+    // single specifications, must print the same answer.
+    for w in suite_of("alpha") {
+        let expected = w.expected_stdout();
+        for isa in ISAS {
+            let w2 = suite_of(isa).iter().find(|x| x.name == w.name).unwrap();
+            assert_eq!(w2.expected_stdout(), expected);
+        }
+    }
+}
+
+#[test]
+fn suites_are_complete() {
+    for isa in ISAS {
+        assert_eq!(suite_of(isa).len(), 8, "{isa}");
+        for w in suite_of(isa) {
+            assert_eq!(w.isa, isa);
+            assert!(!w.source.is_empty());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's §V-D validation methodology: run benchmarks "calling the
+//! interfaces on a rotating basis; each dynamic instruction or basic block
+//! used a different interface than the previous one", validating every
+//! interface without a full run per interface.
+//!
+//! One simulator per standard buildset shares architectural state by
+//! transplant: after each unit of execution (a block, an instruction, or a
+//! seven-step sequence), state moves to the next interface.
+
+use lis_core::{DynInst, Semantic, Step, STANDARD_BUILDSETS};
+use lis_runtime::Simulator;
+use lis_workloads::{spec_of, suite_of, ISAS};
+
+/// Executes one unit (block / instruction / step sequence) on `sim`.
+/// Returns `true` when the program has exited.
+fn one_unit(sim: &mut Simulator, di: &mut DynInst, trace: &mut Vec<DynInst>) -> bool {
+    match sim.buildset().semantic {
+        Semantic::Block => {
+            sim.next_block(trace).expect("block call");
+            if let Some(f) = trace.last().and_then(|d| d.fault) {
+                panic!("unexpected fault: {f}");
+            }
+        }
+        Semantic::One => {
+            sim.next_inst(di).expect("inst call");
+            assert!(di.fault.is_none(), "unexpected fault: {:?}", di.fault);
+        }
+        Semantic::Step => {
+            for step in Step::ALL {
+                sim.step_inst(step, di).expect("step call");
+                assert!(di.fault.is_none(), "unexpected fault: {:?}", di.fault);
+            }
+        }
+    }
+    sim.state.halted
+}
+
+#[test]
+fn rotating_interface_validation() {
+    for isa in ISAS {
+        // Use the fastest-terminating kernels to keep the rotation dense.
+        for kernel in ["sieve", "strrev", "hash31"] {
+            let w = suite_of(isa).iter().find(|w| w.name == kernel).unwrap();
+            let image = w.assemble().unwrap();
+            let mut sims: Vec<Simulator> = STANDARD_BUILDSETS
+                .iter()
+                .map(|bs| {
+                    let mut s = Simulator::new(spec_of(isa), *bs).unwrap();
+                    s.load_program(&image).unwrap();
+                    s
+                })
+                .collect();
+            let mut di = DynInst::new();
+            let mut trace = Vec::new();
+            let mut cur = 0usize;
+            let mut units = 0u64;
+            loop {
+                let halted = one_unit(&mut sims[cur], &mut di, &mut trace);
+                units += 1;
+                assert!(units < 10_000_000, "{isa}/{kernel}: runaway rotation");
+                if halted {
+                    let out = String::from_utf8_lossy(sims[cur].stdout()).into_owned();
+                    assert_eq!(out, w.expected_stdout(), "{isa}/{kernel}");
+                    assert_eq!(sims[cur].state.exit_code, 0);
+                    break;
+                }
+                // Transplant architectural and OS state to the next
+                // interface in the rotation.
+                let next = (cur + 1) % sims.len();
+                let (state, os) = (sims[cur].state.clone(), sims[cur].os.clone());
+                sims[next].state = state;
+                sims[next].os = os;
+                cur = next;
+            }
+            // Every interface took part many times.
+            assert!(units > 100, "{isa}/{kernel}: rotation too short ({units} units)");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Speculation properties: rollback must restore *everything*, and a run
+//! interrupted by arbitrary checkpoint/rollback/re-execute cycles must end
+//! in the same state as an uninterrupted run.
+
+use lis_core::{DynInst, BLOCK_ALL_SPEC, ONE_ALL, ONE_ALL_SPEC};
+use lis_runtime::Simulator;
+use lis_workloads::{gen::random_program, spec_of, suite_of};
+use proptest::prelude::*;
+
+fn assemble(isa: &str, src: &str) -> lis_mem::Image {
+    match isa {
+        "alpha" => lis_isa_alpha::assemble(src),
+        "arm" => lis_isa_arm::assemble(src),
+        _ => lis_isa_ppc::assemble(src),
+    }
+    .expect("assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Execute-k, checkpoint, run-to-end, rollback: the state must be
+    /// exactly as it was at the checkpoint — registers, memory effects,
+    /// and OS state (stdout, ticks, break) included.
+    #[test]
+    fn rollback_restores_everything(
+        seed in 0u64..10_000,
+        len in 30usize..100,
+        k in 1usize..25,
+        isa_pick in 0usize..3,
+    ) {
+        let isa = ["alpha", "arm", "ppc"][isa_pick];
+        let src = random_program(isa, seed, len);
+        let image = assemble(isa, &src);
+        let mut sim = Simulator::new(spec_of(isa), ONE_ALL_SPEC).unwrap();
+        sim.load_program(&image).unwrap();
+        let mut di = DynInst::new();
+        for _ in 0..k {
+            if sim.state.halted {
+                break;
+            }
+            sim.next_inst(&mut di).unwrap();
+            prop_assert!(di.fault.is_none());
+        }
+        let snap_state = sim.state.clone();
+        let snap_out = sim.stdout().to_vec();
+        let cp = sim.checkpoint().unwrap();
+        if !sim.state.halted {
+            sim.run_to_halt(1_000_000).unwrap();
+        }
+        sim.rollback(cp).unwrap();
+        prop_assert!(sim.state.regs_eq(&snap_state),
+            "{}", sim.state.first_diff(&snap_state).unwrap_or_default());
+        prop_assert_eq!(sim.stdout(), &snap_out[..]);
+        // Memory must match too: re-running from the restored state must
+        // reproduce the reference run exactly.
+        sim.run_to_halt(1_000_000).unwrap();
+        let mut reference = Simulator::new(spec_of(isa), ONE_ALL).unwrap();
+        reference.load_program(&image).unwrap();
+        reference.run_to_halt(1_000_000).unwrap();
+        prop_assert!(sim.state.regs_eq(&reference.state),
+            "{}", sim.state.first_diff(&reference.state).unwrap_or_default());
+        prop_assert_eq!(sim.stdout(), reference.stdout());
+    }
+
+    /// Nested checkpoints unwind independently and in order.
+    #[test]
+    fn nested_checkpoints(seed in 0u64..10_000, isa_pick in 0usize..3) {
+        let isa = ["alpha", "arm", "ppc"][isa_pick];
+        let src = random_program(isa, seed, 60);
+        let image = assemble(isa, &src);
+        let mut sim = Simulator::new(spec_of(isa), ONE_ALL_SPEC).unwrap();
+        sim.load_program(&image).unwrap();
+        let mut di = DynInst::new();
+        let outer_state = sim.state.clone();
+        let outer = sim.checkpoint().unwrap();
+        for _ in 0..5 {
+            if sim.state.halted { break; }
+            sim.next_inst(&mut di).unwrap();
+        }
+        let inner_state = sim.state.clone();
+        let inner = sim.checkpoint().unwrap();
+        for _ in 0..5 {
+            if sim.state.halted { break; }
+            sim.next_inst(&mut di).unwrap();
+        }
+        sim.rollback(inner).unwrap();
+        prop_assert!(sim.state.regs_eq(&inner_state));
+        sim.rollback(outer).unwrap();
+        prop_assert!(sim.state.regs_eq(&outer_state));
+    }
+}
+
+/// Block-level speculation on a real kernel: checkpoint every block, commit
+/// every block, and the result must match the plain run.
+#[test]
+fn block_checkpoint_commit_every_block() {
+    for isa in ["alpha", "arm", "ppc"] {
+        let w = suite_of(isa).iter().find(|w| w.name == "hash31").unwrap();
+        let image = w.assemble().unwrap();
+        let mut sim = Simulator::new(spec_of(isa), BLOCK_ALL_SPEC).unwrap();
+        sim.load_program(&image).unwrap();
+        let mut trace = Vec::new();
+        while !sim.state.halted {
+            let cp = sim.checkpoint().unwrap();
+            sim.next_block(&mut trace).unwrap();
+            assert!(trace.last().and_then(|d| d.fault).is_none());
+            sim.commit(cp).unwrap();
+        }
+        assert_eq!(String::from_utf8_lossy(sim.stdout()), w.expected_stdout(), "{isa}");
+    }
+}
+
+/// Rollback-and-retry every block: every block executes twice but the final
+/// result is unchanged (the speculative functional-first recovery pattern).
+#[test]
+fn block_rollback_retry_every_block() {
+    for isa in ["alpha", "arm", "ppc"] {
+        let w = suite_of(isa).iter().find(|w| w.name == "strrev").unwrap();
+        let image = w.assemble().unwrap();
+        let mut sim = Simulator::new(spec_of(isa), BLOCK_ALL_SPEC).unwrap();
+        sim.load_program(&image).unwrap();
+        let mut trace = Vec::new();
+        while !sim.state.halted {
+            let cp = sim.checkpoint().unwrap();
+            sim.next_block(&mut trace).unwrap();
+            sim.rollback(cp).unwrap();
+            // Retry: the second execution is the one that commits.
+            let cp = sim.checkpoint().unwrap();
+            sim.next_block(&mut trace).unwrap();
+            assert!(trace.last().and_then(|d| d.fault).is_none());
+            sim.commit(cp).unwrap();
+        }
+        assert_eq!(String::from_utf8_lossy(sim.stdout()), w.expected_stdout(), "{isa}");
+        assert_eq!(sim.stats.rollbacks, sim.stats.checkpoints / 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cross-crate check: the five simulator organizations agree on every
+//! kernel of every ISA (architecture results identical; timing reports
+//! internally consistent).
+
+use lis_timing::{
+    run_functional_first, run_integrated, run_timing_directed, run_timing_first, CoreConfig,
+};
+use lis_workloads::{spec_of, suite_of, ISAS};
+
+#[test]
+fn organizations_agree_on_all_kernels() {
+    let cfg = CoreConfig::default();
+    for isa in ISAS {
+        for w in suite_of(isa) {
+            // Skip the slowest kernel in debug builds to keep CI fast.
+            if w.name == "fib" {
+                continue;
+            }
+            let image = w.assemble().unwrap();
+            let spec = spec_of(isa);
+            let expected = w.expected_stdout();
+            let a = run_integrated(spec, &image, &cfg).unwrap();
+            let b = run_functional_first(spec, &image, &cfg).unwrap();
+            let c = run_timing_directed(spec, &image, &cfg).unwrap();
+            let d = run_timing_first(spec, &image, &cfg, None).unwrap();
+            for r in [&a, &b, &c, &d] {
+                assert_eq!(
+                    String::from_utf8_lossy(&r.stdout),
+                    expected,
+                    "{isa}/{}/{}",
+                    w.name,
+                    r.organization
+                );
+            }
+            assert_eq!(a.insts, b.insts, "{isa}/{}", w.name);
+            assert_eq!(a.insts, c.insts, "{isa}/{}", w.name);
+            // Identical cycle model for integrated and trace-driven paths.
+            assert_eq!(a.cycles, b.cycles, "{isa}/{}", w.name);
+            assert_eq!(d.mismatches, 0, "{isa}/{}", w.name);
+        }
+    }
+}
