@@ -204,14 +204,9 @@ impl Parser<'_> {
             .chars()
             .filter(|c| *c != '_')
             .collect();
-        u64::from_str_radix(&text, radix)
-            .map(|v| v as i64)
-            .map_err(|_| {
-                format!(
-                    "bad number `{}`",
-                    std::str::from_utf8(&self.s[start..self.pos]).unwrap()
-                )
-            })
+        u64::from_str_radix(&text, radix).map(|v| v as i64).map_err(|_| {
+            format!("bad number `{}`", std::str::from_utf8(&self.s[start..self.pos]).unwrap())
+        })
     }
 
     fn symbol_or_func(&mut self) -> Result<i64, String> {

@@ -255,7 +255,9 @@ pub fn parse_string(s: &str) -> Result<Vec<u8>, String> {
                 Some(b'0') => out.push(0),
                 Some(b'\\') => out.push(b'\\'),
                 Some(b'"') => out.push(b'"'),
-                other => return Err(format!("bad string escape `\\{:?}`", other.map(|b| b as char))),
+                other => {
+                    return Err(format!("bad string escape `\\{:?}`", other.map(|b| b as char)))
+                }
             }
         } else {
             out.push(c);
@@ -278,7 +280,8 @@ mod tests {
 
     #[test]
     fn lines_with_labels_and_comments() {
-        let stmts = parse_lines("start: addi r1, r0, 1 ; init\n .word 5 // data\n\nend:\n").unwrap();
+        let stmts =
+            parse_lines("start: addi r1, r0, 1 ; init\n .word 5 // data\n\nend:\n").unwrap();
         assert_eq!(stmts[0].label.as_deref(), Some("start"));
         assert!(matches!(&stmts[0].body, Some(Body::Insn(mn, _)) if mn == "addi"));
         assert!(matches!(&stmts[1].body, Some(Body::Directive(d, a)) if d == "word" && a == "5"));

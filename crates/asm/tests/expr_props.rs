@@ -28,7 +28,11 @@ fn node() -> impl Strategy<Value = Node> {
         prop_oneof![
             inner.clone().prop_map(|n| Node::Neg(Box::new(n))),
             inner.clone().prop_map(|n| Node::Not(Box::new(n))),
-            (proptest::sample::select(vec!['+', '-', '*', '&', '|', '^']), inner.clone(), inner.clone())
+            (
+                proptest::sample::select(vec!['+', '-', '*', '&', '|', '^']),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
             (inner.clone(), 0u8..16).prop_map(|(n, s)| Node::Shl(Box::new(n), s)),
             (inner, 0u8..16).prop_map(|(n, s)| Node::Shr(Box::new(n), s)),

@@ -14,8 +14,7 @@ use lis_bench::{
 use lis_runtime::Backend;
 use lis_timing::{
     run_functional_first, run_functional_first_ooo, run_integrated,
-    run_speculative_functional_first, run_timing_directed, run_timing_first, CoreConfig,
-    OooConfig,
+    run_speculative_functional_first, run_timing_directed, run_timing_first, CoreConfig, OooConfig,
 };
 use lis_workloads::{spec_of, suite_of, ISAS};
 
@@ -130,5 +129,7 @@ fn ablate_ff_cmd() {
     for (isa, ff, blk) in fast_forward_ablation() {
         println!("{:<8} {:>14.2} {:>14.2} {:>7.2}x", isa, ff, blk, ff / blk);
     }
-    println!("(the paper's sampling discussion: fast-forward needs \"little, if any, information\")");
+    println!(
+        "(the paper's sampling discussion: fast-forward needs \"little, if any, information\")"
+    );
 }

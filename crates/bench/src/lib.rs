@@ -85,10 +85,8 @@ const REPS: usize = 3;
 /// geometric means over its benchmark suite.
 pub fn measure_set(isa: &str, sets: &[BuildsetDef], backend: Backend) -> Vec<Measurement> {
     let target = target_insts() / REPS as u64;
-    let kernels: Vec<_> = suite_of(isa)
-        .iter()
-        .map(|w| w.assemble().expect("kernel assembles"))
-        .collect();
+    let kernels: Vec<_> =
+        suite_of(isa).iter().map(|w| w.assemble().expect("kernel assembles")).collect();
     // samples[bs][kernel] = Vec of per-rep MIPS
     let mut samples = vec![vec![Vec::with_capacity(REPS); kernels.len()]; sets.len()];
     let mut insts = vec![0u64; sets.len()];
@@ -116,10 +114,7 @@ pub fn measure_set(isa: &str, sets: &[BuildsetDef], backend: Backend) -> Vec<Mea
     sets.iter()
         .enumerate()
         .map(|(b, _)| {
-            let log_sum: f64 = samples[b]
-                .iter()
-                .map(|reps| median(reps.clone()).ln())
-                .sum();
+            let log_sum: f64 = samples[b].iter().map(|reps| median(reps.clone()).ln()).sum();
             let mips = (log_sum / kernels.len() as f64).exp();
             Measurement { mips, ns_per_inst: 1000.0 / mips, insts: insts[b] }
         })
@@ -133,10 +128,8 @@ pub fn measure(isa: &str, bs: BuildsetDef, backend: Backend) -> Measurement {
 
 /// Table II: every standard buildset on every ISA.
 pub fn table2(backend: Backend) -> Vec<(BuildsetDef, [Measurement; 3])> {
-    let per_isa: Vec<Vec<Measurement>> = ISAS
-        .iter()
-        .map(|isa| measure_set(isa, &STANDARD_BUILDSETS, backend))
-        .collect();
+    let per_isa: Vec<Vec<Measurement>> =
+        ISAS.iter().map(|isa| measure_set(isa, &STANDARD_BUILDSETS, backend)).collect();
     STANDARD_BUILDSETS
         .iter()
         .enumerate()
@@ -212,7 +205,8 @@ pub fn check_shape(t2: &[(BuildsetDef, [Measurement; 3])]) -> Vec<String> {
         }
         // Informational detail: min > decode > all at fixed semantic, with a
         // small noise tolerance on the middle step.
-        if !(m("one-min") > m("one-all") && m("one-min") * 1.02 > m("one-decode")
+        if !(m("one-min") > m("one-all")
+            && m("one-min") * 1.02 > m("one-decode")
             && m("one-decode") * 1.02 > m("one-all"))
         {
             problems.push(format!("{isa}: informational ordering violated"));

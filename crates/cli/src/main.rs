@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! lis run <file.s> --isa alpha [--buildset one-all] [--backend cached|interpreted]
-//!                              [--trace] [--max N] [--timing ORG]
+//!                              [--trace] [--max N] [--deadline S] [--timing ORG]
 //! lis asm <file.s> --isa ppc
 //! lis disasm <file.s> --isa arm
 //! lis kernels [--isa alpha]
 //! lis buildsets
+//! lis verify [--isa alpha] [--full]
+//! lis chaos --isa alpha [--chaos-seed N] [--period N] [--runs N]
 //! ```
+//!
+//! `verify` and `chaos` use exit codes 0 (clean), 2 (divergence detected),
+//! and 3 (fault-storm or deadline abort); all commands use 1 for ordinary
+//! errors and 2 for usage errors.
 
 use lis_core::{
     check_interface, BuildsetDef, DynInst, InfoLevel, IsaSpec, Semantic, Step, Visibility,
     STANDARD_BUILDSETS,
 };
-use lis_runtime::Simulator;
+use lis_harness::{
+    chaos_run, verify_all, verify_isa, ChaosConfig, ChaosOutcome, HarnessError, VerifyConfig,
+};
+use lis_runtime::{ChaosPlan, Simulator};
 use lis_timing::{
     run_functional_first, run_integrated, run_speculative_functional_first, run_timing_directed,
     run_timing_first, CoreConfig,
@@ -37,21 +46,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
-        "run" => cmd_run(&opts),
-        "asm" => cmd_asm(&opts),
-        "disasm" => cmd_disasm(&opts),
-        "kernels" => cmd_kernels(&opts),
-        "buildsets" => cmd_buildsets(),
-        "lint" => cmd_lint(&opts),
+    let result: Result<u8, String> = match cmd.as_str() {
+        "run" => cmd_run(&opts).map(|()| 0),
+        "asm" => cmd_asm(&opts).map(|()| 0),
+        "disasm" => cmd_disasm(&opts).map(|()| 0),
+        "kernels" => cmd_kernels(&opts).map(|()| 0),
+        "buildsets" => cmd_buildsets().map(|()| 0),
+        "lint" => cmd_lint(&opts).map(|()| 0),
+        "verify" => cmd_verify(&opts),
+        "chaos" => cmd_chaos(&opts),
         "help" | "--help" | "-h" => {
             usage();
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -70,6 +81,9 @@ usage:
   lis kernels [--isa <isa>]                          run the bundled kernels
   lis buildsets                                      list the standard interfaces
   lis lint --isa <isa>                               interface validity matrix
+  lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
+                                                     against the one-min reference
+  lis chaos --isa <isa> [options]                    seeded fault-injection campaign
 
 options for `run`:
   --buildset <name>     interface to synthesize (default one-all)
@@ -77,9 +91,23 @@ options for `run`:
   --trace               print each dynamic instruction
   --mix                 print an instruction-class mix histogram
   --max <n>             instruction budget (default 100M)
+  --deadline <secs>     wall-clock watchdog; exceeding it stops the run
   --timing <org>        drive a timing model instead:
                         integrated | functional-first | timing-directed |
-                        timing-first | sff"
+                        timing-first | sff
+
+options for `verify` / `chaos`:
+  --full                verify: all suite kernels (default: quick subset)
+  --chaos-seed <n>      chaos: first campaign seed (default 1)
+  --period <n>          chaos: mean insts between injections (default 500)
+  --runs <n>            chaos: seeded runs in the campaign (default 4)
+  --unmap               chaos: also unmap pages (persistent faults)
+  --deadline <secs>     chaos: wall-clock limit per run
+  --snapshot <path>     crash-snapshot file (default lis-snapshot.txt)
+
+exit codes for `verify` / `chaos`:
+  0  clean            2  divergence detected
+  3  fault-storm or deadline abort                   1  other errors"
     );
 }
 
@@ -171,6 +199,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?;
     let mut sim = Simulator::new(spec, bs).map_err(|e| e.to_string())?;
     sim.set_backend(opts.backend);
+    if let Some(secs) = opts.deadline {
+        sim.set_deadline(std::time::Duration::from_secs(secs));
+    }
     sim.load_program(&image).map_err(|e| e.to_string())?;
 
     if opts.mix {
@@ -293,8 +324,7 @@ fn cmd_kernels(opts: &Opts) -> Result<(), String> {
     for isa in isas {
         for w in lis_workloads::suite_of(isa) {
             let image = w.assemble().map_err(|e| e.to_string())?;
-            let mut sim =
-                Simulator::new(lis_workloads::spec_of(isa), lis_core::ONE_ALL).unwrap();
+            let mut sim = Simulator::new(lis_workloads::spec_of(isa), lis_core::ONE_ALL).unwrap();
             sim.load_program(&image).map_err(|e| e.to_string())?;
             let t = std::time::Instant::now();
             let summary = sim.run_to_halt(100_000_000).map_err(|e| e.to_string())?;
@@ -319,10 +349,7 @@ fn cmd_kernels(opts: &Opts) -> Result<(), String> {
 
 fn cmd_lint(opts: &Opts) -> Result<(), String> {
     let spec = spec_of(&opts.isa)?;
-    println!(
-        "interface validity matrix for {} (semantic x informational detail):\n",
-        spec.name
-    );
+    println!("interface validity matrix for {} (semantic x informational detail):\n", spec.name);
     println!("{:<8} {:>8} {:>8} {:>8}", "", "min", "decode", "all");
     for semantic in [Semantic::Block, Semantic::One, Semantic::Step] {
         print!("{:<8}", semantic.name());
@@ -366,4 +393,87 @@ fn cmd_buildsets() -> Result<(), String> {
         println!("{:<20} {:<22} {:>10}", bs.name, bs.describe(), bs.speculation);
     }
     Ok(())
+}
+
+/// `lis verify`: lockstep every standard buildset on both backends against
+/// the `one-min` interpreted reference, over suite kernels and generated
+/// programs. Exit 0 when every cell agrees, 2 on any divergence.
+fn cmd_verify(opts: &Opts) -> Result<u8, String> {
+    let mut cfg = if opts.full { VerifyConfig::full() } else { VerifyConfig::default() };
+    cfg.lockstep.max_insts = opts.max;
+    let t0 = std::time::Instant::now();
+    let report = if opts.isa.is_empty() {
+        verify_all(&cfg)
+    } else {
+        spec_of(&opts.isa)?; // validate the name
+        verify_isa(&opts.isa, &cfg)
+    };
+    eprintln!("verify: {report} in {:.2}s", t0.elapsed().as_secs_f64());
+    if report.ok() {
+        return Ok(0);
+    }
+    for f in &report.failures {
+        eprintln!("\nFAIL {}:\n{}", f.job, f.error);
+    }
+    // Persist the first structured divergence for post-mortem analysis.
+    let first = report.failures.iter().find_map(|f| match &f.error {
+        HarnessError::Divergence(r) => Some(r),
+        _ => None,
+    });
+    if let Some(r) = first {
+        std::fs::write(&opts.snapshot, r.snapshot())
+            .map_err(|e| format!("{}: {e}", opts.snapshot))?;
+        eprintln!("\ncrash snapshot written to {}", opts.snapshot);
+    }
+    Ok(2)
+}
+
+/// `lis chaos`: a campaign of seeded fault-injection runs. Each seed runs
+/// the workload under bit flips, transient data faults, and page unmaps,
+/// with cache verification (graceful degradation) enabled. Exit 0 when
+/// every run survives to halt or budget, 3 on a fault storm or deadline.
+fn cmd_chaos(opts: &Opts) -> Result<u8, String> {
+    let spec = spec_of(&opts.isa)?;
+    let image = match &opts.input {
+        Some(_) => {
+            let src = read_source(opts)?;
+            assemble(&opts.isa, &src)?
+        }
+        None => lis_workloads::suite_of(&opts.isa)
+            .iter()
+            .find(|w| w.name == "hash31")
+            .expect("bundled kernel")
+            .assemble()
+            .map_err(|e| e.to_string())?,
+    };
+    let bs = *lis_core::find_buildset(&opts.buildset)
+        .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?;
+    let cfg = ChaosConfig {
+        max_insts: opts.max,
+        deadline: opts.deadline.map(std::time::Duration::from_secs),
+        ..ChaosConfig::default()
+    };
+    let mut aborted = false;
+    for i in 0..opts.runs {
+        // Transient channels by default; page unmaps are persistent faults
+        // (the page stays gone), which usually storm, so they are opt-in.
+        let plan = ChaosPlan {
+            seed: opts.chaos_seed.wrapping_add(i as u64),
+            flip_period: Some(opts.period),
+            data_fault_period: Some(opts.period),
+            unmap_period: opts.unmap.then_some(opts.period),
+            start: 0,
+            max_events: 0,
+        };
+        let report =
+            chaos_run(spec, &image, bs, opts.backend, plan, &cfg).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if matches!(report.outcome, ChaosOutcome::Storm | ChaosOutcome::Deadline) {
+            std::fs::write(&opts.snapshot, report.snapshot())
+                .map_err(|e| format!("{}: {e}", opts.snapshot))?;
+            eprintln!("crash snapshot written to {}", opts.snapshot);
+            aborted = true;
+        }
+    }
+    Ok(if aborted { 3 } else { 0 })
 }

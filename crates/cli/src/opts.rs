@@ -21,6 +21,20 @@ pub struct Opts {
     pub max: u64,
     /// Timing organization, when driving a timing model.
     pub timing: Option<String>,
+    /// Wall-clock watchdog in seconds (`run`, `chaos`).
+    pub deadline: Option<u64>,
+    /// First seed of a chaos campaign.
+    pub chaos_seed: u64,
+    /// Mean instructions between injections per chaos channel.
+    pub period: u64,
+    /// Number of seeded runs in a chaos campaign.
+    pub runs: u32,
+    /// Run the exhaustive verification matrix instead of the quick one.
+    pub full: bool,
+    /// Enable the page-unmap chaos channel (persistent faults).
+    pub unmap: bool,
+    /// Where crash snapshots are written.
+    pub snapshot: String,
 }
 
 impl Default for Opts {
@@ -34,6 +48,13 @@ impl Default for Opts {
             mix: false,
             max: 100_000_000,
             timing: None,
+            deadline: None,
+            chaos_seed: 1,
+            period: 500,
+            runs: 4,
+            full: false,
+            unmap: false,
+            snapshot: "lis-snapshot.txt".into(),
         }
     }
 }
@@ -60,11 +81,29 @@ impl Opts {
                 "--trace" => o.trace = true,
                 "--mix" => o.mix = true,
                 "--max" => {
-                    o.max = value("--max")?
-                        .parse()
-                        .map_err(|e| format!("--max: {e}"))?;
+                    o.max = value("--max")?.parse().map_err(|e| format!("--max: {e}"))?;
                 }
                 "--timing" => o.timing = Some(value("--timing")?),
+                "--deadline" => {
+                    o.deadline =
+                        Some(value("--deadline")?.parse().map_err(|e| format!("--deadline: {e}"))?);
+                }
+                "--chaos-seed" => {
+                    o.chaos_seed =
+                        value("--chaos-seed")?.parse().map_err(|e| format!("--chaos-seed: {e}"))?;
+                }
+                "--period" => {
+                    o.period = value("--period")?.parse().map_err(|e| format!("--period: {e}"))?;
+                    if o.period == 0 {
+                        return Err("--period must be positive".into());
+                    }
+                }
+                "--runs" => {
+                    o.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?;
+                }
+                "--full" => o.full = true,
+                "--unmap" => o.unmap = true,
+                "--snapshot" => o.snapshot = value("--snapshot")?,
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path => {
                     if o.input.is_some() {
@@ -111,5 +150,43 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["a.s", "b.s"]).is_err());
         assert!(parse(&["--isa"]).is_err());
+        assert!(parse(&["--deadline", "soon"]).is_err());
+        assert!(parse(&["--period", "0"]).is_err());
+        assert!(parse(&["--chaos-seed"]).is_err());
+    }
+
+    #[test]
+    fn robustness_flags() {
+        let o = parse(&[
+            "--deadline",
+            "30",
+            "--chaos-seed",
+            "99",
+            "--period",
+            "250",
+            "--runs",
+            "2",
+            "--full",
+            "--snapshot",
+            "crash.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.deadline, Some(30));
+        assert_eq!(o.chaos_seed, 99);
+        assert_eq!(o.period, 250);
+        assert_eq!(o.runs, 2);
+        assert!(o.full);
+        assert!(!o.unmap);
+        assert_eq!(o.snapshot, "crash.txt");
+    }
+
+    #[test]
+    fn robustness_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.deadline, None);
+        assert_eq!(o.chaos_seed, 1);
+        assert_eq!(o.period, 500);
+        assert!(!o.full);
+        assert_eq!(o.snapshot, "lis-snapshot.txt");
     }
 }

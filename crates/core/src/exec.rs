@@ -15,7 +15,7 @@ use crate::operand::{Operands, MAX_DEST, MAX_SRC};
 use crate::os::{decode_syscall, OsState};
 use crate::state::ArchState;
 use crate::undo::{UndoLog, UndoRec};
-use lis_mem::MemFault;
+use lis_mem::{AccessKind, ChaosState, MemFault};
 
 /// Per-instruction header values: the minimal informational detail every
 /// interface publishes (the paper's `Min` level).
@@ -50,6 +50,10 @@ pub struct Exec<'a> {
     pub os: &'a mut OsState,
     /// Undo log, present only when the buildset enables speculation.
     pub undo: Option<&'a mut UndoLog>,
+    /// Fault-injection state, present only while a chaos campaign runs.
+    /// Data accesses consult it before touching memory, so an injected
+    /// transient fault suppresses the access entirely.
+    pub chaos: Option<&'a mut ChaosState>,
 }
 
 /// Frame fields that carry source operand values, by operand position.
@@ -112,6 +116,11 @@ impl<'a> Exec<'a> {
     /// Returns [`Fault::DataAccess`] or [`Fault::Unaligned`].
     #[inline]
     pub fn load(&mut self, addr: u64, size: u8, signed: bool) -> Result<u64, Fault> {
+        if let Some(chaos) = self.chaos.as_deref_mut() {
+            if let Some(f) = chaos.maybe_fault_data(addr, AccessKind::Load) {
+                return Err(f.into());
+            }
+        }
         let e = self.state.endian;
         let raw = match size {
             1 => self.state.mem.read_u8(addr)? as u64,
@@ -136,6 +145,11 @@ impl<'a> Exec<'a> {
     /// Returns [`Fault::DataAccess`] or [`Fault::Unaligned`].
     #[inline]
     pub fn store(&mut self, addr: u64, size: u8, val: u64) -> Result<(), Fault> {
+        if let Some(chaos) = self.chaos.as_deref_mut() {
+            if let Some(f) = chaos.maybe_fault_data(addr, AccessKind::Store) {
+                return Err(f.into());
+            }
+        }
         let e = self.state.endian;
         if self.undo.is_some() {
             let old = match size {

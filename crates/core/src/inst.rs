@@ -8,7 +8,9 @@
 
 use crate::exec::Exec;
 use crate::fault::Fault;
-use crate::field::{FieldId, F_BR_TAKEN, F_BR_TARGET, F_DEST1, F_DEST2, F_EFF_ADDR, F_IMM, F_SRC1, F_SRC2, F_SRC3};
+use crate::field::{
+    FieldId, F_BR_TAKEN, F_BR_TARGET, F_DEST1, F_DEST2, F_EFF_ADDR, F_IMM, F_SRC1, F_SRC2, F_SRC3,
+};
 use crate::operand::OperandSpec;
 use crate::step::Step;
 use std::fmt;
@@ -137,12 +139,10 @@ pub enum FlowItem {
 impl fmt::Display for FlowItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlowItem::Field(id) => {
-                match crate::field::COMMON_FIELDS.iter().find(|d| d.id == *id) {
-                    Some(d) => write!(f, "field `{}`", d.name),
-                    None => write!(f, "field {id}"),
-                }
-            }
+            FlowItem::Field(id) => match crate::field::COMMON_FIELDS.iter().find(|d| d.id == *id) {
+                Some(d) => write!(f, "field `{}`", d.name),
+                None => write!(f, "field {id}"),
+            },
             FlowItem::OperandIds => f.write_str("operand identifiers"),
         }
     }

@@ -41,10 +41,7 @@ impl IsaSpec {
     /// The runtime builds an indexed decode table on top of this; the linear
     /// scan is the reference implementation and the fallback.
     pub fn decode(&self, word: u32) -> Option<u16> {
-        self.insts
-            .iter()
-            .position(|d| d.matches(word))
-            .map(|i| i as u16)
+        self.insts.iter().position(|d| d.matches(word)).map(|i| i as u16)
     }
 
     /// The instruction definition at `index`.

@@ -65,11 +65,13 @@ mod undo;
 
 pub use buildset::{
     find_buildset, BuildsetDef, InfoLevel, Semantic, Visibility, BLOCK_ALL, BLOCK_ALL_SPEC,
-    BLOCK_DECODE, BLOCK_DECODE_SPEC, BLOCK_MIN, ONE_ALL, ONE_ALL_SPEC, ONE_DECODE,
-    ONE_DECODE_SPEC, ONE_MIN, STANDARD_BUILDSETS, STEP_ALL, STEP_ALL_SPEC,
+    BLOCK_DECODE, BLOCK_DECODE_SPEC, BLOCK_MIN, ONE_ALL, ONE_ALL_SPEC, ONE_DECODE, ONE_DECODE_SPEC,
+    ONE_MIN, STANDARD_BUILDSETS, STEP_ALL, STEP_ALL_SPEC,
 };
 pub use dyninst::DynInst;
-pub use exec::{generic_operand_fetch, generic_writeback, Exec, InstHeader, DEST_FIELDS, SRC_FIELDS};
+pub use exec::{
+    generic_operand_fetch, generic_writeback, Exec, InstHeader, DEST_FIELDS, SRC_FIELDS,
+};
 pub use fault::Fault;
 pub use field::{
     FieldDesc, FieldId, FieldSet, COMMON_FIELDS, DECODE_FIELDS, FIRST_ISA_FIELD, F_ALU_OUT,

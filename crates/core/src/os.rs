@@ -189,10 +189,7 @@ mod tests {
             decode_syscall(nr::WRITE, 0x1000, 4).unwrap(),
             SysCall::WriteStdout { addr: 0x1000, len: 4 }
         );
-        assert!(matches!(
-            decode_syscall(99, 0, 0),
-            Err(Fault::SyscallError { num: 99 })
-        ));
+        assert!(matches!(decode_syscall(99, 0, 0), Err(Fault::SyscallError { num: 99 })));
     }
 
     #[test]
@@ -247,9 +244,7 @@ mod tests {
     fn write_faults_on_bad_address() {
         let mut os = OsState::new(0);
         let mut st = ArchState::new(Endian::Little);
-        let err = os
-            .dispatch(SysCall::WriteStdout { addr: 0x0, len: 8 }, &mut st)
-            .unwrap_err();
+        let err = os.dispatch(SysCall::WriteStdout { addr: 0x0, len: 8 }, &mut st).unwrap_err();
         assert!(matches!(err, Fault::DataAccess { .. }));
     }
 }

@@ -123,11 +123,9 @@ proptest! {
 fn pairing_rule_matrix() {
     for isa in [lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()] {
         for semantic in [Semantic::Block, Semantic::One, Semantic::Step] {
-            for (vis, info) in [
-                (Visibility::MIN, "min"),
-                (Visibility::DECODE, "decode"),
-                (Visibility::ALL, "all"),
-            ] {
+            for (vis, info) in
+                [(Visibility::MIN, "min"), (Visibility::DECODE, "decode"), (Visibility::ALL, "all")]
+            {
                 let bs = BuildsetDef { name: "m", semantic, visibility: vis, speculation: false };
                 let ok = check_interface(isa, &bs).is_ok();
                 let expected = semantic != Semantic::Step || info == "all";

@@ -1,0 +1,51 @@
+//! Semantic-agnostic advancement of a synthesized simulator.
+//!
+//! The harness drives every buildset through its *own* interface — one call
+//! per block, per instruction, or per step — so lockstep comparison exercises
+//! the exact entry points a timing simulator would use, not a privileged
+//! debug path.
+
+use lis_core::{DynInst, Semantic, Step};
+use lis_runtime::{IfaceError, Simulator};
+
+/// Advances `sim` by one interface unit — one basic block for
+/// block-semantic interfaces, one instruction otherwise — and refills `buf`
+/// with the published records (allocation reused across calls). Returns the
+/// number of records; the last record carries the fault if one occurred.
+pub(crate) fn advance(sim: &mut Simulator, buf: &mut Vec<DynInst>) -> Result<usize, IfaceError> {
+    match sim.buildset().semantic {
+        Semantic::One => {
+            one_slot(buf);
+            sim.next_inst(&mut buf[0])?;
+            Ok(1)
+        }
+        Semantic::Step => {
+            one_slot(buf);
+            for step in Step::ALL {
+                sim.step_inst(step, &mut buf[0])?;
+                if buf[0].fault.is_some() {
+                    break;
+                }
+            }
+            Ok(1)
+        }
+        Semantic::Block => {
+            let n = sim.next_block(buf)?;
+            // A fetch fault at the block head reports zero executed
+            // instructions but still publishes one fault record.
+            if n == 0 {
+                Ok(buf.len())
+            } else {
+                Ok(n)
+            }
+        }
+    }
+}
+
+fn one_slot(buf: &mut Vec<DynInst>) {
+    if buf.is_empty() {
+        buf.push(DynInst::new());
+    }
+    buf.truncate(1);
+    buf[0].clear();
+}

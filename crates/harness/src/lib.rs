@@ -1,0 +1,195 @@
+//! # lis-harness — chaos and lockstep robustness harness
+//!
+//! Two ways of stress-testing the synthesized simulators, both built on the
+//! single-specification premise that every derived interface must agree with
+//! every other:
+//!
+//! * **Lockstep verification** ([`lockstep`], [`verify_all`]): run any
+//!   buildset × backend combination instruction-by-instruction against the
+//!   reference (`one-min`, interpreted). After every retired instruction the
+//!   published headers must match; at every interface-call boundary the
+//!   architectural registers, stdout, and (periodically) all of memory must
+//!   match. A disagreement produces a structured [`DivergenceReport`]
+//!   carrying the faulting PC, its disassembly, register and memory deltas,
+//!   and ring buffers of the last [`RING_LEN`] instructions from both sides.
+//!
+//! * **Chaos campaigns** ([`chaos_run`]): run a workload under the
+//!   deterministic fault injector ([`lis_runtime::ChaosPlan`]) — bit flips
+//!   in fetched words, transient data faults, pages unmapped mid-run — with
+//!   a minimal skip-on-fault handler, and classify the result (survived,
+//!   fault storm, deadline). Same `(seed, plan)` ⇒ same event log, same
+//!   outcome, exactly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+mod driver;
+mod lockstep;
+mod report;
+mod verify;
+
+pub use campaign::{chaos_run, ChaosConfig, ChaosOutcome, ChaosRunReport};
+pub use lockstep::{
+    job_label, lockstep, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome, PerturbHook,
+};
+pub use report::{backend_name, DivergenceReport, RegDelta, RetiredInst, Ring, RING_LEN};
+pub use verify::{verify_all, verify_isa, VerifyConfig, VerifyFailure, VerifyReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::{BLOCK_MIN, ONE_ALL, ONE_MIN, STANDARD_BUILDSETS, STEP_ALL};
+    use lis_mem::Image;
+    use lis_runtime::{Backend, ChaosPlan};
+    use lis_workloads::suite_of;
+
+    fn kernel(isa: &str, name: &str) -> Image {
+        suite_of(isa)
+            .iter()
+            .find(|w| w.name == name)
+            .expect("kernel exists")
+            .assemble()
+            .expect("kernel assembles")
+    }
+
+    #[test]
+    fn lockstep_clean_across_buildsets() {
+        let spec = lis_workloads::spec_of("alpha");
+        let image = kernel("alpha", "strrev");
+        for bs in STANDARD_BUILDSETS {
+            for backend in [Backend::Cached, Backend::Interpreted] {
+                match lockstep(spec, &image, bs, backend) {
+                    Ok(LockstepOutcome::Halted { exit_code, insts, .. }) => {
+                        assert_eq!(exit_code, 0, "{}: bad exit", bs.name);
+                        assert!(insts > 0);
+                    }
+                    other => panic!("{} {:?}: {:?}", bs.name, backend, other.map(|_| ())),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detector_catches_register_corruption() {
+        let spec = lis_workloads::spec_of("arm");
+        let image = kernel("arm", "strrev");
+        let mut fired = false;
+        let mut perturb = |insts: u64, sim: &mut lis_runtime::Simulator| {
+            if insts == 100 && !fired {
+                fired = true;
+                sim.state.gpr[3] ^= 0x40;
+            }
+        };
+        let err = lockstep_with(
+            spec,
+            &image,
+            ONE_ALL,
+            Backend::Cached,
+            &LockstepConfig::default(),
+            Some(&mut perturb),
+        )
+        .expect_err("corruption must be detected");
+        let HarnessError::Divergence(report) = err else {
+            panic!("expected divergence, got {err}");
+        };
+        assert!(report.inst_index >= 100);
+        assert!(
+            report.reg_deltas.iter().any(|d| d.class == "gpr" && d.index == 3),
+            "report: {report}"
+        );
+        assert!(!report.subject_ring.is_empty() && !report.reference_ring.is_empty());
+        assert!(report.subject_ring.len() <= RING_LEN);
+        assert!(!report.disasm.is_empty());
+        // The snapshot must be self-contained renderable text.
+        assert!(report.snapshot().contains("--- subject state ---"));
+    }
+
+    #[test]
+    fn detector_catches_memory_corruption() {
+        let spec = lis_workloads::spec_of("ppc");
+        let image = kernel("ppc", "strrev");
+        let mut done = false;
+        let mut perturb = |insts: u64, sim: &mut lis_runtime::Simulator| {
+            if insts >= 50 && !done {
+                done = true;
+                // A dirty byte in a page the program never touches: only the
+                // memory sweep can see it.
+                sim.poke_mem(0x0030_0000, 1, 0xAA).expect("poke");
+            }
+        };
+        let cfg = LockstepConfig { mem_check_stride: 1, ..LockstepConfig::default() };
+        let err = lockstep_with(spec, &image, BLOCK_MIN, Backend::Cached, &cfg, Some(&mut perturb))
+            .expect_err("memory corruption must be detected");
+        let HarnessError::Divergence(report) = err else {
+            panic!("expected divergence, got {err}");
+        };
+        assert!(
+            report.mem_deltas.iter().any(|d| d.addr == 0x0030_0000 && d.lhs == 0xAA),
+            "report: {report}"
+        );
+    }
+
+    #[test]
+    fn step_semantic_locksteps_too() {
+        let spec = lis_workloads::spec_of("alpha");
+        let image = kernel("alpha", "hash31");
+        let out = lockstep(spec, &image, STEP_ALL, Backend::Interpreted).expect("clean run");
+        assert!(matches!(out, LockstepOutcome::Halted { exit_code: 0, .. }));
+    }
+
+    #[test]
+    fn chaos_run_is_reproducible() {
+        let spec = lis_workloads::spec_of("alpha");
+        let image = kernel("alpha", "hash31");
+        let plan = ChaosPlan::uniform(0xDECAF, 300);
+        let cfg = ChaosConfig::default();
+        let a = chaos_run(spec, &image, BLOCK_MIN, Backend::Cached, plan, &cfg).expect("run");
+        let b = chaos_run(spec, &image, BLOCK_MIN, Backend::Cached, plan, &cfg).expect("run");
+        assert!(!a.events.is_empty(), "plan should inject something");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ring, b.ring);
+        assert!(!a.snapshot().is_empty());
+    }
+
+    #[test]
+    fn chaos_quiet_plan_matches_plain_run() {
+        // A plan that injects nothing must not perturb execution at all.
+        let spec = lis_workloads::spec_of("arm");
+        let image = kernel("arm", "strrev");
+        let quiet = chaos_run(
+            spec,
+            &image,
+            ONE_MIN,
+            Backend::Interpreted,
+            ChaosPlan::quiet(1),
+            &ChaosConfig::default(),
+        )
+        .expect("run");
+        assert!(quiet.events.is_empty());
+        assert_eq!(quiet.outcome, ChaosOutcome::Halted { exit_code: 0 });
+        let clean = lockstep(spec, &image, ONE_MIN, Backend::Interpreted).expect("clean");
+        let LockstepOutcome::Halted { insts, .. } = clean else { panic!("halted") };
+        assert_eq!(quiet.insts, insts);
+    }
+
+    #[test]
+    fn verify_single_kernel_matrix_passes() {
+        let cfg = VerifyConfig {
+            kernels: vec!["strrev"],
+            random_seeds: vec![],
+            random_len: 0,
+            lockstep: LockstepConfig::default(),
+        };
+        let report = verify_isa("alpha", &cfg);
+        assert_eq!(report.jobs, STANDARD_BUILDSETS.len() * 2);
+        let msgs: Vec<String> =
+            report.failures.iter().map(|f| format!("{}: {}", f.job, f.error)).collect();
+        assert!(report.ok(), "failures: {msgs:?}");
+        assert!(report.insts > 0);
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -225,11 +225,7 @@ fn mem_base(op: &Operand) -> Result<u32, String> {
 }
 
 fn reg3(a: u16, b: u16, c: u16) -> [Operand; 3] {
-    [
-        Operand::Reg(format!("r{a}")),
-        Operand::Reg(format!("r{b}")),
-        Operand::Reg(format!("r{c}")),
-    ]
+    [Operand::Reg(format!("r{a}")), Operand::Reg(format!("r{b}")), Operand::Reg(format!("r{c}"))]
 }
 
 #[cfg(test)]

@@ -64,8 +64,7 @@ pub fn assemble(src: &str) -> Result<lis_mem::Image, lis_asm::AsmError> {
 
 /// Mechanical Table I statistics for the Alpha description.
 pub fn spec_stats() -> SpecStats {
-    let isa = count_lines(include_str!("semantics.rs"))
-        .add(count_lines(include_str!("regs.rs")));
+    let isa = count_lines(include_str!("semantics.rs")).add(count_lines(include_str!("regs.rs")));
     let tooling = count_lines(include_str!("asm.rs")).add(count_lines(include_str!("disasm.rs")));
     SpecStats {
         isa: "alpha",

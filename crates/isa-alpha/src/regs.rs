@@ -30,9 +30,9 @@ pub const REG_CLASSES: &[RegClassDef] =
 /// Software register-name aliases, in index order (`$0`..`$31` and `rN` also
 /// accepted by the assembler).
 pub const REG_NAMES: &[&str] = &[
-    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
-    "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp",
-    "sp", "zero",
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp", "sp",
+    "zero",
 ];
 
 /// Parses a register name (already lower-cased): `rN`, `$N`, or an alias.

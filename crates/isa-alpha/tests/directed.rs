@@ -200,12 +200,8 @@ fn r31_sinks_every_writeback() {
 fn every_instruction_is_covered_by_directed_tests() {
     // Meta-test: every InstDef name appears somewhere in this file.
     let me = include_str!("directed.rs");
-    let covered: Vec<&str> = lis_isa_alpha::spec()
-        .insts
-        .iter()
-        .map(|d| d.name)
-        .filter(|n| !me.contains(*n))
-        .collect();
+    let covered: Vec<&str> =
+        lis_isa_alpha::spec().insts.iter().map(|d| d.name).filter(|n| !me.contains(*n)).collect();
     // `callsys` is exercised throughout exec.rs and the kernels.
     assert!(
         covered.iter().all(|n| *n == "callsys"),

@@ -1,6 +1,6 @@
 //! End-to-end Alpha execution tests through the synthesized simulators.
 
-use lis_core::{STANDARD_BUILDSETS, ONE_ALL};
+use lis_core::{ONE_ALL, STANDARD_BUILDSETS};
 use lis_runtime::Simulator;
 
 fn run(src: &str) -> Simulator {
@@ -165,8 +165,7 @@ _start: mov 7, r1
 
 #[test]
 fn syscall_output() {
-    let sim = run(
-        "
+    let sim = run("
 _start: mov 4, v0          ; PUTUDEC
         mov 12345, a0
         callsys
@@ -180,8 +179,7 @@ _start: mov 4, v0          ; PUTUDEC
         callsys
         .data
 msg:    .ascii \"ok\\n\"
-",
-    );
+");
     assert_eq!(String::from_utf8_lossy(sim.stdout()), "12345\nok\n");
     assert_eq!(sim.state.exit_code, 3);
 }

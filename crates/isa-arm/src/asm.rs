@@ -59,8 +59,20 @@ fn split_mnemonic(mn: &str) -> Option<(&'static str, u32, bool)> {
         // `s` is only meaningful for data-processing and multiply.
         if s && !matches!(
             base,
-            "and" | "eor" | "sub" | "rsb" | "add" | "adc" | "sbc" | "rsc" | "orr" | "mov"
-                | "bic" | "mvn" | "mul" | "mla"
+            "and"
+                | "eor"
+                | "sub"
+                | "rsb"
+                | "add"
+                | "adc"
+                | "sbc"
+                | "rsc"
+                | "orr"
+                | "mov"
+                | "bic"
+                | "mvn"
+                | "mul"
+                | "mla"
         ) {
             continue;
         }
@@ -134,11 +146,7 @@ fn encode_shifter(ops: &[&Operand]) -> Result<u32, String> {
 }
 
 /// Encodes the addressing mode of a word/byte transfer into `(P,U,W,I,offset bits, rn)`.
-fn encode_addr(
-    ops: &[Operand],
-    addr: u64,
-    halfword: bool,
-) -> Result<(u32, u32), String> {
+fn encode_addr(ops: &[Operand], addr: u64, halfword: bool) -> Result<(u32, u32), String> {
     let enc_off_imm = |off: i64| -> Result<(u32, u32), String> {
         let (u, mag) = if off < 0 { (0u32, (-off) as u32) } else { (1, off as u32) };
         if halfword {
@@ -228,7 +236,8 @@ impl IsaAssembler for ArmAsm {
     }
 
     fn encode(&self, mn: &str, ops: &[Operand], ctx: &EncodeCtx<'_>) -> Result<u32, String> {
-        let (base, cond, s) = split_mnemonic(mn).ok_or_else(|| format!("unknown mnemonic `{mn}`"))?;
+        let (base, cond, s) =
+            split_mnemonic(mn).ok_or_else(|| format!("unknown mnemonic `{mn}`"))?;
         let cond_bits = cond << 28;
         let s_bit = if s { 0x0010_0000 } else { 0 };
 
@@ -243,10 +252,8 @@ impl IsaAssembler for ArmAsm {
                 return Ok(cond_bits | 0x012f_ff10 | rm);
             }
             "b" | "bl" => {
-                let target = ops
-                    .first()
-                    .and_then(|o| o.imm())
-                    .ok_or("branch needs a target address")?;
+                let target =
+                    ops.first().and_then(|o| o.imm()).ok_or("branch needs a target address")?;
                 let off = target - (ctx.addr as i64 + 8);
                 if off % 4 != 0 {
                     return Err("branch target not word-aligned".into());
@@ -292,7 +299,6 @@ impl IsaAssembler for ArmAsm {
                 let (mode, off) = encode_addr(ops, ctx.addr, halfword)?;
                 let l = if base.starts_with("ldr") { 0x0010_0000 } else { 0 };
                 let class = if halfword {
-                    
                     match base {
                         "strh" | "ldrh" => 0xb0,
                         "ldrsb" => 0xd0,

@@ -49,10 +49,7 @@ pub fn disasm(word: u32, pc: u64) -> String {
         }
         "mla" => {
             let s = if word & 0x0010_0000 != 0 { "s" } else { "" };
-            format!(
-                "mla{c}{s} {rn}, {rm}, {}, {rd}",
-                reg_name(((word >> 8) & 0xf) as u16)
-            )
+            format!("mla{c}{s} {rn}, {rm}, {}, {rd}", reg_name(((word >> 8) & 0xf) as u16))
         }
         "b" | "bl" => {
             let off = ((word & 0x00ff_ffff) << 8) as i32 >> 6;

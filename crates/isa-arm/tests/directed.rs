@@ -94,15 +94,9 @@ fn flag_setting() {
     assert_eq!(flags_of("cmp r1, r2", &[(1, 4), (2, 5)], 0) & 0x2, 0);
     assert_eq!(flags_of("cmp r1, r2", &[(1, 5), (2, 4)], 0) & 0x2, 0x2);
     // Signed overflow: max positive + 1.
-    assert_eq!(
-        flags_of("adds r3, r1, r2", &[(1, 0x7fff_ffff), (2, 1)], 0),
-        (N | V) >> 28
-    );
+    assert_eq!(flags_of("adds r3, r1, r2", &[(1, 0x7fff_ffff), (2, 1)], 0), (N | V) >> 28);
     // Carry out of the top bit.
-    assert_eq!(
-        flags_of("adds r3, r1, r2", &[(1, 0xffff_ffff), (2, 1)], 0),
-        (Z | C) >> 28
-    );
+    assert_eq!(flags_of("adds r3, r1, r2", &[(1, 0xffff_ffff), (2, 1)], 0), (Z | C) >> 28);
     // tst/teq/cmn set flags without writing a register.
     let sim = exec("tst r1, r2", &[(1, 1), (2, 2)], 0);
     assert_eq!(sim.state.spr[0] & Z, Z);
@@ -218,11 +212,7 @@ fn swi_and_r15() {
 #[test]
 fn every_instruction_is_covered_by_directed_tests() {
     let me = include_str!("directed.rs");
-    let missing: Vec<&str> = lis_isa_arm::spec()
-        .insts
-        .iter()
-        .map(|d| d.name)
-        .filter(|n| !me.contains(*n))
-        .collect();
+    let missing: Vec<&str> =
+        lis_isa_arm::spec().insts.iter().map(|d| d.name).filter(|n| !me.contains(*n)).collect();
     assert!(missing.is_empty(), "instructions without directed tests: {missing:?}");
 }

@@ -183,8 +183,7 @@ over:   {EXIT0}"
 
 #[test]
 fn syscall_output_and_conditional_swi() {
-    let sim = run(
-        "
+    let sim = run("
 _start: mov r7, #4            ; PUTUDEC
         mov r0, #77
         swi 0
@@ -195,8 +194,7 @@ _start: mov r7, #4            ; PUTUDEC
         mov r7, #1
         mov r0, #9
         swi 0
-",
-    );
+");
     assert_eq!(String::from_utf8_lossy(sim.stdout()), "77\n!");
     assert_eq!(sim.state.exit_code, 9);
 }
@@ -238,7 +236,12 @@ loop:   add r1, r1, r2
         let mut sim = Simulator::new(lis_isa_arm::spec(), bs).unwrap();
         sim.load_program(&image).unwrap();
         sim.run_to_halt(1_000_000).unwrap();
-        outputs.push((bs.name, String::from_utf8_lossy(sim.stdout()).into_owned(), sim.state.gpr, sim.state.spr));
+        outputs.push((
+            bs.name,
+            String::from_utf8_lossy(sim.stdout()).into_owned(),
+            sim.state.gpr,
+            sim.state.spr,
+        ));
     }
     for (name, out, gpr, spr) in &outputs[1..] {
         assert_eq!(out, &outputs[0].1, "{name}");

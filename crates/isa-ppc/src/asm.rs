@@ -112,10 +112,8 @@ impl IsaAssembler for PpcAsm {
             let (crf, t) = match ops {
                 [t] => (0, t),
                 [crf, t] => {
-                    let f = crf
-                        .reg()
-                        .and_then(parse_crf)
-                        .ok_or("expected a CR field (cr0..cr7)")? as u32;
+                    let f = crf.reg().and_then(parse_crf).ok_or("expected a CR field (cr0..cr7)")?
+                        as u32;
                     (f, t)
                 }
                 _ => return Err(format!("{base} needs `[crf,] target`")),
@@ -258,11 +256,9 @@ impl IsaAssembler for PpcAsm {
             "cmpwi" | "cmplwi" => {
                 let (crf, ra, v) = match ops {
                     [ra, v] => (0, ra, v),
-                    [crf, ra, v] => (
-                        crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32,
-                        ra,
-                        v,
-                    ),
+                    [crf, ra, v] => {
+                        (crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32, ra, v)
+                    }
                     _ => return Err(format!("{base} needs `[crf,] ra, imm`")),
                 };
                 let op = if base == "cmpwi" { 11 } else { 10 };
@@ -273,11 +269,9 @@ impl IsaAssembler for PpcAsm {
             "cmpw" | "cmplw" => {
                 let (crf, ra, rb) = match ops {
                     [ra, rb] => (0, ra, rb),
-                    [crf, ra, rb] => (
-                        crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32,
-                        ra,
-                        rb,
-                    ),
+                    [crf, ra, rb] => {
+                        (crf.reg().and_then(parse_crf).ok_or("expected a CR field")? as u32, ra, rb)
+                    }
                     _ => return Err(format!("{base} needs `[crf,] ra, rb`")),
                 };
                 let xop = if base == "cmpw" { 0 } else { 32 };
@@ -381,7 +375,14 @@ impl IsaAssembler for PpcAsm {
         } {
             let [ra, rs, rb] = ops else { return Err(format!("{base} needs `ra, rs, rb`")) };
             let allow_rc = base != "sraw";
-            return Ok(x_form(31, xop, reg(rs, "rs")?, reg(ra, "ra")?, reg(rb, "rb")?, rc_ok(allow_rc)?));
+            return Ok(x_form(
+                31,
+                xop,
+                reg(rs, "rs")?,
+                reg(ra, "ra")?,
+                reg(rb, "rb")?,
+                rc_ok(allow_rc)?,
+            ));
         }
 
         // Loads/stores: D-form `rt, d(ra)` and X-form `rt, ra, rb`.

@@ -86,7 +86,16 @@ pub fn disasm(word: u32, pc: u64) -> String {
         _ => {
             if matches!(
                 name,
-                "and" | "or" | "xor" | "nand" | "nor" | "andc" | "orc" | "eqv" | "slw" | "srw"
+                "and"
+                    | "or"
+                    | "xor"
+                    | "nand"
+                    | "nor"
+                    | "andc"
+                    | "orc"
+                    | "eqv"
+                    | "slw"
+                    | "srw"
                     | "sraw"
             ) {
                 format!("{name}{rc} {ra}, {rt}, {rb}")

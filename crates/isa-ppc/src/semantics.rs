@@ -93,7 +93,13 @@ fn cr_nibble_signed(res: u64, so: bool) -> u64 {
 }
 
 fn cr_nibble_cmp_signed(a: i32, b: i32, so: bool) -> u64 {
-    let mut n = if a < b { 8 } else if a > b { 4 } else { 2 };
+    let mut n = if a < b {
+        8
+    } else if a > b {
+        4
+    } else {
+        2
+    };
     if so {
         n |= 1;
     }
@@ -101,7 +107,13 @@ fn cr_nibble_cmp_signed(a: i32, b: i32, so: bool) -> u64 {
 }
 
 fn cr_nibble_cmp_unsigned(a: u32, b: u32, so: bool) -> u64 {
-    let mut n = if a < b { 8 } else if a > b { 4 } else { 2 };
+    let mut n = if a < b {
+        8
+    } else if a > b {
+        4
+    } else {
+        2
+    };
     if so {
         n |= 1;
     }
@@ -724,22 +736,16 @@ fn ev_ea_d_store(ex: &mut Exec<'_>) -> Result<(), Fault> {
 fn ev_ea_x(ex: &mut Exec<'_>) -> Result<(), Fault> {
     let w = ex.header.instr_bits;
     // srcs: [ra?] [rb] for loads, [ra?] [rs] [rb] for stores.
-    let (base, index) = if ra_field(w) == 0 {
-        (0, ex.get(F_SRC1))
-    } else {
-        (ex.get(F_SRC1), ex.get(F_SRC2))
-    };
+    let (base, index) =
+        if ra_field(w) == 0 { (0, ex.get(F_SRC1)) } else { (ex.get(F_SRC1), ex.get(F_SRC2)) };
     ex.set(F_EFF_ADDR, base.wrapping_add(index) & M32);
     Ok(())
 }
 
 fn ev_ea_x_store(ex: &mut Exec<'_>) -> Result<(), Fault> {
     let w = ex.header.instr_bits;
-    let (base, index) = if ra_field(w) == 0 {
-        (0, ex.get(F_SRC2))
-    } else {
-        (ex.get(F_SRC1), ex.get(F_SRC3))
-    };
+    let (base, index) =
+        if ra_field(w) == 0 { (0, ex.get(F_SRC2)) } else { (ex.get(F_SRC1), ex.get(F_SRC3)) };
     ex.set(F_EFF_ADDR, base.wrapping_add(index) & M32);
     Ok(())
 }

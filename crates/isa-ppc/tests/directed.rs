@@ -99,7 +99,7 @@ fn carry_chain() {
     let sim = exec("subfc r3, r4, r5\nsubfe r6, r7, r8", &[(4, 1), (5, 0), (7, 0), (8, 5)], &[]);
     assert_eq!(sim.state.gpr[3], M32); // 0 - 1 borrows
     assert_eq!(sim.state.gpr[6], 4); // 5 - 0 - borrow
-    // addze consumes CA.
+                                     // addze consumes CA.
     let sim = exec("addze r3, r4", &[(4, 10)], &[(XER, CA)]);
     assert_eq!(sim.state.gpr[3], 11);
     let sim = exec("addze r3, r4", &[(4, 10)], &[]);
@@ -243,7 +243,11 @@ fn branch_machinery() {
 
 #[test]
 fn spr_moves_and_sc() {
-    let sim = exec("mtlr r4\nmflr r3\nmtctr r5\nmfctr r6\nmtxer r7\nmfxer r8\nmfcr r9", &[(4, 0x1234), (5, 0x5678), (7, CA)], &[]);
+    let sim = exec(
+        "mtlr r4\nmflr r3\nmtctr r5\nmfctr r6\nmtxer r7\nmfxer r8\nmfcr r9",
+        &[(4, 0x1234), (5, 0x5678), (7, CA)],
+        &[],
+    );
     assert_eq!(sim.state.gpr[3], 0x1234);
     assert_eq!(sim.state.gpr[6], 0x5678);
     assert_eq!(sim.state.gpr[8], CA);
@@ -256,11 +260,7 @@ fn spr_moves_and_sc() {
 #[test]
 fn every_instruction_is_covered_by_directed_tests() {
     let me = include_str!("directed.rs");
-    let missing: Vec<&str> = lis_isa_ppc::spec()
-        .insts
-        .iter()
-        .map(|d| d.name)
-        .filter(|n| !me.contains(*n))
-        .collect();
+    let missing: Vec<&str> =
+        lis_isa_ppc::spec().insts.iter().map(|d| d.name).filter(|n| !me.contains(*n)).collect();
     assert!(missing.is_empty(), "instructions without directed tests: {missing:?}");
 }

@@ -262,8 +262,7 @@ fn:     mulli r3, r3, 11
 
 #[test]
 fn syscall_output() {
-    let sim = run(
-        "
+    let sim = run("
 _start: li r0, 4              ; PUTUDEC
         li r3, 321
         sc
@@ -277,8 +276,7 @@ _start: li r0, 4              ; PUTUDEC
         sc
         .data
 msg:    .ascii \"ppc\"
-",
-    );
+");
     assert_eq!(String::from_utf8_lossy(sim.stdout()), "321\nppc");
     assert_eq!(sim.state.exit_code, 5);
 }

@@ -1,0 +1,384 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`ChaosPlan`] describes a seeded campaign of low-level misbehaviour —
+//! bit flips in fetched instruction words, transient data-access faults, and
+//! pages unmapped mid-run — and a [`ChaosState`] executes it. Everything is
+//! a pure function of the plan: event timing is derived from the retired
+//! instruction index and a dedicated [`ChaosRng`] stream, never from wall
+//! clock, allocation order, or `HashMap` iteration, so a run can be replayed
+//! exactly from `(seed, plan)`.
+//!
+//! The execution engine owns the state and calls the three `maybe_*` hooks;
+//! this crate only defines the mechanism so that both the engine and the
+//! test harness speak the same vocabulary. Injected data faults reuse
+//! [`MemFault::OutOfRange`] — provenance (real vs injected) lives in the
+//! event log, not the fault value, so architectural fault handling is
+//! exercised unchanged.
+
+use crate::{AccessKind, Mem, MemFault};
+use std::fmt;
+
+/// A deterministic SplitMix64 stream for chaos scheduling.
+///
+/// Small and stateless enough to reason about: each draw advances one `u64`
+/// of state. Not cryptographic, and deliberately independent of the
+/// generators used elsewhere in the workspace so plans replay identically
+/// no matter what the workload generator does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A seeded fault-injection campaign description.
+///
+/// Each enabled channel fires roughly every `*_period` retired
+/// instructions (the exact gap is drawn uniformly from
+/// `[1, 2 * period]`, mean `period`). Disabled channels (`None`) never
+/// fire. `max_events` bounds the total injected across all channels;
+/// `0` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed for the scheduling stream.
+    pub seed: u64,
+    /// Mean instructions between instruction-word bit flips.
+    pub flip_period: Option<u64>,
+    /// Mean instructions between transient data-access faults.
+    pub data_fault_period: Option<u64>,
+    /// Mean instructions between page unmaps.
+    pub unmap_period: Option<u64>,
+    /// First retired-instruction index eligible for injection.
+    pub start: u64,
+    /// Upper bound on total injected events (0 = unlimited).
+    pub max_events: u32,
+}
+
+impl ChaosPlan {
+    /// A plan with every channel enabled at `period`, starting immediately.
+    pub fn uniform(seed: u64, period: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            flip_period: Some(period),
+            data_fault_period: Some(period),
+            unmap_period: Some(period),
+            start: 0,
+            max_events: 0,
+        }
+    }
+
+    /// A plan injecting nothing (useful as a campaign baseline).
+    pub fn quiet(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            flip_period: None,
+            data_fault_period: None,
+            unmap_period: None,
+            start: 0,
+            max_events: 0,
+        }
+    }
+}
+
+/// One injected event, recorded at the retired-instruction index where it
+/// fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// An instruction word was corrupted at fetch time.
+    BitFlip {
+        /// Retired-instruction index at injection.
+        inst: u64,
+        /// PC of the fetched word.
+        pc: u64,
+        /// Which bit was flipped.
+        bit: u8,
+        /// The word as stored in memory.
+        before: u32,
+        /// The word as delivered to decode.
+        after: u32,
+    },
+    /// A data access was made to fault without touching memory.
+    DataFault {
+        /// Retired-instruction index at injection.
+        inst: u64,
+        /// Address of the suppressed access.
+        addr: u64,
+        /// Whether a load or a store was suppressed.
+        kind: AccessKind,
+    },
+    /// A resident page was unmapped (contents discarded).
+    PageUnmap {
+        /// Retired-instruction index at injection.
+        inst: u64,
+        /// Base address of the discarded page.
+        base: u64,
+    },
+}
+
+impl ChaosEvent {
+    /// Retired-instruction index at which the event fired.
+    pub fn inst(&self) -> u64 {
+        match *self {
+            ChaosEvent::BitFlip { inst, .. }
+            | ChaosEvent::DataFault { inst, .. }
+            | ChaosEvent::PageUnmap { inst, .. } => inst,
+        }
+    }
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChaosEvent::BitFlip { inst, pc, bit, before, after } => write!(
+                f,
+                "inst {inst}: flipped bit {bit} of fetch at {pc:#x} ({before:#010x} -> {after:#010x})"
+            ),
+            ChaosEvent::DataFault { inst, addr, kind } => {
+                write!(f, "inst {inst}: injected transient {kind} fault at {addr:#x}")
+            }
+            ChaosEvent::PageUnmap { inst, base } => {
+                write!(f, "inst {inst}: unmapped page {base:#x}")
+            }
+        }
+    }
+}
+
+/// Live state of a chaos campaign: the schedule, the RNG stream, and the
+/// log of everything injected so far.
+#[derive(Debug, Clone)]
+pub struct ChaosState {
+    plan: ChaosPlan,
+    rng: ChaosRng,
+    cur_inst: u64,
+    next_flip: Option<u64>,
+    next_data: Option<u64>,
+    next_unmap: Option<u64>,
+    log: Vec<ChaosEvent>,
+}
+
+impl ChaosState {
+    /// Creates the state for `plan`, drawing the initial schedule.
+    pub fn new(plan: ChaosPlan) -> ChaosState {
+        let mut rng = ChaosRng::new(plan.seed);
+        let mut due = |period: Option<u64>| period.map(|p| plan.start + gap(&mut rng, p));
+        let next_flip = due(plan.flip_period);
+        let next_data = due(plan.data_fault_period);
+        let next_unmap = due(plan.unmap_period);
+        ChaosState { plan, rng, cur_inst: 0, next_flip, next_data, next_unmap, log: Vec::new() }
+    }
+
+    /// The plan this state executes.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Everything injected so far, in firing order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.log
+    }
+
+    /// Number of events injected so far.
+    pub fn injected(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Called by the engine at the start of each instruction with the
+    /// retired-instruction index; all hooks fire relative to it.
+    pub fn begin_inst(&mut self, inst: u64) {
+        self.cur_inst = inst;
+    }
+
+    fn budget_left(&self) -> bool {
+        self.plan.max_events == 0 || self.log.len() < self.plan.max_events as usize
+    }
+
+    /// Possibly corrupts a fetched instruction word. Returns the word to
+    /// deliver to decode (flipped in exactly one bit when the flip channel
+    /// is due, unchanged otherwise).
+    pub fn maybe_flip_fetch(&mut self, pc: u64, word: u32) -> u32 {
+        let Some(due) = self.next_flip else { return word };
+        if self.cur_inst < due || !self.budget_left() {
+            return word;
+        }
+        let bit = self.rng.below(32) as u8;
+        let after = word ^ (1 << bit);
+        self.log.push(ChaosEvent::BitFlip { inst: self.cur_inst, pc, bit, before: word, after });
+        let p = self.plan.flip_period.unwrap_or(1);
+        self.next_flip = Some(self.cur_inst + gap(&mut self.rng, p));
+        after
+    }
+
+    /// Possibly injects a transient fault into a data access. Returns the
+    /// fault to report instead of performing the access, or `None` to let
+    /// the access proceed.
+    pub fn maybe_fault_data(&mut self, addr: u64, kind: AccessKind) -> Option<MemFault> {
+        let due = self.next_data?;
+        if self.cur_inst < due || !self.budget_left() {
+            return None;
+        }
+        self.log.push(ChaosEvent::DataFault { inst: self.cur_inst, addr, kind });
+        let p = self.plan.data_fault_period.unwrap_or(1);
+        self.next_data = Some(self.cur_inst + gap(&mut self.rng, p));
+        Some(MemFault::OutOfRange { addr, kind })
+    }
+
+    /// Possibly unmaps one resident page of `mem`. The victim is chosen
+    /// from the *sorted* resident-page list so the choice is a pure
+    /// function of memory contents and the RNG stream. Returns `true` when
+    /// a page was discarded (the engine must invalidate predecoded state).
+    pub fn maybe_unmap(&mut self, mem: &mut Mem) -> bool {
+        let Some(due) = self.next_unmap else { return false };
+        if self.cur_inst < due || !self.budget_left() {
+            return false;
+        }
+        let pages = mem.page_bases();
+        let p = self.plan.unmap_period.unwrap_or(1);
+        self.next_unmap = Some(self.cur_inst + gap(&mut self.rng, p));
+        if pages.is_empty() {
+            return false;
+        }
+        let base = pages[self.rng.below(pages.len() as u64) as usize];
+        mem.unmap_page(base);
+        self.log.push(ChaosEvent::PageUnmap { inst: self.cur_inst, base });
+        true
+    }
+}
+
+/// Draws the gap to the next firing: uniform in `[1, 2 * period]`.
+fn gap(rng: &mut ChaosRng, period: u64) -> u64 {
+    1 + rng.below((2 * period.max(1)).max(1))
+}
+
+/// One byte that differs between two memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Address of the differing byte.
+    pub addr: u64,
+    /// The byte in `self` (left-hand memory).
+    pub lhs: u8,
+    /// The byte in `other` (right-hand memory).
+    pub rhs: u8,
+}
+
+impl fmt::Display for MemDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}] {:#04x} != {:#04x}", self.addr, self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Endian;
+
+    #[test]
+    fn replay_is_exact() {
+        let plan = ChaosPlan::uniform(0xfeed, 8);
+        let run = |plan: ChaosPlan| {
+            let mut st = ChaosState::new(plan);
+            let mut mem = Mem::new();
+            mem.write_u32(0x1000, 0xaaaa_aaaa, Endian::Little).unwrap();
+            mem.write_u32(0x5000, 0x5555_5555, Endian::Little).unwrap();
+            let mut words = Vec::new();
+            for i in 0..200u64 {
+                st.begin_inst(i);
+                words.push(st.maybe_flip_fetch(0x1000 + 4 * i, 0xdead_beef));
+                if let Some(f) = st.maybe_fault_data(0x2000 + i, AccessKind::Load) {
+                    words.push(f.addr() as u32);
+                }
+                st.maybe_unmap(&mut mem);
+            }
+            (words, st.events().to_vec())
+        };
+        let (w1, e1) = run(plan);
+        let (w2, e2) = run(plan);
+        assert_eq!(w1, w2);
+        assert_eq!(e1, e2);
+        assert!(!e1.is_empty(), "a period-8 plan must fire within 200 insts");
+        let (_, e3) = run(ChaosPlan { seed: 0xbeef, ..plan });
+        assert_ne!(e1, e3, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_bit() {
+        let mut st = ChaosState::new(ChaosPlan {
+            seed: 1,
+            flip_period: Some(1),
+            data_fault_period: None,
+            unmap_period: None,
+            start: 0,
+            max_events: 0,
+        });
+        st.begin_inst(5);
+        let before = 0x0123_4567u32;
+        let after = st.maybe_flip_fetch(0x1000, before);
+        assert_eq!((before ^ after).count_ones(), 1);
+        match st.events() {
+            [ChaosEvent::BitFlip { inst: 5, pc: 0x1000, before: b, after: a, .. }] => {
+                assert_eq!((*b, *a), (before, after));
+            }
+            other => panic!("unexpected log {other:?}"),
+        }
+    }
+
+    #[test]
+    fn start_and_budget_are_respected() {
+        let plan = ChaosPlan {
+            seed: 3,
+            flip_period: Some(1),
+            data_fault_period: None,
+            unmap_period: None,
+            start: 100,
+            max_events: 2,
+        };
+        let mut st = ChaosState::new(plan);
+        for i in 0..300u64 {
+            st.begin_inst(i);
+            st.maybe_flip_fetch(0x1000, 0);
+        }
+        assert_eq!(st.injected(), 2);
+        assert!(st.events().iter().all(|e| e.inst() >= 100));
+    }
+
+    #[test]
+    fn unmap_discards_the_page_and_reschedules() {
+        let mut st = ChaosState::new(ChaosPlan {
+            seed: 9,
+            flip_period: None,
+            data_fault_period: None,
+            unmap_period: Some(1),
+            start: 0,
+            max_events: 0,
+        });
+        let mut mem = Mem::new();
+        mem.write_u32(0x1000, 7, Endian::Little).unwrap();
+        st.begin_inst(2);
+        assert!(st.maybe_unmap(&mut mem));
+        assert_eq!(mem.resident_pages(), 0);
+        assert_eq!(mem.read_u32(0x1000, Endian::Little).unwrap(), 0);
+        // Nothing left to unmap: the channel draws but does not log.
+        st.begin_inst(50);
+        assert!(!st.maybe_unmap(&mut mem));
+        assert_eq!(st.injected(), 1);
+    }
+}

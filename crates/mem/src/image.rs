@@ -82,7 +82,14 @@ impl fmt::Display for Image {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "entry {:#x}", self.entry)?;
         for s in &self.sections {
-            writeln!(f, "  {:8} {:#010x}..{:#010x} ({} bytes)", s.name, s.addr, s.end(), s.bytes.len())?;
+            writeln!(
+                f,
+                "  {:8} {:#010x}..{:#010x} ({} bytes)",
+                s.name,
+                s.addr,
+                s.end(),
+                s.bytes.len()
+            )?;
         }
         Ok(())
     }

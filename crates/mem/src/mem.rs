@@ -85,12 +85,7 @@ impl Mem {
             limit > NULL_GUARD && limit.is_multiple_of(PAGE_SIZE as u64),
             "limit must be page-aligned and above the null guard"
         );
-        Mem {
-            pages: HashMap::new(),
-            limit,
-            last_page: u64::MAX,
-            last_ptr: std::ptr::null_mut(),
-        }
+        Mem { pages: HashMap::new(), limit, last_page: u64::MAX, last_ptr: std::ptr::null_mut() }
     }
 
     /// Upper bound (exclusive) of the valid address range.
@@ -101,6 +96,61 @@ impl Mem {
     /// Number of pages actually allocated.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Base addresses of all resident pages, sorted ascending.
+    ///
+    /// The sort matters: `HashMap` iteration order is nondeterministic, and
+    /// callers like the chaos injector must make reproducible choices.
+    pub fn page_bases(&self) -> Vec<u64> {
+        let mut bases: Vec<u64> = self.pages.keys().map(|p| p << PAGE_SHIFT).collect();
+        bases.sort_unstable();
+        bases
+    }
+
+    /// Discards the page containing `addr`, if resident. Subsequent reads of
+    /// the range return zero again. Returns whether a page was discarded.
+    pub fn unmap_page(&mut self, addr: u64) -> bool {
+        let pno = addr >> PAGE_SHIFT;
+        let removed = self.pages.remove(&pno).is_some();
+        if removed {
+            // The one-entry cache may point into the freed box.
+            self.last_page = u64::MAX;
+            self.last_ptr = std::ptr::null_mut();
+        }
+        removed
+    }
+
+    /// Compares two memories byte-for-byte and returns up to `max`
+    /// differences in ascending address order. Unallocated pages compare as
+    /// zero-filled, so two memories differing only in which zero pages are
+    /// resident compare equal.
+    pub fn diff(&self, other: &Mem, max: usize) -> Vec<crate::MemDelta> {
+        const ZERO: Page = [0u8; PAGE_SIZE];
+        let mut pnos: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pnos.sort_unstable();
+        pnos.dedup();
+        let mut out = Vec::new();
+        for pno in pnos {
+            let a = self.pages.get(&pno).map(|b| &**b).unwrap_or(&ZERO);
+            let b = other.pages.get(&pno).map(|b| &**b).unwrap_or(&ZERO);
+            if a == b {
+                continue;
+            }
+            for (i, (&la, &lb)) in a.iter().zip(b.iter()).enumerate() {
+                if la != lb {
+                    out.push(crate::MemDelta {
+                        addr: (pno << PAGE_SHIFT) + i as u64,
+                        lhs: la,
+                        rhs: lb,
+                    });
+                    if out.len() == max {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn check(&self, addr: u64, size: u8, kind: AccessKind) -> Result<(), MemFault> {
@@ -128,10 +178,7 @@ impl Mem {
             // SAFETY: cache is coherent and we hold &mut self.
             return unsafe { &mut *self.last_ptr };
         }
-        let page = self
-            .pages
-            .entry(pno)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page = self.pages.entry(pno).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         self.last_page = pno;
         self.last_ptr = &mut **page as *mut Page;
         // SAFETY: pointer freshly derived from the owned box.
@@ -146,10 +193,7 @@ impl Mem {
     /// range. Bulk reads have no alignment requirement.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         if addr < NULL_GUARD || addr.saturating_add(buf.len() as u64) > self.limit {
-            return Err(MemFault::OutOfRange {
-                addr,
-                kind: AccessKind::Load,
-            });
+            return Err(MemFault::OutOfRange { addr, kind: AccessKind::Load });
         }
         let mut a = addr;
         let mut off = 0usize;
@@ -175,10 +219,7 @@ impl Mem {
     /// range. Bulk writes have no alignment requirement.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         if addr < NULL_GUARD || addr.saturating_add(data.len() as u64) > self.limit {
-            return Err(MemFault::OutOfRange {
-                addr,
-                kind: AccessKind::Store,
-            });
+            return Err(MemFault::OutOfRange { addr, kind: AccessKind::Store });
         }
         let mut a = addr;
         let mut off = 0usize;
@@ -268,11 +309,7 @@ impl Mem {
     /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
     #[inline]
     pub fn read_u16(&self, addr: u64, endian: Endian) -> Result<u16, MemFault> {
-        Ok(u16::from_le_bytes(self.read_naturally(
-            addr,
-            endian,
-            AccessKind::Load,
-        )?))
+        Ok(u16::from_le_bytes(self.read_naturally(addr, endian, AccessKind::Load)?))
     }
 
     /// Reads a naturally aligned 32-bit value.
@@ -282,11 +319,7 @@ impl Mem {
     /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
     #[inline]
     pub fn read_u32(&self, addr: u64, endian: Endian) -> Result<u32, MemFault> {
-        Ok(u32::from_le_bytes(self.read_naturally(
-            addr,
-            endian,
-            AccessKind::Load,
-        )?))
+        Ok(u32::from_le_bytes(self.read_naturally(addr, endian, AccessKind::Load)?))
     }
 
     /// Reads a naturally aligned 64-bit value.
@@ -296,11 +329,7 @@ impl Mem {
     /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
     #[inline]
     pub fn read_u64(&self, addr: u64, endian: Endian) -> Result<u64, MemFault> {
-        Ok(u64::from_le_bytes(self.read_naturally(
-            addr,
-            endian,
-            AccessKind::Load,
-        )?))
+        Ok(u64::from_le_bytes(self.read_naturally(addr, endian, AccessKind::Load)?))
     }
 
     /// Fetches a naturally aligned 32-bit instruction word.
@@ -314,11 +343,7 @@ impl Mem {
     /// Returns [`MemFault::Unaligned`] or [`MemFault::OutOfRange`].
     #[inline]
     pub fn fetch_u32(&self, addr: u64, endian: Endian) -> Result<u32, MemFault> {
-        Ok(u32::from_le_bytes(self.read_naturally(
-            addr,
-            endian,
-            AccessKind::Fetch,
-        )?))
+        Ok(u32::from_le_bytes(self.read_naturally(addr, endian, AccessKind::Fetch)?))
     }
 
     /// Writes a naturally aligned 16-bit value.
@@ -401,15 +426,11 @@ mod tests {
         mem.write_u8(0x1000, 0xab).unwrap();
         mem.write_u16(0x1002, 0xbeef, Endian::Little).unwrap();
         mem.write_u32(0x1004, 0xdead_beef, Endian::Little).unwrap();
-        mem.write_u64(0x1008, 0x0102_0304_0506_0708, Endian::Little)
-            .unwrap();
+        mem.write_u64(0x1008, 0x0102_0304_0506_0708, Endian::Little).unwrap();
         assert_eq!(mem.read_u8(0x1000).unwrap(), 0xab);
         assert_eq!(mem.read_u16(0x1002, Endian::Little).unwrap(), 0xbeef);
         assert_eq!(mem.read_u32(0x1004, Endian::Little).unwrap(), 0xdead_beef);
-        assert_eq!(
-            mem.read_u64(0x1008, Endian::Little).unwrap(),
-            0x0102_0304_0506_0708
-        );
+        assert_eq!(mem.read_u64(0x1008, Endian::Little).unwrap(), 0x0102_0304_0506_0708);
     }
 
     #[test]
@@ -485,6 +506,41 @@ mod tests {
         mem.write_bytes(0x1000, b"hello\0world").unwrap();
         assert_eq!(mem.read_cstr(0x1000, 64).unwrap(), b"hello");
         assert_eq!(mem.read_cstr(0x1006, 3).unwrap(), b"wor");
+    }
+
+    #[test]
+    fn unmap_zeroes_and_invalidates() {
+        let mut mem = Mem::new();
+        mem.write_u32(0x1000, 0xdead_beef, Endian::Little).unwrap();
+        mem.write_u32(0x5000, 0x1234_5678, Endian::Little).unwrap();
+        assert_eq!(mem.page_bases(), vec![0x1000, 0x5000]);
+        assert!(mem.unmap_page(0x1008)); // any address within the page
+        assert!(!mem.unmap_page(0x1008));
+        assert_eq!(mem.read_u32(0x1000, Endian::Little).unwrap(), 0);
+        assert_eq!(mem.read_u32(0x5000, Endian::Little).unwrap(), 0x1234_5678);
+        assert_eq!(mem.page_bases(), vec![0x5000]);
+    }
+
+    #[test]
+    fn diff_ignores_zero_pages_and_caps() {
+        let mut a = Mem::new();
+        let mut b = Mem::new();
+        // Resident-but-zero page on one side only: equal.
+        a.write_u8(0x3000, 0).unwrap();
+        assert!(a.diff(&b, 16).is_empty());
+        b.write_u32(0x1000, 0x0000_ff00, Endian::Little).unwrap();
+        a.write_u32(0x1000, 0x00ff_00ff, Endian::Little).unwrap();
+        let d = a.diff(&b, 16);
+        assert_eq!(
+            d,
+            vec![
+                crate::MemDelta { addr: 0x1000, lhs: 0xff, rhs: 0x00 },
+                crate::MemDelta { addr: 0x1001, lhs: 0x00, rhs: 0xff },
+                crate::MemDelta { addr: 0x1002, lhs: 0xff, rhs: 0x00 },
+            ]
+        );
+        assert_eq!(a.diff(&b, 2).len(), 2);
+        assert_eq!(b.diff(&a, 16)[0].lhs, 0x00);
     }
 
     #[test]

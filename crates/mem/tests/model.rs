@@ -30,8 +30,7 @@ fn op() -> impl Strategy<Value = Op> {
         (addr(), any::<u16>(), endian()).prop_map(|(a, v, e)| Op::W16(a, v, e)),
         (addr(), any::<u32>(), endian()).prop_map(|(a, v, e)| Op::W32(a, v, e)),
         (addr(), any::<u64>(), endian()).prop_map(|(a, v, e)| Op::W64(a, v, e)),
-        (addr(), proptest::collection::vec(any::<u8>(), 1..64))
-            .prop_map(|(a, v)| Op::Bulk(a, v)),
+        (addr(), proptest::collection::vec(any::<u8>(), 1..64)).prop_map(|(a, v)| Op::Bulk(a, v)),
     ]
 }
 

@@ -37,10 +37,7 @@ impl DecodeTable {
     #[inline]
     pub fn decode(&self, isa: &IsaSpec, word: u32) -> Option<u16> {
         let bucket = &self.buckets[(word >> 24) as usize];
-        bucket
-            .iter()
-            .copied()
-            .find(|&i| isa.insts[i as usize].matches(word))
+        bucket.iter().copied().find(|&i| isa.insts[i as usize].matches(word))
     }
 
     /// Average bucket occupancy, for diagnostics.

@@ -28,8 +28,9 @@ use lis_core::{
     check_interface, ArchState, BuildsetDef, DynInst, Exec, Fault, Frame, InstClass, InstHeader,
     IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, F_OPCODE,
 };
-use lis_mem::Image;
+use lis_mem::{ChaosPlan, ChaosState, Image};
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Marker for an undecodable word inside a predecoded block.
 const ILLEGAL: u16 = u16::MAX;
@@ -158,6 +159,13 @@ pub struct Simulator {
     /// Execution statistics.
     pub stats: SimStats,
     max_block: usize,
+    chaos: Option<ChaosState>,
+    /// Whether the word delivered by the latest fetch was chaos-corrupted
+    /// (such words must never enter the predecode caches — the corruption
+    /// is transient by contract).
+    inst_flipped: bool,
+    verify_cache: bool,
+    deadline: Option<Duration>,
 }
 
 impl Simulator {
@@ -190,6 +198,10 @@ impl Simulator {
             checkpoints: Vec::new(),
             stats: SimStats::default(),
             max_block: DEFAULT_MAX_BLOCK,
+            chaos: None,
+            inst_flipped: false,
+            verify_cache: false,
+            deadline: None,
         })
     }
 
@@ -209,6 +221,52 @@ impl Simulator {
         assert!(len > 0, "block length must be positive");
         self.max_block = len;
         self.clear_caches();
+        self
+    }
+
+    /// Arms deterministic fault injection. The campaign starts fresh: any
+    /// previous chaos state (including its event log) is discarded, and
+    /// predecoded state is dropped so injection timing never depends on
+    /// what an earlier run left in the caches.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) -> &mut Self {
+        self.chaos = Some(ChaosState::new(plan));
+        self.clear_caches();
+        self
+    }
+
+    /// Disarms fault injection and returns the final chaos state (its event
+    /// log records everything injected), if a campaign was armed.
+    pub fn take_chaos(&mut self) -> Option<ChaosState> {
+        self.chaos.take()
+    }
+
+    /// The running chaos campaign, if one is armed.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
+    }
+
+    /// Enables cached-backend self-verification: on every block-cache hit
+    /// the first instruction word is refetched and compared against the
+    /// cached copy. A mismatch (stale code after an unmap, self-modifying
+    /// text, a corrupted cache) does not abort the run — the block is
+    /// dropped and rebuilt from memory without re-caching, and the
+    /// degradation is counted in [`SimStats::fallback_blocks`].
+    pub fn set_cache_verify(&mut self, on: bool) -> &mut Self {
+        self.verify_cache = on;
+        self
+    }
+
+    /// Sets a wall-clock deadline for [`Simulator::run_to_halt`]; when
+    /// exceeded the driver stops with [`SimStop::Deadline`] instead of
+    /// looping forever on a wedged or livelocked workload.
+    pub fn set_deadline(&mut self, limit: Duration) -> &mut Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Clears the wall-clock deadline.
+    pub fn clear_deadline(&mut self) -> &mut Self {
+        self.deadline = None;
         self
     }
 
@@ -377,6 +435,7 @@ impl Simulator {
             state: &mut self.state,
             os: &mut self.os,
             undo: if self.bs.speculation { Some(&mut self.undo) } else { None },
+            chaos: self.chaos.as_mut(),
         }
     }
 
@@ -389,12 +448,32 @@ impl Simulator {
         self.header.next_pc = pc.wrapping_add(4) & self.isa.pc_mask;
         self.header.instr_bits = 0;
         self.inst_fault = false;
+        self.inst_flipped = false;
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.begin_inst(self.stats.insts);
+        }
+    }
+
+    /// Routes a fetched word through the chaos injector, remembering whether
+    /// it was corrupted so callers keep corrupted words out of the caches.
+    #[inline]
+    fn chaos_flip(&mut self, pc: u64, bits: u32) -> u32 {
+        match self.chaos.as_mut() {
+            Some(chaos) => {
+                let word = chaos.maybe_flip_fetch(pc, bits);
+                if word != bits {
+                    self.inst_flipped = true;
+                }
+                word
+            }
+            None => bits,
+        }
     }
 
     #[inline]
     fn fetch(&mut self) -> Result<(), Fault> {
-        self.header.instr_bits =
-            self.state.mem.fetch_u32(self.header.phys_pc, self.isa.endian)?;
+        let bits = self.state.mem.fetch_u32(self.header.phys_pc, self.isa.endian)?;
+        self.header.instr_bits = self.chaos_flip(self.header.phys_pc, bits);
         Ok(())
     }
 
@@ -439,7 +518,12 @@ impl Simulator {
     fn publish(&mut self, di: &mut DynInst, fault: Option<Fault>) {
         di.header = self.header;
         di.fault = fault;
-        di.publish(&self.frame, self.bs.visibility.fields, &self.ops, self.bs.visibility.operand_ids);
+        di.publish(
+            &self.frame,
+            self.bs.visibility.fields,
+            &self.ops,
+            self.bs.visibility.operand_ids,
+        );
     }
 
     /// End-of-instruction housekeeping shared by all semantic levels.
@@ -449,6 +533,15 @@ impl Simulator {
         self.stats.insts += 1;
         if self.bs.speculation && self.checkpoints.is_empty() {
             self.undo.clear();
+        }
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.begin_inst(self.stats.insts);
+            if chaos.maybe_unmap(&mut self.state.mem) {
+                // Discarded code may be cached; predecoded state is now
+                // unreliable (the chaos fault-storm invalidation path).
+                self.blocks.clear();
+                self.inst_cache.clear();
+            }
         }
     }
 
@@ -485,15 +578,27 @@ impl Simulator {
         let result = (|| -> Result<(), Fault> {
             let opcode = if self.backend == Backend::Cached {
                 if let Some(&(op, bits)) = self.inst_cache.get(&pc) {
-                    self.header.instr_bits = bits;
-                    op
+                    // The decode cache replaces the fetch, so the chaos flip
+                    // channel applies to the delivered word here; a corrupted
+                    // delivery decodes fresh and leaves the cache clean.
+                    let word = self.chaos_flip(pc, bits);
+                    self.header.instr_bits = word;
+                    if self.inst_flipped {
+                        self.table
+                            .decode(self.isa, word)
+                            .ok_or(Fault::IllegalInstruction { pc, bits: word })?
+                    } else {
+                        op
+                    }
                 } else {
                     self.fetch()?;
                     let op = self
                         .table
                         .decode(self.isa, self.header.instr_bits)
                         .ok_or(Fault::IllegalInstruction { pc, bits: self.header.instr_bits })?;
-                    self.inst_cache.insert(pc, (op, self.header.instr_bits));
+                    if !self.inst_flipped {
+                        self.inst_cache.insert(pc, (op, self.header.instr_bits));
+                    }
                     op
                 }
             } else {
@@ -707,15 +812,41 @@ impl Simulator {
     fn lookup_block(&mut self, pc: u64) -> Result<Rc<Block>, Fault> {
         if self.backend == Backend::Cached {
             if let Some(b) = self.blocks.get(&pc) {
-                return Ok(Rc::clone(b));
+                let block = Rc::clone(b);
+                if !self.verify_cache || self.block_is_fresh(pc, &block) {
+                    return Ok(block);
+                }
+                // Graceful degradation: the cached block no longer matches
+                // memory (stale after an unmap, self-modifying text, or a
+                // corrupted cache). Drop it and fall back to a one-shot
+                // interpreted rebuild instead of executing stale code.
+                self.blocks.remove(&pc);
+                self.stats.fallback_blocks += 1;
+                let (block, _) = self.build_block(pc)?;
+                self.stats.blocks_built += 1;
+                return Ok(Rc::new(block));
             }
         }
-        let block = Rc::new(self.build_block(pc)?);
+        let (block, poisoned) = self.build_block(pc)?;
+        let block = Rc::new(block);
         self.stats.blocks_built += 1;
-        if self.backend == Backend::Cached {
+        // A chaos-corrupted build must stay transient: caching it would turn
+        // a single injected bit flip into a permanent code change.
+        if self.backend == Backend::Cached && !poisoned {
             self.blocks.insert(pc, Rc::clone(&block));
         }
         Ok(block)
+    }
+
+    /// Whether a cached block's first word still matches memory. The check
+    /// reads memory directly — it is an integrity probe, not an
+    /// architectural fetch, so chaos injection does not apply.
+    fn block_is_fresh(&self, pc: u64, block: &Block) -> bool {
+        let Some(first) = block.insts.first() else { return false };
+        match self.state.mem.fetch_u32(pc & self.isa.pc_mask, self.isa.endian) {
+            Ok(word) => word == first.bits,
+            Err(_) => false,
+        }
     }
 
     /// Captures an instruction's decode results for replay; falls back to
@@ -752,11 +883,15 @@ impl Simulator {
         PredecInst { op, bits, ops: self.ops, fields, nfields: n as u8, fallback: false, actions }
     }
 
-    fn build_block(&mut self, pc: u64) -> Result<Block, Fault> {
+    /// Predecodes the block starting at `pc`. The second return is whether
+    /// any word was chaos-corrupted during the build (such blocks must not
+    /// be cached).
+    fn build_block(&mut self, pc: u64) -> Result<(Block, bool), Fault> {
         let mut insts: Vec<PredecInst> = Vec::new();
+        let mut poisoned = false;
         let mut p = pc;
         loop {
-            let bits = match self.state.mem.fetch_u32(p & self.isa.pc_mask, self.isa.endian) {
+            let fetched = match self.state.mem.fetch_u32(p & self.isa.pc_mask, self.isa.endian) {
                 Ok(b) => b,
                 Err(f) => {
                     if insts.is_empty() {
@@ -765,6 +900,8 @@ impl Simulator {
                     break;
                 }
             };
+            let bits = self.chaos_flip(p & self.isa.pc_mask, fetched);
+            poisoned |= bits != fetched;
             match self.table.decode(self.isa, bits) {
                 Some(op) => {
                     insts.push(self.predecode(op, bits, p));
@@ -791,7 +928,7 @@ impl Simulator {
             }
             p = p.wrapping_add(4);
         }
-        Ok(Block { insts })
+        Ok((Block { insts }, poisoned))
     }
 
     // ------------------------------------------------------------------
@@ -819,45 +956,43 @@ impl Simulator {
         }
         self.stats.calls += 1;
 
-        let result: Result<(), Fault> = (|| {
-            match step {
-                Step::Fetch => {
-                    let pc = self.state.pc & self.isa.pc_mask;
-                    self.begin_inst(pc);
-                    self.opcode = ILLEGAL;
-                    self.fetch()
-                }
-                Step::Decode => {
-                    self.reload(di);
-                    let pc = self.header.pc;
-                    let bits = self.header.instr_bits;
-                    let op = if self.backend == Backend::Cached {
-                        match self.inst_cache.get(&pc) {
-                            Some(&(op, _)) => op,
-                            None => {
-                                let op = self
-                                    .table
-                                    .decode(self.isa, bits)
-                                    .ok_or(Fault::IllegalInstruction { pc, bits })?;
-                                self.inst_cache.insert(pc, (op, bits));
-                                op
-                            }
+        let result: Result<(), Fault> = (|| match step {
+            Step::Fetch => {
+                let pc = self.state.pc & self.isa.pc_mask;
+                self.begin_inst(pc);
+                self.opcode = ILLEGAL;
+                self.fetch()
+            }
+            Step::Decode => {
+                self.reload(di);
+                let pc = self.header.pc;
+                let bits = self.header.instr_bits;
+                let op = if self.backend == Backend::Cached && !self.inst_flipped {
+                    match self.inst_cache.get(&pc) {
+                        Some(&(op, _)) => op,
+                        None => {
+                            let op = self
+                                .table
+                                .decode(self.isa, bits)
+                                .ok_or(Fault::IllegalInstruction { pc, bits })?;
+                            self.inst_cache.insert(pc, (op, bits));
+                            op
                         }
-                    } else {
-                        self.table
-                            .decode(self.isa, bits)
-                            .ok_or(Fault::IllegalInstruction { pc, bits })?
-                    };
-                    self.opcode = op;
-                    self.frame.set(F_OPCODE, op as u64);
-                    self.run_action(op, Step::Decode)
-                }
-                _ => {
-                    self.reload(di);
-                    let op = self.opcode;
-                    debug_assert_ne!(op, ILLEGAL, "step after decode fault");
-                    self.run_action(op, step)
-                }
+                    }
+                } else {
+                    self.table
+                        .decode(self.isa, bits)
+                        .ok_or(Fault::IllegalInstruction { pc, bits })?
+                };
+                self.opcode = op;
+                self.frame.set(F_OPCODE, op as u64);
+                self.run_action(op, Step::Decode)
+            }
+            _ => {
+                self.reload(di);
+                let op = self.opcode;
+                debug_assert_ne!(op, ILLEGAL, "step after decode fault");
+                self.run_action(op, step)
             }
         })();
 
@@ -904,10 +1039,16 @@ impl Simulator {
         i: usize,
     ) -> Result<Option<u64>, IfaceError> {
         if self.bs.semantic != Semantic::Step {
-            return Err(IfaceError::WrongSemantic { active: self.bs.semantic, wanted: Semantic::Step });
+            return Err(IfaceError::WrongSemantic {
+                active: self.bs.semantic,
+                wanted: Semantic::Step,
+            });
         }
         if !matches!(self.expected, Step::OperandFetch | Step::Evaluate) {
-            return Err(IfaceError::OutOfOrderStep { expected: self.expected, got: Step::OperandFetch });
+            return Err(IfaceError::OutOfOrderStep {
+                expected: self.expected,
+                got: Step::OperandFetch,
+            });
         }
         self.reload(di);
         let Some(&r) = di.operands().and_then(|o| o.srcs().get(i)) else {
@@ -931,10 +1072,16 @@ impl Simulator {
     /// [`IfaceError::OutOfOrderStep`] before the evaluate call has run.
     pub fn write_dest_operand(&mut self, di: &DynInst, i: usize) -> Result<bool, IfaceError> {
         if self.bs.semantic != Semantic::Step {
-            return Err(IfaceError::WrongSemantic { active: self.bs.semantic, wanted: Semantic::Step });
+            return Err(IfaceError::WrongSemantic {
+                active: self.bs.semantic,
+                wanted: Semantic::Step,
+            });
         }
         if !matches!(self.expected, Step::Memory | Step::Writeback | Step::Exception) {
-            return Err(IfaceError::OutOfOrderStep { expected: self.expected, got: Step::Writeback });
+            return Err(IfaceError::OutOfOrderStep {
+                expected: self.expected,
+                got: Step::Writeback,
+            });
         }
         let Some(&r) = di.operands().and_then(|o| o.dests().get(i)) else {
             return Ok(false);
@@ -968,14 +1115,27 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimStop::Fault`] on an architectural fault,
-    /// [`SimStop::MaxInsts`] when the budget runs out.
+    /// [`SimStop::MaxInsts`] when the budget runs out, and
+    /// [`SimStop::Deadline`] when a wall-clock deadline set with
+    /// [`Simulator::set_deadline`] expires.
     pub fn run_to_halt(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
         let start = self.stats.insts;
+        let started_at = self.deadline.map(|limit| (Instant::now(), limit));
+        let mut ticks = 0u32;
         let mut di = DynInst::new();
         let mut buf: Vec<DynInst> = Vec::with_capacity(self.max_block);
         while !self.state.halted {
             if self.stats.insts - start >= max_insts {
                 return Err(SimStop::MaxInsts);
+            }
+            if let Some((t0, limit)) = started_at {
+                // Checking the clock every iteration would tax the One and
+                // Step drivers; a 64-iteration stride keeps the watchdog
+                // responsive without measurable overhead.
+                if ticks & 0x3f == 0 && t0.elapsed() >= limit {
+                    return Err(SimStop::Deadline);
+                }
+                ticks = ticks.wrapping_add(1);
             }
             match self.bs.semantic {
                 Semantic::One => {

@@ -60,7 +60,10 @@ impl fmt::Display for IfaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             IfaceError::WrongSemantic { active, wanted } => {
-                write!(f, "entry point requires {wanted} semantic detail but the interface is {active}")
+                write!(
+                    f,
+                    "entry point requires {wanted} semantic detail but the interface is {active}"
+                )
             }
             IfaceError::OutOfOrderStep { expected, got } => {
                 write!(f, "step call out of order: expected {expected}, got {got}")
@@ -81,6 +84,9 @@ pub enum SimStop {
     Fault(Fault),
     /// The instruction budget was exhausted.
     MaxInsts,
+    /// The wall-clock deadline set with
+    /// [`Simulator::set_deadline`](crate::Simulator::set_deadline) expired.
+    Deadline,
     /// An interface usage error (engine bug or driver bug).
     Iface(IfaceError),
 }
@@ -90,6 +96,7 @@ impl fmt::Display for SimStop {
         match self {
             SimStop::Fault(fault) => write!(f, "stopped on fault: {fault}"),
             SimStop::MaxInsts => f.write_str("instruction budget exhausted"),
+            SimStop::Deadline => f.write_str("wall-clock deadline exceeded"),
             SimStop::Iface(e) => write!(f, "interface error: {e}"),
         }
     }

@@ -34,4 +34,6 @@ pub mod toy;
 pub use decode::{DecodeTable, PcHashBuilder, PcMap};
 pub use engine::{Backend, CheckpointId, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP};
 pub use error::{BuildError, IfaceError, SimStop};
+// Chaos vocabulary, re-exported so harness code needs only this crate.
+pub use lis_mem::{ChaosEvent, ChaosPlan, ChaosState};
 pub use stats::{RunSummary, SimStats};

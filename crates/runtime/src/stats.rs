@@ -20,6 +20,10 @@ pub struct SimStats {
     pub checkpoints: u64,
     /// Rollbacks performed.
     pub rollbacks: u64,
+    /// Cached blocks found stale by cache verification and re-executed via
+    /// a one-shot interpreted rebuild (graceful degradation) instead of
+    /// aborting the run.
+    pub fallback_blocks: u64,
 }
 
 impl SimStats {

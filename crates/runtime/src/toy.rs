@@ -23,8 +23,8 @@
 
 use lis_core::{
     generic_operand_fetch, generic_writeback, ArchState, Exec, Fault, InstClass, InstDef, IsaSpec,
-    OperandDir, OperandSpec, RegClass, RegClassDef, F_ALU_OUT, F_DEST1, F_EFF_ADDR,
-    F_IMM, F_MEM_DATA, F_SRC1, F_SRC2, F_SRC3,
+    OperandDir, OperandSpec, RegClass, RegClassDef, F_ALU_OUT, F_DEST1, F_EFF_ADDR, F_IMM,
+    F_MEM_DATA, F_SRC1, F_SRC2, F_SRC3,
 };
 use lis_mem::Endian;
 

@@ -1,8 +1,8 @@
 //! Engine integration tests over the toy ISA.
 
 use lis_core::{
-    nr, BuildsetDef, DynInst, Fault, Semantic, Step, Visibility, BLOCK_ALL, BLOCK_MIN, ONE_ALL,
-    ONE_ALL_SPEC, ONE_MIN, STANDARD_BUILDSETS, STEP_ALL, F_ALU_OUT, F_EFF_ADDR, F_IMM, F_SRC1,
+    nr, BuildsetDef, DynInst, Fault, Semantic, Step, Visibility, BLOCK_ALL, BLOCK_MIN, F_ALU_OUT,
+    F_EFF_ADDR, F_IMM, F_SRC1, ONE_ALL, ONE_ALL_SPEC, ONE_MIN, STANDARD_BUILDSETS, STEP_ALL,
 };
 use lis_mem::{Image, Section};
 use lis_runtime::{toy, Backend, IfaceError, Simulator};
@@ -22,13 +22,13 @@ fn image(words: &[u32]) -> Image {
 /// A program computing sum(1..=10) via a loop, printing it, then exiting 0.
 fn loop_program() -> Image {
     image(&[
-        toy::addi(2, 0, 0),   // 0x1000: acc = 0
-        toy::addi(3, 0, 10),  // 0x1004: i = 10
-        toy::addi(4, 0, 0),   // 0x1008: zero
+        toy::addi(2, 0, 0),  // 0x1000: acc = 0
+        toy::addi(3, 0, 10), // 0x1004: i = 10
+        toy::addi(4, 0, 0),  // 0x1008: zero
         // loop:
-        toy::add(2, 2, 3),    // 0x100c: acc += i
-        toy::addi(3, 3, -1),  // 0x1010: i -= 1
-        toy::bne(3, 4, -3),   // 0x1014: if i != 0 goto loop
+        toy::add(2, 2, 3),   // 0x100c: acc += i
+        toy::addi(3, 3, -1), // 0x1010: i -= 1
+        toy::bne(3, 4, -3),  // 0x1014: if i != 0 goto loop
         // print acc (sys putudec: r1 = 4, r2 = acc)
         toy::addi(1, 0, nr::PUTUDEC as i16),
         toy::add(2, 2, 0),
@@ -436,12 +436,8 @@ fn per_operand_read_sees_current_state() {
 #[test]
 fn per_operand_write_commits_early() {
     let mut sim = Simulator::new(toy::spec(), STEP_ALL).unwrap();
-    sim.load_program(&image(&[
-        toy::addi(2, 0, 9),
-        toy::addi(1, 0, nr::EXIT as i16),
-        toy::sys(),
-    ]))
-    .unwrap();
+    sim.load_program(&image(&[toy::addi(2, 0, 9), toy::addi(1, 0, nr::EXIT as i16), toy::sys()]))
+        .unwrap();
     let mut di = DynInst::new();
     for s in [Step::Fetch, Step::Decode, Step::OperandFetch, Step::Evaluate] {
         sim.step_inst(s, &mut di).unwrap();
@@ -462,10 +458,7 @@ fn per_operand_calls_enforce_windows() {
     sim.load_program(&loop_program()).unwrap();
     let mut di = DynInst::new();
     // Before decode: operand identifiers do not exist yet.
-    assert!(matches!(
-        sim.fetch_src_operand(&mut di, 0),
-        Err(IfaceError::OutOfOrderStep { .. })
-    ));
+    assert!(matches!(sim.fetch_src_operand(&mut di, 0), Err(IfaceError::OutOfOrderStep { .. })));
     sim.step_inst(Step::Fetch, &mut di).unwrap();
     sim.step_inst(Step::Decode, &mut di).unwrap();
     // Before evaluate: destinations have no values yet.
@@ -473,8 +466,5 @@ fn per_operand_calls_enforce_windows() {
     // Wrong semantic entirely.
     let mut one = Simulator::new(toy::spec(), ONE_ALL).unwrap();
     one.load_program(&loop_program()).unwrap();
-    assert!(matches!(
-        one.fetch_src_operand(&mut di, 0),
-        Err(IfaceError::WrongSemantic { .. })
-    ));
+    assert!(matches!(one.fetch_src_operand(&mut di, 0), Err(IfaceError::WrongSemantic { .. })));
 }

@@ -1,0 +1,247 @@
+//! Robustness features of the engine: the wall-clock watchdog, graceful
+//! degradation of the block cache, deterministic chaos injection, and the
+//! interface errors the harness depends on.
+
+use lis_core::{nr, DynInst, Step, BLOCK_MIN, ONE_ALL, STEP_ALL};
+use lis_mem::{Image, Section};
+use lis_runtime::{toy, Backend, ChaosPlan, IfaceError, SimStop, Simulator};
+use std::time::Duration;
+
+fn image(words: &[u32]) -> Image {
+    Image {
+        entry: 0x1000,
+        sections: vec![Section {
+            name: ".text".into(),
+            addr: 0x1000,
+            bytes: words.iter().flat_map(|w| w.to_le_bytes()).collect(),
+        }],
+        symbols: Default::default(),
+    }
+}
+
+/// sum(1..=10), print, exit 7 — the same program the engine tests use.
+fn loop_program() -> Image {
+    image(&[
+        toy::addi(2, 0, 0),
+        toy::addi(3, 0, 10),
+        toy::addi(4, 0, 0),
+        toy::add(2, 2, 3),
+        toy::addi(3, 3, -1),
+        toy::bne(3, 4, -3),
+        toy::addi(1, 0, nr::PUTUDEC as i16),
+        toy::add(2, 2, 0),
+        toy::sys(),
+        toy::addi(1, 0, nr::EXIT as i16),
+        toy::addi(2, 0, 7),
+        toy::sys(),
+    ])
+}
+
+#[test]
+fn deadline_stops_runaway_program() {
+    let mut sim = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image(&[toy::jmp(-1)])).unwrap();
+    sim.set_deadline(Duration::ZERO);
+    let err = sim.run_to_halt(u64::MAX).unwrap_err();
+    assert!(matches!(err, SimStop::Deadline));
+    // The simulator is still usable: clear the deadline, keep running.
+    sim.clear_deadline();
+    assert!(matches!(sim.run_to_halt(10), Err(SimStop::MaxInsts)));
+}
+
+#[test]
+fn deadline_far_away_does_not_fire() {
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.load_program(&loop_program()).unwrap();
+    sim.set_deadline(Duration::from_secs(3600));
+    let summary = sim.run_to_halt(10_000).unwrap();
+    assert_eq!(summary.exit_code, 7);
+}
+
+#[test]
+fn stale_cached_block_falls_back_instead_of_running_stale_code() {
+    // r2 += 1 forever; the whole loop is one cached block.
+    let prog = image(&[toy::addi(2, 2, 1), toy::jmp(-2)]);
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Cached);
+    sim.set_cache_verify(true);
+    sim.load_program(&prog).unwrap();
+
+    let mut buf = Vec::new();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 1);
+    assert_eq!(sim.stats.fallback_blocks, 0);
+
+    // The code changes underneath the cache: r2 += 1 becomes r2 += 100.
+    sim.poke_mem(0x1000, 4, toy::addi(2, 2, 100) as u64).unwrap();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 101, "the rebuilt block must run the new code");
+    assert_eq!(sim.stats.fallback_blocks, 1);
+
+    // The fallback rebuild is not cached poisoned; the fresh word is now
+    // what the cache verifies against, so no further fallbacks occur.
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 201);
+    assert_eq!(sim.stats.fallback_blocks, 1);
+}
+
+#[test]
+fn without_cache_verify_stale_blocks_keep_running() {
+    // The contrast case: verification off (the default) executes the cached
+    // copy, which is exactly why `lis chaos` switches verification on.
+    let prog = image(&[toy::addi(2, 2, 1), toy::jmp(-2)]);
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Cached);
+    sim.load_program(&prog).unwrap();
+    let mut buf = Vec::new();
+    sim.next_block(&mut buf).unwrap();
+    sim.poke_mem(0x1000, 4, toy::addi(2, 2, 100) as u64).unwrap();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 2, "stale cached code still executes");
+    assert_eq!(sim.stats.fallback_blocks, 0);
+}
+
+#[test]
+fn chaos_runs_are_deterministic_and_logged() {
+    let run = |seed: u64| {
+        let mut sim = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+        sim.load_program(&loop_program()).unwrap();
+        sim.set_chaos(ChaosPlan::uniform(seed, 8));
+        let mut di = DynInst::new();
+        // Drive with a skip-on-fault handler so injection cannot wedge the
+        // loop; bound the run since skipping may break the program logic.
+        let mut units = 0;
+        while !sim.state.halted && units < 500 {
+            sim.next_inst(&mut di).unwrap();
+            if let Some(f) = di.fault {
+                let _ = f;
+                let pc = di.header.pc;
+                sim.redirect(pc.wrapping_add(4));
+            }
+            units += 1;
+        }
+        let events = sim.take_chaos().unwrap().events().to_vec();
+        (events, sim.stats, sim.state.gpr, sim.state.pc)
+    };
+    let a = run(0xFEED);
+    let b = run(0xFEED);
+    assert_eq!(a, b, "same (seed, plan) must replay exactly");
+    assert!(!a.0.is_empty(), "a period of 8 must inject within 500 units");
+    // Event indices are recorded in nondecreasing instruction order.
+    let indices: Vec<u64> = a.0.iter().map(|e| e.inst()).collect();
+    assert!(indices.windows(2).all(|w| w[0] <= w[1]), "{indices:?}");
+    let c = run(0xBEEF);
+    assert_ne!(a.0, c.0, "different seeds must explore different schedules");
+}
+
+#[test]
+fn chaos_bit_flips_never_poison_the_cache() {
+    // Run the same program twice on one cached simulator: once under heavy
+    // flip injection, then with chaos removed. The second run must be
+    // fault-free — any flipped word that leaked into the predecode caches
+    // would keep faulting forever.
+    let mut sim = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    sim.set_backend(Backend::Cached);
+    sim.load_program(&loop_program()).unwrap();
+    sim.set_chaos(ChaosPlan {
+        seed: 3,
+        flip_period: Some(4),
+        data_fault_period: None,
+        unmap_period: None,
+        start: 0,
+        max_events: 0,
+    });
+    let mut di = DynInst::new();
+    let mut units = 0;
+    while !sim.state.halted && units < 500 {
+        sim.next_inst(&mut di).unwrap();
+        if let Some(fault) = di.fault {
+            let _ = fault;
+            sim.redirect(di.header.pc.wrapping_add(4));
+        }
+        units += 1;
+    }
+    let injected = sim.take_chaos().unwrap().injected();
+    assert!(injected > 0, "flips must have fired");
+
+    sim.reset_program(&loop_program()).unwrap();
+    let summary = sim.run_to_halt(10_000).unwrap();
+    assert_eq!(summary.exit_code, 7);
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "55\n");
+}
+
+#[test]
+fn halted_simulator_rejects_every_entry_point() {
+    let mut one = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    one.load_program(&loop_program()).unwrap();
+    one.run_to_halt(10_000).unwrap();
+    let mut di = DynInst::new();
+    assert!(matches!(one.next_inst(&mut di), Err(IfaceError::Halted)));
+
+    let mut block = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    block.load_program(&loop_program()).unwrap();
+    block.run_to_halt(10_000).unwrap();
+    let mut buf = Vec::new();
+    assert!(matches!(block.next_block(&mut buf), Err(IfaceError::Halted)));
+    assert!(matches!(block.fast_forward(1), Err(IfaceError::Halted)));
+
+    let mut step = Simulator::new(toy::spec(), STEP_ALL).unwrap();
+    step.load_program(&loop_program()).unwrap();
+    step.run_to_halt(10_000).unwrap();
+    assert!(matches!(step.step_inst(Step::Fetch, &mut di), Err(IfaceError::Halted)));
+}
+
+#[test]
+fn step_sequence_recovers_after_out_of_order_call() {
+    let mut sim = Simulator::new(toy::spec(), STEP_ALL).unwrap();
+    sim.load_program(&loop_program()).unwrap();
+    let mut di = DynInst::new();
+    sim.step_inst(Step::Fetch, &mut di).unwrap();
+    // Skipping decode is rejected and does not advance the sequence...
+    let err = sim.step_inst(Step::Evaluate, &mut di).unwrap_err();
+    assert!(matches!(
+        err,
+        IfaceError::OutOfOrderStep { expected: Step::Decode, got: Step::Evaluate }
+    ));
+    // ...so the legal next step still works.
+    sim.step_inst(Step::Decode, &mut di).unwrap();
+    for s in [Step::OperandFetch, Step::Evaluate, Step::Memory, Step::Writeback, Step::Exception] {
+        sim.step_inst(s, &mut di).unwrap();
+    }
+    assert_eq!(sim.state.pc, 0x1004);
+}
+
+#[test]
+fn chaos_page_unmap_is_survivable_with_cache_verify() {
+    // Unmap-heavy plan on the cached backend with verification on: the run
+    // may fault (the handler skips), but the engine must neither panic nor
+    // execute stale blocks, and fallbacks are counted.
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Cached);
+    sim.set_cache_verify(true);
+    sim.load_program(&loop_program()).unwrap();
+    sim.set_chaos(ChaosPlan {
+        seed: 11,
+        flip_period: None,
+        data_fault_period: None,
+        unmap_period: Some(6),
+        start: 0,
+        max_events: 4,
+    });
+    let mut buf = Vec::new();
+    let mut units = 0;
+    while !sim.state.halted && units < 300 {
+        match sim.next_block(&mut buf) {
+            Ok(_) => {}
+            Err(e) => panic!("interface error under chaos: {e}"),
+        }
+        if let Some(f) = buf.last().and_then(|d| d.fault) {
+            let _ = f;
+            let pc = buf.last().unwrap().header.pc;
+            sim.redirect(pc.wrapping_add(4));
+        }
+        units += 1;
+    }
+    let chaos = sim.take_chaos().unwrap();
+    assert!(chaos.injected() <= 4, "event budget respected");
+}

@@ -15,9 +15,11 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// A small L1 instruction cache (16 KiB, 2-way, 32-byte lines).
-    pub const L1I: CacheConfig = CacheConfig { size: 16 * 1024, ways: 2, line: 32, miss_penalty: 10 };
+    pub const L1I: CacheConfig =
+        CacheConfig { size: 16 * 1024, ways: 2, line: 32, miss_penalty: 10 };
     /// A small L1 data cache (16 KiB, 4-way, 32-byte lines).
-    pub const L1D: CacheConfig = CacheConfig { size: 16 * 1024, ways: 4, line: 32, miss_penalty: 12 };
+    pub const L1D: CacheConfig =
+        CacheConfig { size: 16 * 1024, ways: 4, line: 32, miss_penalty: 12 };
 }
 
 /// A set-associative cache with true-LRU replacement. Tracks hits and misses;
@@ -83,9 +85,7 @@ impl Cache {
         }
         self.misses += 1;
         // Replace the least recently used way.
-        let victim = (0..self.cfg.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
+        let victim = (0..self.cfg.ways).min_by_key(|&w| self.stamps[base + w]).expect("ways > 0");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.tick;
         self.cfg.miss_penalty

@@ -15,8 +15,7 @@
 use crate::model::CoreModel;
 use crate::report::{CoreConfig, TimingReport};
 use lis_core::{
-    DynInst, InstClass, IsaSpec, Step, BLOCK_DECODE, BLOCK_DECODE_SPEC, ONE_ALL, ONE_MIN,
-    F_OPCODE,
+    DynInst, InstClass, IsaSpec, Step, BLOCK_DECODE, BLOCK_DECODE_SPEC, F_OPCODE, ONE_ALL, ONE_MIN,
 };
 use lis_mem::Image;
 use lis_runtime::{SimStop, Simulator};
@@ -68,11 +67,7 @@ pub fn run_integrated(
         }
         model.retire(isa, &di);
     }
-    finish_report(
-        TimingReport { organization: "integrated", ..Default::default() },
-        &model,
-        &sim,
-    )
+    finish_report(TimingReport { organization: "integrated", ..Default::default() }, &model, &sim)
 }
 
 // -------------------------------------------------------------------------
@@ -185,8 +180,8 @@ pub fn run_timing_directed(
         if let Some(f) = di.fault {
             return Err(SimStop::Fault(f));
         }
-        let mem_done = exec_done
-            + di.field(lis_core::F_EFF_ADDR).map_or(0, |ea| model.dcache.access(ea));
+        let mem_done =
+            exec_done + di.field(lis_core::F_EFF_ADDR).map_or(0, |ea| model.dcache.access(ea));
         // Writeback: destinations become available.
         sim.step_inst(Step::Writeback, &mut di)?;
         let wb_done = mem_done + 1;
@@ -340,10 +335,8 @@ pub fn run_speculative_functional_first(
         sim.next_block(&mut trace)?;
         // The timing simulator verifies the block: did the functional
         // simulator use memory values the timing model disagrees with?
-        let divergence = pending
-            .iter()
-            .position(|o| insts_before >= o.after_insts)
-            .map(|i| pending.remove(i));
+        let divergence =
+            pending.iter().position(|o| insts_before >= o.after_insts).map(|i| pending.remove(i));
         if let Some(o) = divergence {
             // Undo the speculative block, correct memory, re-execute.
             sim.rollback(cp).expect("checkpoint is open");

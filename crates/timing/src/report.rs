@@ -103,7 +103,8 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let r = TimingReport { cycles: 200, insts: 100, interface_calls: 700, ..Default::default() };
+        let r =
+            TimingReport { cycles: 200, insts: 100, interface_calls: 700, ..Default::default() };
         assert!((r.ipc() - 0.5).abs() < 1e-12);
         assert!((r.calls_per_inst() - 7.0).abs() < 1e-12);
         assert_eq!(TimingReport::default().ipc(), 0.0);

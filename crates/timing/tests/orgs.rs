@@ -161,8 +161,7 @@ flag:   .word 0, 0
     let clean = run_speculative_functional_first(isa, &image, &cfg, &[]).unwrap();
     assert_eq!(clean.rollbacks, 0);
     assert_eq!(String::from_utf8_lossy(&clean.stdout), "0\n");
-    let overrides =
-        [MemOverride { after_insts: 10, addr: 0x20000, size: 8, val: 7 }];
+    let overrides = [MemOverride { after_insts: 10, addr: 0x20000, size: 8, val: 7 }];
     let diverged = run_speculative_functional_first(isa, &image, &cfg, &overrides).unwrap();
     assert_eq!(diverged.rollbacks, 1);
     // After the rollback the re-executed loads observe the corrected value.

@@ -39,7 +39,9 @@ fn alpha_syntax() -> Syntax {
         store: |r, b, off| format!("stl {r}, {off}({b})"),
         load: |r, b, off| format!("ldl {r}, {off}({b})"),
         beqz: |r, l| format!("beq {r}, {l}"),
-        scratch_base: |r| format!("ldah {r}, ha16(scratch)(zero)\n        lda {r}, slo16(scratch)({r})"),
+        scratch_base: |r| {
+            format!("ldah {r}, ha16(scratch)(zero)\n        lda {r}, slo16(scratch)({r})")
+        },
         tail: |r| {
             format!(
                 "zapnot {r}, 15, a0\n        mov 4, v0\n        callsys\n        mov 1, v0\n        mov 0, a0\n        callsys"

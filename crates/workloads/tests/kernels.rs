@@ -11,9 +11,8 @@ fn all_kernels_match_their_golden_models() {
             let image = w.assemble().unwrap_or_else(|e| panic!("{isa}/{}: {e}", w.name));
             let mut sim = Simulator::new(spec_of(isa), ONE_ALL).unwrap();
             sim.load_program(&image).unwrap();
-            let summary = sim
-                .run_to_halt(50_000_000)
-                .unwrap_or_else(|e| panic!("{isa}/{}: {e}", w.name));
+            let summary =
+                sim.run_to_halt(50_000_000).unwrap_or_else(|e| panic!("{isa}/{}: {e}", w.name));
             assert_eq!(summary.exit_code, 0, "{isa}/{}", w.name);
             assert_eq!(
                 String::from_utf8_lossy(sim.stdout()),

@@ -75,7 +75,10 @@ fn main() {
     let wall = start.elapsed().as_secs_f64();
     let total = fast.stats.insts + detailed.stats.insts;
     println!("program output: {:?}", String::from_utf8_lossy(fast.stdout()).trim());
-    println!("total instructions: {total} ({} fast-forwarded, {sampled_insts} detailed)", fast.stats.insts);
+    println!(
+        "total instructions: {total} ({} fast-forwarded, {sampled_insts} detailed)",
+        fast.stats.insts
+    );
     println!("detailed windows: {windows}");
     if sampled_cycles > 0 {
         println!("sampled IPC estimate: {:.3}", sampled_insts as f64 / sampled_cycles as f64);

@@ -39,7 +39,10 @@ fn main() {
     for r in &reports[1..] {
         assert_eq!(r.stdout, reports[0].stdout, "organizations must agree");
     }
-    println!("\nall organizations computed: {:?}", String::from_utf8_lossy(&reports[0].stdout).trim());
+    println!(
+        "\nall organizations computed: {:?}",
+        String::from_utf8_lossy(&reports[0].stdout).trim()
+    );
 
     // Timing-first with an intentionally buggy timing model: the functional
     // checker catches every corruption and reloads architectural state.
@@ -54,8 +57,7 @@ fn main() {
     // the functional simulator is rolled back, memory corrected, and
     // execution re-run down the corrected path.
     let overrides = [MemOverride { after_insts: 500, addr: 0x2_0000, size: 4, val: 1 }];
-    let diverged =
-        run_speculative_functional_first(spec, &image, &cfg, &overrides).expect("runs");
+    let diverged = run_speculative_functional_first(spec, &image, &cfg, &overrides).expect("runs");
     println!(
         "\nspeculative functional-first with one forced memory divergence:\n  {} rollback(s); output {:?}",
         diverged.rollbacks,

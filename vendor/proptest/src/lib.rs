@@ -1,0 +1,95 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of `proptest` its property tests actually use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_recursive`,
+//! [`prop_oneof!`], `Just`, integer ranges and tuples as strategies,
+//! `collection::vec`, `sample::select`, `any::<T>()`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via the
+//!   assertion message (`Debug` is required of values only at the call
+//!   sites, which format their own messages).
+//! * **Fixed deterministic seeding** per test body, derived from the test
+//!   name, so failures reproduce across runs.
+//! * Rejection via [`prop_assume!`] retries with fresh inputs, capped at
+//!   `cases * 16` attempts.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing a `Vec` whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy choosing one element of `options` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty list");
+        Select { options }
+    }
+}
+
+/// The `Arbitrary`-backed `any` free function.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical value strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one value from raw randomness.
+        fn arbitrary(src: &mut dyn FnMut() -> u64) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_lossless)]
+                fn arbitrary(src: &mut dyn FnMut() -> u64) -> Self {
+                    src() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(src: &mut dyn FnMut() -> u64) -> Self {
+            src() & 1 == 1
+        }
+    }
+
+    /// The canonical strategy for `T` (`proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,175 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the tiny slice of `rand` it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`rngs::SmallRng`]. The
+//! generator is a SplitMix64-seeded xoshiro256** — deterministic for a given
+//! seed, which is all the workloads generator and tests require. It is NOT
+//! the upstream `SmallRng` stream; nothing in this repository depends on the
+//! exact upstream sequences, only on per-seed determinism.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types a [`Rng`] can sample uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)` given a raw `u64` source.
+    fn sample_range(src: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(trivial_numeric_casts)]
+            fn sample_range(src: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                debug_assert!(low < high, "empty sample range");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is irrelevant at the span sizes used here.
+                let off = (src() as u128 % span) as i128;
+                (low as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range a [`Rng`] can sample from (half-open or inclusive).
+pub trait SampleRange<T> {
+    /// Samples one value.
+    fn sample_one(self, src: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one(self, src: &mut dyn FnMut() -> u64) -> T {
+        T::sample_range(src, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + num_step::One> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one(self, src: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(src, lo, num_step::one_past(hi))
+    }
+}
+
+mod num_step {
+    //! Internal helper turning an inclusive bound into an exclusive one.
+    pub trait One: Copy {
+        fn one_past(self) -> Self;
+    }
+    macro_rules! impl_one {
+        ($($t:ty),*) => {$(
+            impl One for $t {
+                fn one_past(self) -> Self {
+                    self.checked_add(1).expect("inclusive range at type max")
+                }
+            }
+        )*};
+    }
+    impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    pub fn one_past<T: One>(v: T) -> T {
+        v.one_past()
+    }
+}
+
+/// Core random-value methods, in the spirit of `rand::Rng`.
+pub trait Rng {
+    /// Produces the next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut src = || self.next_u64();
+        range.sample_one(&mut src)
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic xoshiro256** generator (stand-in for `rand`'s
+    /// `SmallRng`).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as upstream does for u64 seeding.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-99..100);
+            assert!((-99..100).contains(&v));
+            let u: usize = rng.gen_range(0..10);
+            assert!(u < 10);
+            let w = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+        }
+        // All values of a small range are eventually hit.
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
