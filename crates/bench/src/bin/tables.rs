@@ -9,7 +9,7 @@
 
 use lis_bench::{
     backend_ablation, block_size_ablation, check_shape, fast_forward_ablation, render_table1,
-    render_table2, render_table3, table2, table3,
+    render_table2, render_table3, table2, table3, trace_speed,
 };
 use lis_runtime::Backend;
 use lis_timing::{
@@ -28,6 +28,7 @@ fn main() {
         "ablate-backend" => ablate_cmd(),
         "ablate-blocksize" => ablate_blocksize_cmd(),
         "ablate-ff" => ablate_ff_cmd(),
+        "trace" => trace_cmd(),
         "all" => {
             table1_cmd();
             println!();
@@ -40,7 +41,7 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "usage: tables [table1|table2|table3|orgs|ablate-backend|ablate-blocksize|ablate-ff|all]"
+                "usage: tables [table1|table2|table3|orgs|ablate-backend|ablate-blocksize|ablate-ff|trace|all]"
             );
             std::process::exit(2);
         }
@@ -120,6 +121,28 @@ fn ablate_blocksize_cmd() {
         println!("{:<12} {:>10.2}", size, mips);
     }
     println!("(a max length of 1 degenerates the block interface to per-instruction calls)");
+}
+
+fn trace_cmd() {
+    eprintln!("record-once / replay-anywhere speeds over the kernel suite...");
+    println!("Trace record vs replay speed (MIPS, geometric mean over kernel suite)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "ISA", "live ooo", "record", "replay x1", "replay x4", "B/inst"
+    );
+    for isa in ISAS {
+        let t = trace_speed(isa, &[1, 4]);
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            isa,
+            t.live_mips,
+            t.record_mips,
+            t.replay_mips[0].1,
+            t.replay_mips[1].1,
+            t.bytes_per_inst
+        );
+    }
+    println!("(recording is paid once; every later timing experiment replays at trace speed)");
 }
 
 fn ablate_ff_cmd() {

@@ -346,6 +346,100 @@ pub fn backend_ablation() -> Vec<(&'static str, Measurement, Measurement)> {
         .collect()
 }
 
+/// Record-vs-replay speeds for one ISA (geometric mean over the kernel
+/// suite), plus the trace encoding density.
+#[derive(Debug, Clone)]
+pub struct TraceSpeed {
+    /// Execute-driven functional-first + ooo consumer, MIPS.
+    pub live_mips: f64,
+    /// Recording (functional run + trace encode), MIPS.
+    pub record_mips: f64,
+    /// Replay MIPS per shard count, in the order requested.
+    pub replay_mips: Vec<(usize, f64)>,
+    /// Mean encoded trace bytes per instruction.
+    pub bytes_per_inst: f64,
+}
+
+/// Measures record / replay / live speeds on one ISA over the kernel suite.
+///
+/// Replay cost excludes the one-time recording: the record-once /
+/// replay-many trade the table quantifies is `record_mips` paid once versus
+/// `replay_mips` per subsequent timing experiment.
+pub fn trace_speed(isa: &str, shards: &[usize]) -> TraceSpeed {
+    use lis_timing::{run_functional_first_ooo, CoreConfig, OooConfig};
+    use lis_trace::{record, replay_ooo, RecordOptions, ReplayConfig, Trace};
+
+    let target = target_insts() / REPS as u64;
+    let spec = spec_of(isa);
+    let suite = suite_of(isa);
+    let kernels: Vec<_> = suite.iter().map(|w| w.assemble().expect("assembles")).collect();
+
+    // Geometric mean over kernels of the median of REPS samples, where one
+    // sample repeats `f` until `target` instructions are covered.
+    let geo = |f: &mut dyn FnMut(usize) -> u64| -> f64 {
+        let mut log_sum = 0.0;
+        for k in 0..kernels.len() {
+            let mut reps = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                let mut insts = 0u64;
+                let t = Instant::now();
+                while insts < target {
+                    insts += f(k);
+                }
+                reps.push(insts as f64 / t.elapsed().as_secs_f64() / 1e6);
+            }
+            log_sum += median(reps).ln();
+        }
+        (log_sum / kernels.len() as f64).exp()
+    };
+
+    let cfg = CoreConfig::default();
+    let ooo = OooConfig::default();
+    let live_mips = geo(&mut |k| {
+        run_functional_first_ooo(spec, &kernels[k], &cfg, &ooo).expect("kernel runs").insts
+    });
+
+    let opts: Vec<RecordOptions> = suite
+        .iter()
+        .map(|w| RecordOptions { kernel: w.name.to_string(), ..Default::default() })
+        .collect();
+    let record_mips = geo(&mut |k| {
+        let mut sink = Vec::new();
+        record(spec, &kernels[k], &mut sink, &opts[k]).expect("records").insts
+    });
+
+    let mut total_bytes = 0u64;
+    let mut total_insts = 0u64;
+    let traces: Vec<Trace> = kernels
+        .iter()
+        .zip(&opts)
+        .map(|(image, o)| {
+            let mut bytes = Vec::new();
+            record(spec, image, &mut bytes, o).expect("records");
+            total_bytes += bytes.len() as u64;
+            let trace = Trace::read_from(bytes.as_slice()).expect("reads back");
+            total_insts += trace.insts();
+            trace
+        })
+        .collect();
+
+    let replay_mips = shards
+        .iter()
+        .map(|&n| {
+            let rcfg = ReplayConfig { shards: n, ..Default::default() };
+            let mips = geo(&mut |k| replay_ooo(spec, &traces[k], &rcfg).expect("replays").insts);
+            (n, mips)
+        })
+        .collect();
+
+    TraceSpeed {
+        live_mips,
+        record_mips,
+        replay_mips,
+        bytes_per_inst: total_bytes as f64 / total_insts.max(1) as f64,
+    }
+}
+
 /// Semantic group index for sorting (block, one, step).
 pub fn semantic_rank(bs: &BuildsetDef) -> u8 {
     match bs.semantic {

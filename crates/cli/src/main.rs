@@ -9,10 +9,14 @@
 //! lis buildsets
 //! lis verify [--isa alpha] [--full]
 //! lis chaos --isa alpha [--chaos-seed N] [--period N] [--runs N]
+//! lis trace record <file.s> --isa alpha -o prog.lst
+//! lis trace info <prog.lst>
+//! lis trace replay <prog.lst> [--shards N] [--stats-json]
 //! ```
 //!
 //! `verify` and `chaos` use exit codes 0 (clean), 2 (divergence detected),
-//! and 3 (fault-storm or deadline abort); all commands use 1 for ordinary
+//! and 3 (fault-storm or deadline abort); `trace info` and `trace replay`
+//! use 4 for a corrupt or unreadable trace; all commands use 1 for ordinary
 //! errors and 2 for usage errors.
 
 use lis_core::{
@@ -24,8 +28,8 @@ use lis_harness::{
 };
 use lis_runtime::{ChaosPlan, Simulator};
 use lis_timing::{
-    run_functional_first, run_integrated, run_speculative_functional_first, run_timing_directed,
-    run_timing_first, CoreConfig,
+    run_functional_first, run_functional_first_ooo, run_integrated,
+    run_speculative_functional_first, run_timing_directed, run_timing_first, CoreConfig, OooConfig,
 };
 use std::process::ExitCode;
 
@@ -39,6 +43,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let cmd = args.remove(0);
+    // `trace` carries its own subcommand before the flags.
+    let trace_sub = if cmd == "trace" {
+        if args.is_empty() || args[0].starts_with('-') {
+            eprintln!("error: `lis trace` needs a subcommand: record | info | replay");
+            return ExitCode::from(2);
+        }
+        Some(args.remove(0))
+    } else {
+        None
+    };
     let opts = match Opts::parse(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -55,6 +69,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts).map(|()| 0),
         "verify" => cmd_verify(&opts),
         "chaos" => cmd_chaos(&opts),
+        "trace" => cmd_trace(trace_sub.as_deref().unwrap_or(""), &opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(0)
@@ -84,6 +99,9 @@ usage:
   lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
                                                      against the one-min reference
   lis chaos --isa <isa> [options]                    seeded fault-injection campaign
+  lis trace record <file.s> --isa <isa> [-o <out>]   record a max-detail trace
+  lis trace info <trace>                             header, footer, integrity check
+  lis trace replay <trace> [--shards <n>]            trace-driven ooo timing replay
 
 options for `run`:
   --buildset <name>     interface to synthesize (default one-all)
@@ -94,7 +112,22 @@ options for `run`:
   --deadline <secs>     wall-clock watchdog; exceeding it stops the run
   --timing <org>        drive a timing model instead:
                         integrated | functional-first | timing-directed |
-                        timing-first | sff
+                        timing-first | sff | ooo
+  --stats-json          print machine-readable run statistics as one JSON
+                        object on stdout instead of the human summary
+
+options for `trace`:
+  -o, --output <path>   record: where to write the trace
+                        (default: input path with a .lst extension)
+  --buildset <name>     record: interface to record (default block-all,
+                        the maximum detail every projection derives from)
+  --label <name>        record: workload label stored in the header
+  --shards <n>          replay: worker threads over chunk ranges (default 1;
+                        1 is bit-identical to the execute-driven run)
+  --warmup <n>          replay: warm-up chunks per shard (default 4)
+  --project <vis>       replay: visibility projection min|decode|all
+                        (default decode)
+  --stats-json          replay: print the merged TimingReport as JSON
 
 options for `verify` / `chaos`:
   --full                verify: all suite kernels (default: quick subset)
@@ -105,9 +138,10 @@ options for `verify` / `chaos`:
   --deadline <secs>     chaos: wall-clock limit per run
   --snapshot <path>     crash-snapshot file (default lis-snapshot.txt)
 
-exit codes for `verify` / `chaos`:
+exit codes for `verify` / `chaos` / `trace`:
   0  clean            2  divergence detected
-  3  fault-storm or deadline abort                   1  other errors"
+  3  fault-storm or deadline abort                   1  other errors
+  4  corrupt or unreadable trace file"
     );
 }
 
@@ -187,11 +221,18 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             "sff" | "speculative-functional-first" => {
                 run_speculative_functional_first(spec, &image, &cfg, &[])
             }
+            "ooo" | "functional-first-ooo" => {
+                run_functional_first_ooo(spec, &image, &cfg, &OooConfig::default())
+            }
             other => return Err(format!("unknown organization `{other}`")),
         }
         .map_err(|e| e.to_string())?;
-        print!("{}", String::from_utf8_lossy(&report.stdout));
-        eprintln!("{report}");
+        if opts.stats_json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", String::from_utf8_lossy(&report.stdout));
+            eprintln!("{report}");
+        }
         return Ok(());
     }
 
@@ -212,8 +253,16 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     } else {
         match sim.run_to_halt(opts.max) {
             Ok(summary) => {
-                print!("{}", String::from_utf8_lossy(sim.stdout()));
-                eprintln!("exit {}; {}", summary.exit_code, sim.stats);
+                if opts.stats_json {
+                    let mut o = lis_core::JsonObj::new();
+                    o.i64("exit_code", summary.exit_code)
+                        .str("stdout", &String::from_utf8_lossy(sim.stdout()))
+                        .raw("stats", &sim.stats.to_json());
+                    println!("{}", o.finish());
+                } else {
+                    print!("{}", String::from_utf8_lossy(sim.stdout()));
+                    eprintln!("exit {}; {}", summary.exit_code, sim.stats);
+                }
             }
             Err(stop) => {
                 print!("{}", String::from_utf8_lossy(sim.stdout()));
@@ -426,6 +475,156 @@ fn cmd_verify(opts: &Opts) -> Result<u8, String> {
         eprintln!("\ncrash snapshot written to {}", opts.snapshot);
     }
     Ok(2)
+}
+
+/// `lis trace`: record, inspect, and replay max-detail instruction traces.
+/// `info` and `replay` exit 4 when the trace file fails any integrity
+/// check (bad magic, version mismatch, CRC, truncation, malformed record).
+fn cmd_trace(sub: &str, opts: &Opts) -> Result<u8, String> {
+    match sub {
+        "record" => cmd_trace_record(opts).map(|()| 0),
+        "info" => cmd_trace_info(opts),
+        "replay" => cmd_trace_replay(opts),
+        other => Err(format!("unknown trace subcommand `{other}` (record | info | replay)")),
+    }
+}
+
+fn cmd_trace_record(opts: &Opts) -> Result<(), String> {
+    let src = read_source(opts)?;
+    let spec = spec_of(&opts.isa)?;
+    let image = assemble(&opts.isa, &src)?;
+
+    // Maximum detail by default: a block-all trace is the one every
+    // lower-detail interface's trace can be derived from by projection.
+    let bs_name = if opts.buildset_explicit { opts.buildset.as_str() } else { "block-all" };
+    let bs = *lis_core::find_buildset(bs_name)
+        .ok_or_else(|| format!("unknown buildset `{bs_name}` (see `lis buildsets`)"))?;
+
+    let out_path = match &opts.output {
+        Some(p) => p.clone(),
+        None => {
+            let input = opts.input.as_deref().unwrap_or("-");
+            if input == "-" {
+                "trace.lst".to_string()
+            } else {
+                format!("{}.lst", input.trim_end_matches(".s"))
+            }
+        }
+    };
+    let label = opts.label.clone().unwrap_or_else(|| {
+        opts.input.as_deref().unwrap_or("stdin").rsplit('/').next().unwrap_or("stdin").to_string()
+    });
+
+    let file = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let record_opts = lis_trace::RecordOptions {
+        buildset: bs,
+        kernel: label,
+        max_insts: opts.max,
+        ..Default::default()
+    };
+    let summary = lis_trace::record(spec, &image, std::io::BufWriter::new(file), &record_opts)
+        .map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "recorded {} insts ({} bytes, {:.2} B/inst) from {}/{} to {out_path}{}",
+        summary.insts,
+        bytes,
+        bytes as f64 / summary.insts.max(1) as f64,
+        spec.name,
+        bs.name,
+        match summary.fault {
+            Some(f) => format!("; run ended at fault: {f}"),
+            None => format!("; exit {}", summary.exit_code),
+        }
+    );
+    Ok(())
+}
+
+/// Opens a trace file; any failure here is usage, not integrity.
+fn open_trace(opts: &Opts) -> Result<std::io::BufReader<std::fs::File>, String> {
+    let path = opts.input.as_ref().ok_or("missing trace file argument")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(std::io::BufReader::new(file))
+}
+
+fn cmd_trace_info(opts: &Opts) -> Result<u8, String> {
+    let r = open_trace(opts)?;
+    let info = match lis_trace::TraceInfo::scan(r) {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("trace integrity failure: {e}");
+            return Ok(4);
+        }
+    };
+    if opts.stats_json {
+        let mut o = lis_core::JsonObj::new();
+        o.str("isa", &info.meta.isa)
+            .str("buildset", &info.meta.buildset)
+            .str("kernel", &info.meta.kernel)
+            .u64("seed", info.meta.seed)
+            .u64("records", info.footer.insts)
+            .u64("chunks", info.chunks as u64)
+            .u64("data_bytes", info.data_bytes)
+            .bool("halted", info.footer.halted)
+            .i64("exit_code", info.footer.exit_code)
+            .raw("stats", &info.footer.stats.to_json());
+        println!("{}", o.finish());
+    } else {
+        println!("{info}");
+    }
+    Ok(0)
+}
+
+fn cmd_trace_replay(opts: &Opts) -> Result<u8, String> {
+    let r = open_trace(opts)?;
+    let trace = match lis_trace::Trace::read_from(r) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace integrity failure: {e}");
+            return Ok(4);
+        }
+    };
+    let spec = spec_of(&trace.meta.isa)?;
+    let projection = match opts.project.as_deref() {
+        None | Some("decode") => Visibility::DECODE,
+        Some("min") => Visibility::MIN,
+        Some("all") => Visibility::ALL,
+        Some(other) => return Err(format!("unknown projection `{other}` (min|decode|all)")),
+    };
+    if !projection.fields.contains(lis_core::F_OPCODE) {
+        eprintln!(
+            "warning: projection hides fields the ooo consumer models with (opcode, \
+             effective address); instructions are counted but contribute no latency"
+        );
+    }
+    let cfg = lis_trace::ReplayConfig {
+        shards: opts.shards,
+        warmup_chunks: opts.warmup,
+        projection,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report = match lis_trace::replay_ooo(spec, &trace, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace integrity failure: {e}");
+            return Ok(4);
+        }
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    if opts.stats_json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", String::from_utf8_lossy(&report.stdout));
+        eprintln!("{report}");
+        eprintln!(
+            "replayed {} insts on {} shard(s) in {dt:.3}s ({:.2} M insts/s)",
+            report.insts,
+            opts.shards,
+            report.insts as f64 / dt / 1e6
+        );
+    }
+    Ok(0)
 }
 
 /// `lis chaos`: a campaign of seeded fault-injection runs. Each seed runs

@@ -35,6 +35,21 @@ pub struct Opts {
     pub unmap: bool,
     /// Where crash snapshots are written.
     pub snapshot: String,
+    /// True when `--buildset` was given explicitly (subcommands have
+    /// different defaults: `run` uses one-all, `trace record` block-all).
+    pub buildset_explicit: bool,
+    /// Output path for `trace record`.
+    pub output: Option<String>,
+    /// Worker threads for `trace replay`.
+    pub shards: usize,
+    /// Warm-up chunks per shard for `trace replay`.
+    pub warmup: usize,
+    /// Visibility projection (`min` | `decode` | `all`) for `trace replay`.
+    pub project: Option<String>,
+    /// Workload label written into a recorded trace header.
+    pub label: Option<String>,
+    /// Emit machine-readable JSON statistics instead of the human summary.
+    pub stats_json: bool,
 }
 
 impl Default for Opts {
@@ -55,6 +70,13 @@ impl Default for Opts {
             full: false,
             unmap: false,
             snapshot: "lis-snapshot.txt".into(),
+            buildset_explicit: false,
+            output: None,
+            shards: 1,
+            warmup: 4,
+            project: None,
+            label: None,
+            stats_json: false,
         }
     }
 }
@@ -70,7 +92,10 @@ impl Opts {
             };
             match a.as_str() {
                 "--isa" => o.isa = value("--isa")?,
-                "--buildset" => o.buildset = value("--buildset")?,
+                "--buildset" => {
+                    o.buildset = value("--buildset")?;
+                    o.buildset_explicit = true;
+                }
                 "--backend" => {
                     o.backend = match value("--backend")?.as_str() {
                         "cached" => Backend::Cached,
@@ -104,6 +129,19 @@ impl Opts {
                 "--full" => o.full = true,
                 "--unmap" => o.unmap = true,
                 "--snapshot" => o.snapshot = value("--snapshot")?,
+                "-o" | "--output" => o.output = Some(value("--output")?),
+                "--shards" => {
+                    o.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                    if o.shards == 0 {
+                        return Err("--shards must be positive".into());
+                    }
+                }
+                "--warmup" => {
+                    o.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--project" => o.project = Some(value("--project")?),
+                "--label" => o.label = Some(value("--label")?),
+                "--stats-json" => o.stats_json = true,
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path => {
                     if o.input.is_some() {
@@ -178,6 +216,35 @@ mod tests {
         assert!(o.full);
         assert!(!o.unmap);
         assert_eq!(o.snapshot, "crash.txt");
+    }
+
+    #[test]
+    fn trace_flags() {
+        let o = parse(&[
+            "t.lst",
+            "--shards",
+            "4",
+            "--warmup",
+            "2",
+            "--project",
+            "decode",
+            "--label",
+            "sieve",
+            "--stats-json",
+            "-o",
+            "out.lst",
+        ])
+        .unwrap();
+        assert_eq!(o.shards, 4);
+        assert_eq!(o.warmup, 2);
+        assert_eq!(o.project.as_deref(), Some("decode"));
+        assert_eq!(o.label.as_deref(), Some("sieve"));
+        assert!(o.stats_json);
+        assert_eq!(o.output.as_deref(), Some("out.lst"));
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "x"]).is_err());
+        assert!(!parse(&[]).unwrap().buildset_explicit);
+        assert!(parse(&["--buildset", "block-all"]).unwrap().buildset_explicit);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! A minimal JSON writer.
+//!
+//! The CLI's `--stats-json` output and the bench tooling need
+//! machine-readable stats without pulling a serialization dependency into
+//! the workspace. [`JsonObj`] emits one flat object with string, integer,
+//! boolean, and float members — which is all a `SimStats`/`TimingReport`
+//! dump needs — with correct string escaping.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    n: usize,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::from("{"), n: 0 }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.n > 0 {
+            self.buf.push(',');
+        }
+        self.n += 1;
+        write_json_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Adds a string member.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer member.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a signed integer member.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a float member (fixed precision, always finite-formatted).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.6}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (e.g. a nested object).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&self) -> String {
+        let mut s = self.buf.clone();
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_joins() {
+        let mut o = JsonObj::new();
+        o.str("name", "a\"b\\c\nd").u64("count", 7).i64("code", -1).bool("ok", true);
+        o.f64("rate", 0.5).raw("inner", "{\"x\":1}");
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"count\":7,\"code\":-1,\"ok\":true,\
+             \"rate\":0.500000,\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut s = String::new();
+        write_json_str(&mut s, "\u{1}\t");
+        assert_eq!(s, "\"\\u0001\\t\"");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+}

@@ -55,6 +55,7 @@ mod field;
 mod frame;
 mod inst;
 mod isa;
+mod json;
 mod lint;
 mod operand;
 mod os;
@@ -81,6 +82,7 @@ pub use field::{
 pub use frame::Frame;
 pub use inst::{flow, ActionFn, Flow, FlowItem, InstClass, InstDef, StepActions};
 pub use isa::IsaSpec;
+pub use json::{write_json_str, JsonObj};
 pub use lint::{check_interface, render_report, LintDiag};
 pub use operand::{
     OperandDir, OperandRef, OperandSpec, Operands, RegClass, RegClassDef, MAX_DEST, MAX_SRC,

@@ -1,0 +1,133 @@
+//! The one definition of "do two simulations agree about this retired
+//! instruction" — shared by the lockstep harness (subject vs reference, both
+//! live) and the trace equivalence check (recorded stream vs live
+//! reference). Keeping a single comparison means a divergence reads the same
+//! whichever harness caught it.
+
+use crate::lockstep::HarnessError;
+use lis_core::{DynInst, Fault, InstHeader, IsaSpec, ONE_MIN};
+use lis_mem::Image;
+use lis_runtime::{Backend, Simulator};
+
+/// Verdict for one retired instruction compared against the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetiredCmp {
+    /// Headers match and neither side faulted.
+    Agree,
+    /// Both sides reported the same architectural fault — the run ends here
+    /// in agreement.
+    AgreedFault(Fault),
+    /// The sides disagree; the message says how.
+    Diverge(String),
+}
+
+/// Compares one retired instruction `(header, fault)` pair against the
+/// reference's. Fault agreement is checked first (an agreed fault ends both
+/// runs, so the header comparison is moot); then the published headers must
+/// be identical.
+pub fn compare_retired(
+    subject: (&InstHeader, Option<Fault>),
+    reference: (&InstHeader, Option<Fault>),
+) -> RetiredCmp {
+    let (sub_h, sub_f) = subject;
+    let (ref_h, ref_f) = reference;
+    match (sub_f, ref_f) {
+        (None, None) => {}
+        (Some(a), Some(b)) if a == b => return RetiredCmp::AgreedFault(a),
+        (sf, rf) => {
+            return RetiredCmp::Diverge(format!(
+                "fault disagreement: subject {}, reference {}",
+                fault_str(sf),
+                fault_str(rf)
+            ));
+        }
+    }
+    if sub_h != ref_h {
+        return RetiredCmp::Diverge(format!(
+            "header disagreement: reference pc {:#x} bits {:#010x} next {:#x}",
+            ref_h.pc, ref_h.instr_bits, ref_h.next_pc
+        ));
+    }
+    RetiredCmp::Agree
+}
+
+pub(crate) fn fault_str(f: Option<Fault>) -> String {
+    match f {
+        Some(fault) => fault.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+/// Replays a recorded trace against the live reference simulator
+/// (`one-min`, interpreted) and verifies that every recorded instruction —
+/// header and fault — matches what the reference retires, using the same
+/// [`compare_retired`] judgment the lockstep harness uses. Whole-run facts
+/// (halt, exit code, stdout) are checked against the trace footer.
+///
+/// Returns the number of instructions compared.
+///
+/// # Errors
+///
+/// [`HarnessError::Unexpected`] on any disagreement or an undecodable
+/// trace, plus the usual construction/load errors.
+pub fn check_trace_against_reference(
+    spec: &'static IsaSpec,
+    image: &Image,
+    trace: &lis_trace::Trace,
+) -> Result<u64, HarnessError> {
+    let records = trace
+        .records(None)
+        .map_err(|e| HarnessError::Unexpected(format!("trace does not decode: {e}")))?;
+
+    let mut reference = Simulator::new(spec, ONE_MIN).map_err(HarnessError::Build)?;
+    reference.set_backend(Backend::Interpreted);
+    reference.load_program(image).map_err(HarnessError::Load)?;
+
+    let mut ref_di = DynInst::new();
+    let mut compared = 0u64;
+    for rec in &records {
+        if reference.state.halted {
+            return Err(HarnessError::Unexpected(format!(
+                "reference halted after {compared} insts but the trace has {}",
+                records.len()
+            )));
+        }
+        ref_di.clear();
+        reference.next_inst(&mut ref_di).map_err(HarnessError::Iface)?;
+        match compare_retired((&rec.header, rec.fault), (&ref_di.header, ref_di.fault)) {
+            RetiredCmp::Agree => compared += 1,
+            RetiredCmp::AgreedFault(_) => {
+                compared += 1;
+                break;
+            }
+            RetiredCmp::Diverge(cause) => {
+                return Err(HarnessError::Unexpected(format!(
+                    "trace record {compared} (pc {:#x}): {cause}",
+                    rec.header.pc
+                )));
+            }
+        }
+    }
+
+    if trace.footer.halted {
+        if !reference.state.halted {
+            return Err(HarnessError::Unexpected(
+                "trace footer says halted but the reference did not halt".to_string(),
+            ));
+        }
+        if reference.state.exit_code != trace.footer.exit_code {
+            return Err(HarnessError::Unexpected(format!(
+                "exit code disagreement: trace {}, reference {}",
+                trace.footer.exit_code, reference.state.exit_code
+            )));
+        }
+    }
+    if reference.stdout() != trace.footer.stdout {
+        return Err(HarnessError::Unexpected(format!(
+            "stdout disagreement: trace {} bytes, reference {} bytes",
+            trace.footer.stdout.len(),
+            reference.stdout().len()
+        )));
+    }
+    Ok(compared)
+}

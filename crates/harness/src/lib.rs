@@ -19,17 +19,24 @@
 //!   a minimal skip-on-fault handler, and classify the result (survived,
 //!   fault storm, deadline). Same `(seed, plan)` ⇒ same event log, same
 //!   outcome, exactly.
+//!
+//! * **Trace equivalence** ([`check_trace_against_reference`]): replay a
+//!   recorded [`lis_trace::Trace`] against the live reference and verify
+//!   every recorded instruction with the same per-instruction judgment
+//!   ([`compare_retired`]) the lockstep harness uses.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod compare;
 mod driver;
 mod lockstep;
 mod report;
 mod verify;
 
 pub use campaign::{chaos_run, ChaosConfig, ChaosOutcome, ChaosRunReport};
+pub use compare::{check_trace_against_reference, compare_retired, RetiredCmp};
 pub use lockstep::{
     job_label, lockstep, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome, PerturbHook,
 };
@@ -42,12 +49,9 @@ mod tests {
     use lis_core::{BLOCK_MIN, ONE_ALL, ONE_MIN, STANDARD_BUILDSETS, STEP_ALL};
     use lis_mem::Image;
     use lis_runtime::{Backend, ChaosPlan};
-    use lis_workloads::suite_of;
 
     fn kernel(isa: &str, name: &str) -> Image {
-        suite_of(isa)
-            .iter()
-            .find(|w| w.name == name)
+        lis_workloads::kernel(isa, name)
             .expect("kernel exists")
             .assemble()
             .expect("kernel assembles")
@@ -174,6 +178,63 @@ mod tests {
         let clean = lockstep(spec, &image, ONE_MIN, Backend::Interpreted).expect("clean");
         let LockstepOutcome::Halted { insts, .. } = clean else { panic!("halted") };
         assert_eq!(quiet.insts, insts);
+    }
+
+    #[test]
+    fn compare_retired_verdicts() {
+        use lis_core::{Fault, InstHeader};
+        let h = InstHeader { pc: 0x1000, instr_bits: 0xAB, next_pc: 0x1004, ..Default::default() };
+        assert_eq!(compare_retired((&h, None), (&h, None)), RetiredCmp::Agree);
+        let f = Fault::DivideByZero;
+        assert_eq!(compare_retired((&h, Some(f)), (&h, Some(f))), RetiredCmp::AgreedFault(f));
+        let mut h2 = h;
+        h2.next_pc = 0x2000;
+        let RetiredCmp::Diverge(msg) = compare_retired((&h2, None), (&h, None)) else {
+            panic!("header mismatch must diverge");
+        };
+        assert!(msg.contains("header disagreement"), "{msg}");
+        let RetiredCmp::Diverge(msg) = compare_retired((&h, Some(f)), (&h, None)) else {
+            panic!("fault mismatch must diverge");
+        };
+        assert!(msg.contains("fault disagreement"), "{msg}");
+    }
+
+    #[test]
+    fn recorded_trace_matches_reference() {
+        let spec = lis_workloads::spec_of("alpha");
+        let image = kernel("alpha", "strrev");
+        let mut bytes = Vec::new();
+        let opts = lis_trace::RecordOptions { kernel: "strrev".into(), ..Default::default() };
+        lis_trace::record(spec, &image, &mut bytes, &opts).expect("records");
+        let trace = lis_trace::Trace::read_from(bytes.as_slice()).expect("reads");
+        let n = check_trace_against_reference(spec, &image, &trace).expect("trace agrees");
+        assert_eq!(n, trace.insts());
+    }
+
+    #[test]
+    fn trace_check_catches_a_doctored_record() {
+        let spec = lis_workloads::spec_of("alpha");
+        let image = kernel("alpha", "strrev");
+        let mut bytes = Vec::new();
+        let opts = lis_trace::RecordOptions { kernel: "strrev".into(), ..Default::default() };
+        lis_trace::record(spec, &image, &mut bytes, &opts).expect("records");
+        let trace = lis_trace::Trace::read_from(bytes.as_slice()).expect("reads");
+
+        // Re-encode the stream with one header lie in the middle.
+        let mut records = trace.records(None).expect("decodes");
+        let mid = records.len() / 2;
+        records[mid].header.next_pc ^= 4;
+        let mut w = lis_trace::TraceWriter::new(Vec::new(), &trace.meta).expect("writer");
+        for rec in &records {
+            w.push(rec).expect("encodes");
+        }
+        let doctored = w.finish(&trace.footer).expect("finishes");
+        let doctored = lis_trace::Trace::read_from(doctored.as_slice()).expect("reads");
+
+        let err = check_trace_against_reference(spec, &image, &doctored)
+            .expect_err("the lie must be caught");
+        let HarnessError::Unexpected(msg) = err else { panic!("unexpected kind: {err}") };
+        assert!(msg.contains("header disagreement"), "{msg}");
     }
 
     #[test]

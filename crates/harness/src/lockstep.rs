@@ -6,6 +6,7 @@
 //! between the subject and the reference is therefore a bug in the richer
 //! interface's synthesis, not in the specification.
 
+use crate::compare::{compare_retired, RetiredCmp};
 use crate::driver::advance;
 use crate::report::{backend_name, DivergenceReport, RegDelta, RetiredInst, Ring};
 use lis_core::{BuildsetDef, DynInst, Fault, IsaSpec, ONE_MIN};
@@ -151,38 +152,17 @@ pub fn lockstep_with(
             reference.next_inst(&mut ref_di).map_err(HarnessError::Iface)?;
             ls.sub_ring.push(retired(ls.insts, s));
             ls.ref_ring.push(retired(ls.insts, &ref_di));
-            match (s.fault, ref_di.fault) {
-                (None, None) => {}
-                (Some(a), Some(b)) if a == b => {
+            match compare_retired((&s.header, s.fault), (&ref_di.header, ref_di.fault)) {
+                RetiredCmp::Agree => {}
+                RetiredCmp::AgreedFault(fault) => {
                     // Agreed fault: neither side can make progress past it,
                     // so verify final agreement and stop here.
                     ls.check(&subject, &reference, true)?;
-                    return Ok(LockstepOutcome::Faulted { fault: a, insts: ls.insts });
+                    return Ok(LockstepOutcome::Faulted { fault, insts: ls.insts });
                 }
-                (sf, rf) => {
-                    return Err(ls.diverged(
-                        &subject,
-                        &reference,
-                        s,
-                        format!(
-                            "fault disagreement: subject {}, reference {}",
-                            fault_str(sf),
-                            fault_str(rf)
-                        ),
-                    ));
+                RetiredCmp::Diverge(cause) => {
+                    return Err(ls.diverged(&subject, &reference, s, cause));
                 }
-            }
-            if s.header != ref_di.header {
-                let h = &ref_di.header;
-                return Err(ls.diverged(
-                    &subject,
-                    &reference,
-                    s,
-                    format!(
-                        "header disagreement: reference pc {:#x} bits {:#010x} next {:#x}",
-                        h.pc, h.instr_bits, h.next_pc
-                    ),
-                ));
             }
             ls.insts += 1;
         }
@@ -309,13 +289,6 @@ pub(crate) fn retired(index: u64, di: &DynInst) -> RetiredInst {
         bits: di.header.instr_bits,
         next_pc: di.header.next_pc,
         fault: di.fault,
-    }
-}
-
-fn fault_str(f: Option<Fault>) -> String {
-    match f {
-        Some(fault) => fault.to_string(),
-        None => "none".to_string(),
     }
 }
 

@@ -92,12 +92,7 @@ impl fmt::Display for VerifyReport {
 }
 
 fn assemble(isa: &str, src: &str) -> Result<Image, lis_asm::AsmError> {
-    match isa {
-        "alpha" => lis_isa_alpha::assemble(src),
-        "arm" => lis_isa_arm::assemble(src),
-        "ppc" => lis_isa_ppc::assemble(src),
-        other => unreachable!("unknown ISA {other}"),
-    }
+    lis_workloads::assemble_source(isa, src)
 }
 
 /// Sweeps one ISA: every standard buildset × both backends × every

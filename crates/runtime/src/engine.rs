@@ -1119,6 +1119,25 @@ impl Simulator {
     /// [`SimStop::Deadline`] when a wall-clock deadline set with
     /// [`Simulator::set_deadline`] expires.
     pub fn run_to_halt(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
+        self.run_with_sink(max_insts, |_| {})
+    }
+
+    /// Like [`Simulator::run_to_halt`], but calls `sink` with every
+    /// published [`DynInst`] record as it retires — including a final
+    /// faulting record, which the sink sees before the fault is returned.
+    ///
+    /// This is the engine's retirement hook: a trace recorder (or any other
+    /// stream consumer) observes exactly the record stream the buildset's
+    /// interface publishes, with no engine-side knowledge of the consumer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run_to_halt`].
+    pub fn run_with_sink(
+        &mut self,
+        max_insts: u64,
+        mut sink: impl FnMut(&DynInst),
+    ) -> Result<RunSummary, SimStop> {
         let start = self.stats.insts;
         let started_at = self.deadline.map(|limit| (Instant::now(), limit));
         let mut ticks = 0u32;
@@ -1140,12 +1159,16 @@ impl Simulator {
             match self.bs.semantic {
                 Semantic::One => {
                     self.next_inst(&mut di)?;
+                    sink(&di);
                     if let Some(f) = di.fault {
                         return Err(SimStop::Fault(f));
                     }
                 }
                 Semantic::Block => {
                     self.next_block(&mut buf)?;
+                    for d in &buf {
+                        sink(d);
+                    }
                     if let Some(f) = buf.last().and_then(|d| d.fault) {
                         return Err(SimStop::Fault(f));
                     }
@@ -1154,9 +1177,11 @@ impl Simulator {
                     for step in Step::ALL {
                         self.step_inst(step, &mut di)?;
                         if let Some(f) = di.fault {
+                            sink(&di);
                             return Err(SimStop::Fault(f));
                         }
                     }
+                    sink(&di);
                 }
             }
         }

@@ -45,6 +45,24 @@ impl SimStats {
             self.insts as f64 / self.blocks as f64
         }
     }
+
+    /// Renders every counter as one flat JSON object (see `--stats-json`),
+    /// including `fallback_blocks`, which the text display only shows when
+    /// nonzero.
+    pub fn to_json(&self) -> String {
+        let mut o = lis_core::JsonObj::new();
+        o.u64("insts", self.insts)
+            .u64("calls", self.calls)
+            .u64("blocks", self.blocks)
+            .u64("faults", self.faults)
+            .u64("blocks_built", self.blocks_built)
+            .u64("checkpoints", self.checkpoints)
+            .u64("rollbacks", self.rollbacks)
+            .u64("fallback_blocks", self.fallback_blocks)
+            .f64("calls_per_inst", self.calls_per_inst())
+            .f64("mean_block_len", self.mean_block_len());
+        o.finish()
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -84,5 +102,14 @@ mod tests {
         assert_eq!(SimStats::default().calls_per_inst(), 0.0);
         assert_eq!(SimStats::default().mean_block_len(), 0.0);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn json_has_every_counter() {
+        let s = SimStats { insts: 3, fallback_blocks: 2, ..Default::default() };
+        let j = s.to_json();
+        assert!(j.contains("\"insts\":3"));
+        assert!(j.contains("\"fallback_blocks\":2"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 }

@@ -468,3 +468,48 @@ fn per_operand_calls_enforce_windows() {
     one.load_program(&loop_program()).unwrap();
     assert!(matches!(one.fetch_src_operand(&mut di, 0), Err(IfaceError::WrongSemantic { .. })));
 }
+
+#[test]
+fn run_with_sink_sees_every_retired_record() {
+    // The sink must observe exactly `insts` records, in program order,
+    // regardless of the buildset's semantic level.
+    for bs in [ONE_ALL, BLOCK_ALL, STEP_ALL] {
+        let mut sim = Simulator::new(toy::spec(), bs).unwrap();
+        sim.load_program(&loop_program()).unwrap();
+        let mut pcs: Vec<u64> = Vec::new();
+        let mut chained = true;
+        let mut prev_next = None::<u64>;
+        let summary = sim
+            .run_with_sink(10_000, |di| {
+                if let Some(p) = prev_next {
+                    chained &= di.header.pc == p;
+                }
+                prev_next = Some(di.header.next_pc);
+                pcs.push(di.header.pc);
+            })
+            .unwrap();
+        assert_eq!(pcs.len() as u64, summary.insts, "{}", bs.name);
+        assert_eq!(summary.insts, sim.stats.insts, "{}", bs.name);
+        assert_eq!(pcs[0], 0x1000, "{}", bs.name);
+        assert!(chained, "{}: control flow must chain", bs.name);
+    }
+}
+
+#[test]
+fn run_with_sink_delivers_faulting_record() {
+    // An all-zero word is an illegal instruction; the sink must still see
+    // the faulting record before run_with_sink returns the fault.
+    let mut sim = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    sim.load_program(&image(&[toy::addi(2, 0, 1), 0])).unwrap();
+    let mut last_fault = None;
+    let mut n = 0u64;
+    let err = sim
+        .run_with_sink(10_000, |di| {
+            n += 1;
+            last_fault = di.fault;
+        })
+        .unwrap_err();
+    assert!(matches!(err, lis_runtime::SimStop::Fault(Fault::IllegalInstruction { .. })));
+    assert_eq!(n, 2);
+    assert!(matches!(last_fault, Some(Fault::IllegalInstruction { .. })));
+}

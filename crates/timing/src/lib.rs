@@ -35,7 +35,7 @@ mod report;
 
 pub use cache::{Cache, CacheConfig};
 pub use model::CoreModel;
-pub use ooo::{run_functional_first_ooo, OooConfig};
+pub use ooo::{run_functional_first_ooo, OooConfig, OooCore};
 pub use orgs::{
     run_functional_first, run_integrated, run_speculative_functional_first, run_timing_directed,
     run_timing_first, MemOverride,

@@ -11,6 +11,13 @@
 //! fetch/commit width, a reorder-buffer occupancy window, per-class
 //! execution latencies, cache penalties, and mispredict-driven fetch
 //! redirection.
+//!
+//! [`OooCore`] is the consumer itself: it is fed one published [`DynInst`]
+//! at a time and never touches a functional simulator, so the *same* core
+//! can run execute-driven (fed by [`run_functional_first_ooo`]) or
+//! trace-driven (fed by a recorded instruction stream, see `lis-trace`).
+//! Feeding it the same record stream produces the same report, bit for bit
+//! — which is what makes record-once/replay-anywhere verifiable.
 
 use crate::cache::Cache;
 use crate::predict::Predictor;
@@ -18,7 +25,7 @@ use crate::report::{CoreConfig, TimingReport};
 use lis_core::{DynInst, InstClass, IsaSpec, F_BR_TAKEN, F_BR_TARGET, F_EFF_ADDR, F_OPCODE};
 use lis_mem::Image;
 use lis_runtime::{SimStop, Simulator};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Structural parameters of the out-of-order core.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +53,169 @@ fn latency(isa: &IsaSpec, op: u16) -> u64 {
     }
 }
 
+/// Baseline counters captured by [`OooCore::mark_measurement_start`] so a
+/// warmed-up core reports only the measured region.
+#[derive(Debug, Clone, Copy, Default)]
+struct Baseline {
+    cycles: u64,
+    insts: u64,
+    icache_misses: u64,
+    dcache_misses: u64,
+    mispredicts: u64,
+}
+
+/// The out-of-order timing consumer, decoupled from any instruction source.
+///
+/// Feed it published records in program order with [`OooCore::feed`]; read
+/// the result with [`OooCore::report`]. The core is a pure function of the
+/// fed record stream — it holds no reference to a functional simulator —
+/// so an execute-driven run and a trace replay of the same stream produce
+/// identical reports.
+#[derive(Debug)]
+pub struct OooCore {
+    isa: &'static IsaSpec,
+    ooo: OooConfig,
+    mispredict_penalty: u64,
+    icache: Cache,
+    dcache: Cache,
+    pred: Predictor,
+    /// Cycle at which each architectural register's value becomes available.
+    reg_ready: HashMap<(u8, u16), u64>,
+    /// Completion cycles of the last `rob` instructions, oldest first.
+    window: VecDeque<u64>,
+    fetch_cycle: u64,
+    last_commit: u64,
+    committed_in_cycle: u64,
+    /// Instructions fed so far (warm-up included).
+    fed: u64,
+    base: Baseline,
+}
+
+impl OooCore {
+    /// Builds a cold core.
+    pub fn new(isa: &'static IsaSpec, cfg: &CoreConfig, ooo: &OooConfig) -> OooCore {
+        OooCore {
+            isa,
+            ooo: *ooo,
+            mispredict_penalty: cfg.mispredict_penalty,
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            pred: Predictor::new(cfg.predictor_entries),
+            reg_ready: HashMap::new(),
+            window: VecDeque::new(),
+            fetch_cycle: 0,
+            last_commit: 0,
+            committed_in_cycle: 0,
+            fed: 0,
+            base: Baseline::default(),
+        }
+    }
+
+    /// Current simulated cycle count (warm-up included).
+    fn cycles_now(&self) -> u64 {
+        self.last_commit.max(self.fetch_cycle)
+    }
+
+    /// Marks the end of a warm-up region: everything fed so far keeps its
+    /// microarchitectural effect (cache contents, predictor state, register
+    /// readiness) but is excluded from the reported instruction, cycle, and
+    /// miss counts. Sharded replay uses this for overlap warm-up.
+    pub fn mark_measurement_start(&mut self) {
+        self.base = Baseline {
+            cycles: self.cycles_now(),
+            insts: self.fed,
+            icache_misses: self.icache.misses,
+            dcache_misses: self.dcache.misses,
+            mispredicts: self.pred.mispredicts,
+        };
+    }
+
+    /// Feeds one published record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the record's architectural fault, if it carries one — the
+    /// stream ends at a fault, exactly as execute-driven simulation does.
+    pub fn feed(&mut self, di: &DynInst) -> Result<(), lis_core::Fault> {
+        if let Some(f) = di.fault {
+            return Err(f);
+        }
+        self.fed += 1;
+        // Fetch: bandwidth-limited, plus icache misses stall the front end.
+        self.fetch_cycle += self.icache.access(di.header.phys_pc);
+        // ROB: an instruction cannot enter until the oldest of the
+        // previous `rob` instructions has completed.
+        if self.window.len() == self.ooo.rob {
+            let oldest_done = self.window.pop_front().expect("rob nonempty");
+            self.fetch_cycle = self.fetch_cycle.max(oldest_done);
+        }
+        // Issue when sources are ready.
+        let mut ready = self.fetch_cycle + 1;
+        if let Some(ops) = di.operands() {
+            for s in ops.srcs() {
+                if let Some(&t) = self.reg_ready.get(&(s.class, s.index)) {
+                    ready = ready.max(t);
+                }
+            }
+        }
+        let Some(op) = di.field(F_OPCODE) else { return Ok(()) };
+        let mut done = ready + latency(self.isa, op as u16);
+        let class = self.isa.inst(op as u16).class;
+        if matches!(class, InstClass::Load | InstClass::Store) {
+            if let Some(ea) = di.field(F_EFF_ADDR) {
+                done += self.dcache.access(ea);
+            }
+        }
+        if let Some(ops) = di.operands() {
+            for d in ops.dests() {
+                self.reg_ready.insert((d.class, d.index), done);
+            }
+        }
+        // Branches redirect fetch when mispredicted, at resolution time.
+        if matches!(class, InstClass::Branch | InstClass::Jump) {
+            let taken = di.field(F_BR_TAKEN).unwrap_or(0) != 0;
+            let target = di.field(F_BR_TARGET).unwrap_or(di.header.next_pc);
+            if !self.pred.update(di.header.pc, taken, target) {
+                self.fetch_cycle = self.fetch_cycle.max(done + self.mispredict_penalty);
+            }
+        }
+        self.window.push_back(done);
+        // In-order commit, width per cycle.
+        if done > self.last_commit {
+            self.last_commit = done;
+            self.committed_in_cycle = 1;
+        } else {
+            self.committed_in_cycle += 1;
+            if self.committed_in_cycle >= self.ooo.width {
+                self.last_commit += 1;
+                self.committed_in_cycle = 0;
+            }
+        }
+        // Fetch bandwidth.
+        self.committed_in_cycle = self.committed_in_cycle.min(self.ooo.width);
+        if self.fed.is_multiple_of(self.ooo.width) {
+            self.fetch_cycle += 1;
+        }
+        Ok(())
+    }
+
+    /// The report for everything fed since the last
+    /// [`OooCore::mark_measurement_start`] (or since construction).
+    /// Interface-call counts, exit codes, and stdout belong to the
+    /// instruction *source*, so the frontend fills those in.
+    pub fn report(&self, organization: &'static str) -> TimingReport {
+        TimingReport {
+            organization,
+            cycles: self.cycles_now() - self.base.cycles,
+            insts: self.fed - self.base.insts,
+            icache_misses: self.icache.misses - self.base.icache_misses,
+            dcache_misses: self.dcache.misses - self.base.dcache_misses,
+            mispredicts: self.pred.mispredicts - self.base.mispredicts,
+            ..Default::default()
+        }
+    }
+}
+
 /// Runs the out-of-order model over a functional-first trace.
 ///
 /// # Errors
@@ -59,19 +229,8 @@ pub fn run_functional_first_ooo(
 ) -> Result<TimingReport, SimStop> {
     let mut sim = Simulator::new(isa, lis_core::BLOCK_DECODE).expect("block-decode is valid");
     sim.load_program(image).map_err(SimStop::Fault)?;
-    let mut icache = Cache::new(cfg.icache);
-    let mut dcache = Cache::new(cfg.dcache);
-    let mut pred = Predictor::new(cfg.predictor_entries);
-
-    // Dataflow bookkeeping.
-    let mut reg_ready: HashMap<(u8, u16), u64> = HashMap::new();
-    // Completion cycles of the last `rob` instructions, oldest first.
-    let mut window: std::collections::VecDeque<u64> = Default::default();
-    let mut fetch_cycle = 0u64;
-    let mut last_commit = 0u64;
-    let mut committed_in_cycle = 0u64;
+    let mut core = OooCore::new(isa, cfg, ooo);
     let mut trace: Vec<DynInst> = Vec::new();
-    let mut report = TimingReport { organization: "functional-first-ooo", ..Default::default() };
 
     while !sim.state.halted {
         if sim.stats.insts >= 200_000_000 {
@@ -79,72 +238,11 @@ pub fn run_functional_first_ooo(
         }
         sim.next_block(&mut trace)?;
         for di in &trace {
-            if let Some(f) = di.fault {
-                return Err(SimStop::Fault(f));
-            }
-            // Fetch: bandwidth-limited, plus icache misses stall the front end.
-            fetch_cycle += icache.access(di.header.phys_pc);
-            // ROB: an instruction cannot enter until the oldest of the
-            // previous `rob` instructions has completed.
-            if window.len() == ooo.rob {
-                let oldest_done = window.pop_front().expect("rob nonempty");
-                fetch_cycle = fetch_cycle.max(oldest_done);
-            }
-            // Issue when sources are ready.
-            let mut ready = fetch_cycle + 1;
-            if let Some(ops) = di.operands() {
-                for s in ops.srcs() {
-                    if let Some(&t) = reg_ready.get(&(s.class, s.index)) {
-                        ready = ready.max(t);
-                    }
-                }
-            }
-            let Some(op) = di.field(F_OPCODE) else { continue };
-            let mut done = ready + latency(isa, op as u16);
-            let class = isa.inst(op as u16).class;
-            if matches!(class, InstClass::Load | InstClass::Store) {
-                if let Some(ea) = di.field(F_EFF_ADDR) {
-                    done += dcache.access(ea);
-                }
-            }
-            if let Some(ops) = di.operands() {
-                for d in ops.dests() {
-                    reg_ready.insert((d.class, d.index), done);
-                }
-            }
-            // Branches redirect fetch when mispredicted, at resolution time.
-            if matches!(class, InstClass::Branch | InstClass::Jump) {
-                let taken = di.field(F_BR_TAKEN).unwrap_or(0) != 0;
-                let target = di.field(F_BR_TARGET).unwrap_or(di.header.next_pc);
-                if !pred.update(di.header.pc, taken, target) {
-                    fetch_cycle = fetch_cycle.max(done + cfg.mispredict_penalty);
-                }
-            }
-            window.push_back(done);
-            // In-order commit, width per cycle.
-            if done > last_commit {
-                last_commit = done;
-                committed_in_cycle = 1;
-            } else {
-                committed_in_cycle += 1;
-                if committed_in_cycle >= ooo.width {
-                    last_commit += 1;
-                    committed_in_cycle = 0;
-                }
-            }
-            // Fetch bandwidth.
-            committed_in_cycle = committed_in_cycle.min(ooo.width);
-            if sim.stats.insts.is_multiple_of(ooo.width) {
-                fetch_cycle += 1;
-            }
+            core.feed(di).map_err(SimStop::Fault)?;
         }
     }
-    report.cycles = last_commit.max(fetch_cycle);
-    report.insts = sim.stats.insts;
+    let mut report = core.report("functional-first-ooo");
     report.interface_calls = sim.stats.calls;
-    report.icache_misses = icache.misses;
-    report.dcache_misses = dcache.misses;
-    report.mispredicts = pred.mispredicts;
     report.exit_code = sim.state.exit_code;
     report.stdout = sim.stdout().to_vec();
     Ok(report)
@@ -158,5 +256,36 @@ mod tests {
     fn default_config_is_sane() {
         let c = OooConfig::default();
         assert!(c.width >= 1 && c.rob >= c.width as usize);
+    }
+
+    #[test]
+    fn measurement_baseline_subtracts() {
+        // A core that marks measurement start immediately after construction
+        // reports exactly what an unmarked core reports.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let mut a = OooCore::new(isa, &cfg, &OooConfig::default());
+        let mut b = OooCore::new(isa, &cfg, &OooConfig::default());
+        b.mark_measurement_start();
+        let mut di = DynInst::new();
+        di.header.pc = 0x1000;
+        di.header.phys_pc = 0x1000;
+        di.header.next_pc = 0x1004;
+        a.feed(&di).unwrap();
+        b.feed(&di).unwrap();
+        let (ra, rb) = (a.report("t"), b.report("t"));
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.insts, rb.insts);
+    }
+
+    #[test]
+    fn feed_returns_fault() {
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let mut core = OooCore::new(isa, &cfg, &OooConfig::default());
+        let mut di = DynInst::new();
+        di.fault = Some(lis_core::Fault::ArithOverflow);
+        assert!(core.feed(&di).is_err());
+        assert_eq!(core.report("t").insts, 0);
     }
 }

@@ -71,6 +71,50 @@ impl TimingReport {
             self.interface_calls as f64 / self.insts as f64
         }
     }
+
+    /// Folds another report into this one by summing every counter.
+    ///
+    /// Sharded replay produces one report per shard; the merge is the
+    /// aggregate over all measured regions. `exit_code` and `stdout` are
+    /// whole-program facts, not per-shard ones, so they are taken from
+    /// `other` only when this report has none (the caller feeds shards in
+    /// order, and only the final shard carries them).
+    pub fn merge(&mut self, other: &TimingReport) {
+        self.cycles += other.cycles;
+        self.insts += other.insts;
+        self.interface_calls += other.interface_calls;
+        self.icache_misses += other.icache_misses;
+        self.dcache_misses += other.dcache_misses;
+        self.mispredicts += other.mispredicts;
+        self.mismatches += other.mismatches;
+        self.rollbacks += other.rollbacks;
+        if self.stdout.is_empty() {
+            self.stdout = other.stdout.clone();
+        }
+        if self.exit_code == 0 {
+            self.exit_code = other.exit_code;
+        }
+    }
+
+    /// Renders the report as one flat JSON object (see `--stats-json`).
+    /// `stdout` is included as a string with non-UTF-8 bytes replaced.
+    pub fn to_json(&self) -> String {
+        let mut o = lis_core::JsonObj::new();
+        o.str("organization", self.organization)
+            .u64("cycles", self.cycles)
+            .u64("insts", self.insts)
+            .u64("interface_calls", self.interface_calls)
+            .u64("icache_misses", self.icache_misses)
+            .u64("dcache_misses", self.dcache_misses)
+            .u64("mispredicts", self.mispredicts)
+            .u64("mismatches", self.mismatches)
+            .u64("rollbacks", self.rollbacks)
+            .f64("ipc", self.ipc())
+            .f64("calls_per_inst", self.calls_per_inst())
+            .i64("exit_code", self.exit_code)
+            .str("stdout", &String::from_utf8_lossy(&self.stdout));
+        o.finish()
+    }
 }
 
 impl std::fmt::Display for TimingReport {
@@ -109,5 +153,41 @@ mod tests {
         assert!((r.calls_per_inst() - 7.0).abs() < 1e-12);
         assert_eq!(TimingReport::default().ipc(), 0.0);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TimingReport { cycles: 10, insts: 5, icache_misses: 1, ..Default::default() };
+        let b = TimingReport {
+            cycles: 20,
+            insts: 7,
+            mispredicts: 2,
+            exit_code: 3,
+            stdout: b"hi".to_vec(),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.insts, 12);
+        assert_eq!(a.icache_misses, 1);
+        assert_eq!(a.mispredicts, 2);
+        assert_eq!(a.exit_code, 3);
+        assert_eq!(a.stdout, b"hi");
+    }
+
+    #[test]
+    fn json_roundtrips_fields() {
+        let r = TimingReport {
+            organization: "test",
+            cycles: 2,
+            insts: 1,
+            stdout: b"x\n".to_vec(),
+            ..Default::default()
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"organization\":\"test\""));
+        assert!(j.contains("\"cycles\":2"));
+        assert!(j.contains("\"stdout\":\"x\\n\""));
     }
 }

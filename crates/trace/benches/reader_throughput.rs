@@ -1,0 +1,52 @@
+//! Reader throughput: records decoded per second from an in-memory trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lis_trace::{record, RecordOptions, Trace, TraceReader, TraceRecord};
+
+fn recorded_trace(isa: &str, kernel: &str) -> (Vec<u8>, u64) {
+    let spec = lis_workloads::spec_of(isa);
+    let image = lis_workloads::suite_of(isa)
+        .iter()
+        .find(|w| w.name == kernel)
+        .expect("kernel exists")
+        .assemble()
+        .expect("kernel assembles");
+    let mut bytes = Vec::new();
+    let opts = RecordOptions { kernel: kernel.to_string(), ..Default::default() };
+    let summary = record(spec, &image, &mut bytes, &opts).expect("record");
+    (bytes, summary.insts)
+}
+
+fn bench_reader(c: &mut Criterion) {
+    let (bytes, insts) = recorded_trace("alpha", "sieve");
+    let mut group = c.benchmark_group("trace_reader");
+    group.throughput(Throughput::Elements(insts));
+
+    group.bench_with_input(BenchmarkId::new("decode_all", "alpha-sieve"), &bytes, |b, bytes| {
+        b.iter(|| {
+            let trace = Trace::read_from(bytes.as_slice()).expect("read");
+            trace.records(None).expect("decode").len()
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("stream_chunks", "alpha-sieve"), &bytes, |b, bytes| {
+        b.iter(|| {
+            let mut r = TraceReader::open(bytes.as_slice()).expect("open");
+            let mut buf: Vec<TraceRecord> = Vec::new();
+            let mut n = 0usize;
+            while let Some(k) = r.next_chunk(&mut buf).expect("chunk") {
+                n += k;
+            }
+            n
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reader
+}
+criterion_main!(benches);

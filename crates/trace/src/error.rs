@@ -1,0 +1,101 @@
+//! Typed trace errors.
+
+use std::fmt;
+
+/// Why a trace could not be read or written.
+///
+/// Every decoder failure mode is a value here — a trace file is external
+/// input and must never be able to panic the reader, no matter how it was
+/// truncated, bit-flipped, or fabricated.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file ended in the middle of a frame or payload.
+    Truncated,
+    /// A chunk's stored CRC32 does not match its payload.
+    BadCrc {
+        /// Index of the failing frame (header = 0).
+        frame: usize,
+        /// CRC stored in the frame.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The byte stream decodes to something structurally impossible.
+    Corrupt(&'static str),
+    /// The header is self-consistent but names something this build does
+    /// not have (unknown ISA, unknown buildset).
+    BadHeader(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => f.write_str("not a LIS trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v} (reader supports {})", crate::VERSION)
+            }
+            TraceError::Truncated => f.write_str("trace truncated mid-frame"),
+            TraceError::BadCrc { frame, stored, computed } => write!(
+                f,
+                "frame {frame}: CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::BadHeader(what) => write!(f, "bad trace header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// Why a recording run could not complete.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The recording simulator could not be constructed.
+    Build(lis_runtime::BuildError),
+    /// The program image failed to load.
+    Load(lis_core::Fault),
+    /// The run stopped without halting (budget or deadline, not a fault —
+    /// faults are recorded in the trace and are a normal ending).
+    Stop(lis_runtime::SimStop),
+    /// Writing the trace failed.
+    Trace(TraceError),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Build(e) => write!(f, "record: build error: {e}"),
+            RecordError::Load(e) => write!(f, "record: image load fault: {e}"),
+            RecordError::Stop(e) => write!(f, "record: run did not halt: {e}"),
+            RecordError::Trace(e) => write!(f, "record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<TraceError> for RecordError {
+    fn from(e: TraceError) -> RecordError {
+        RecordError::Trace(e)
+    }
+}

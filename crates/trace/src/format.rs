@@ -1,0 +1,347 @@
+//! The container format: magic, frames, header and footer payloads.
+//!
+//! ```text
+//! file   := magic version frame*
+//! magic  := "LISTRACE"            (8 bytes)
+//! version:= u32 LE                (currently 1)
+//! frame  := kind:u8  payload_len:u32 LE  crc32:u32 LE  ninsts:u32 LE  payload
+//! kind   := 'H' (header, first) | 'D' (data chunk) | 'F' (footer, last)
+//! ```
+//!
+//! `crc32` covers the payload bytes; `ninsts` is the number of records in a
+//! `D` frame (0 for `H`/`F`). Data payloads target [`CHUNK_TARGET`] bytes
+//! and each decodes independently of every other chunk.
+
+use crate::error::TraceError;
+use crate::wire::{crc32, put_str, put_uv, Cursor};
+use lis_core::{Semantic, Visibility};
+use lis_runtime::SimStats;
+use std::io::{Read, Write};
+
+/// File magic, first 8 bytes of every trace.
+pub const MAGIC: &[u8; 8] = b"LISTRACE";
+
+/// Frame kind: self-describing header.
+pub const KIND_HEADER: u8 = b'H';
+/// Frame kind: data chunk of records.
+pub const KIND_DATA: u8 = b'D';
+/// Frame kind: footer with run totals.
+pub const KIND_FOOTER: u8 = b'F';
+
+/// Target payload size of one data chunk. A chunk is flushed as soon as its
+/// payload reaches this size, so real chunks span `CHUNK_TARGET` to roughly
+/// `CHUNK_TARGET` plus one record — and the flush rule is a pure function of
+/// the record stream, which keeps re-encoding byte-identical.
+pub const CHUNK_TARGET: usize = 64 * 1024;
+
+/// Upper bound accepted for any frame payload; a length field beyond this is
+/// corruption, not a big trace (real chunks are ~64 KiB).
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// The self-describing trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// ISA the trace was recorded on (`alpha`, `arm`, `ppc`).
+    pub isa: String,
+    /// Name of the buildset whose interface was recorded.
+    pub buildset: String,
+    /// The recorded visibility (field mask + operand identifiers).
+    pub visibility: Visibility,
+    /// Semantic level of the recording interface.
+    pub semantic: Semantic,
+    /// Whether the recording interface had speculation support.
+    pub speculation: bool,
+    /// Workload label (kernel name or a caller-chosen tag).
+    pub kernel: String,
+    /// Seed used to generate the workload (0 for fixed kernels).
+    pub seed: u64,
+    /// Field dictionary: `(field id, specification name)` for every field
+    /// the recording ISA declares — makes the trace self-describing even if
+    /// field numbering changes between toolkit versions.
+    pub fields: Vec<(u8, String)>,
+}
+
+impl TraceMeta {
+    /// Serializes the header payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.isa);
+        put_str(&mut out, &self.buildset);
+        put_uv(&mut out, self.visibility.fields.0);
+        out.push(u8::from(self.visibility.operand_ids));
+        out.push(match self.semantic {
+            Semantic::Block => 0,
+            Semantic::One => 1,
+            Semantic::Step => 2,
+        });
+        out.push(u8::from(self.speculation));
+        put_str(&mut out, &self.kernel);
+        put_uv(&mut out, self.seed);
+        put_uv(&mut out, self.fields.len() as u64);
+        for (id, name) in &self.fields {
+            out.push(*id);
+            put_str(&mut out, name);
+        }
+        out
+    }
+
+    /// Deserializes the header payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`]/[`TraceError::Truncated`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<TraceMeta, TraceError> {
+        let mut c = Cursor::new(payload);
+        let isa = c.str()?;
+        let buildset = c.str()?;
+        let mask = c.uv()?;
+        if mask & !lis_core::FieldSet::ALL.0 != 0 {
+            return Err(TraceError::Corrupt("visibility mask out of range"));
+        }
+        let operand_ids = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(TraceError::Corrupt("bad operand_ids flag")),
+        };
+        let semantic = match c.u8()? {
+            0 => Semantic::Block,
+            1 => Semantic::One,
+            2 => Semantic::Step,
+            _ => return Err(TraceError::Corrupt("bad semantic tag")),
+        };
+        let speculation = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(TraceError::Corrupt("bad speculation flag")),
+        };
+        let kernel = c.str()?;
+        let seed = c.uv()?;
+        let nfields = c.uv()?;
+        if nfields > lis_core::MAX_FIELDS as u64 {
+            return Err(TraceError::Corrupt("field dictionary too large"));
+        }
+        let mut fields = Vec::with_capacity(nfields as usize);
+        for _ in 0..nfields {
+            let id = c.u8()?;
+            fields.push((id, c.str()?));
+        }
+        if !c.at_end() {
+            return Err(TraceError::Corrupt("trailing bytes after header"));
+        }
+        Ok(TraceMeta {
+            isa,
+            buildset,
+            visibility: Visibility { fields: lis_core::FieldSet(mask), operand_ids },
+            semantic,
+            speculation,
+            kernel,
+            seed,
+            fields,
+        })
+    }
+}
+
+/// The trace footer: whole-run facts a replay cannot recompute from the
+/// record stream alone.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceFooter {
+    /// Total records in the trace (must equal the sum of chunk `ninsts`).
+    pub insts: u64,
+    /// Final engine statistics of the recording run.
+    pub stats: SimStats,
+    /// Program exit code.
+    pub exit_code: i64,
+    /// Whether the program halted (false when the trace ends at a fault).
+    pub halted: bool,
+    /// Captured program stdout.
+    pub stdout: Vec<u8>,
+}
+
+impl TraceFooter {
+    /// Serializes the footer payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_uv(&mut out, self.insts);
+        let s = &self.stats;
+        for v in [
+            s.insts,
+            s.calls,
+            s.blocks,
+            s.faults,
+            s.blocks_built,
+            s.checkpoints,
+            s.rollbacks,
+            s.fallback_blocks,
+        ] {
+            put_uv(&mut out, v);
+        }
+        crate::wire::put_iv(&mut out, self.exit_code);
+        out.push(u8::from(self.halted));
+        put_uv(&mut out, self.stdout.len() as u64);
+        out.extend_from_slice(&self.stdout);
+        out
+    }
+
+    /// Deserializes the footer payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`]/[`TraceError::Truncated`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<TraceFooter, TraceError> {
+        let mut c = Cursor::new(payload);
+        let insts = c.uv()?;
+        let stats = SimStats {
+            insts: c.uv()?,
+            calls: c.uv()?,
+            blocks: c.uv()?,
+            faults: c.uv()?,
+            blocks_built: c.uv()?,
+            checkpoints: c.uv()?,
+            rollbacks: c.uv()?,
+            fallback_blocks: c.uv()?,
+        };
+        let exit_code = c.iv()?;
+        let halted = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(TraceError::Corrupt("bad halted flag")),
+        };
+        let len = c.uv()?;
+        if len > MAX_PAYLOAD as u64 {
+            return Err(TraceError::Corrupt("stdout length out of range"));
+        }
+        let stdout = c.bytes(len as usize)?.to_vec();
+        if !c.at_end() {
+            return Err(TraceError::Corrupt("trailing bytes after footer"));
+        }
+        Ok(TraceFooter { insts, stats, exit_code, halted, stdout })
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on write failure.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: u8,
+    ninsts: u32,
+    payload: &[u8],
+) -> Result<(), TraceError> {
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(&ninsts.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// One frame as read from a stream.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame kind byte.
+    pub kind: u8,
+    /// Records in this frame (data frames only).
+    pub ninsts: u32,
+    /// Verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Reads the next frame, verifying its CRC. Returns `Ok(None)` at a clean
+/// end of stream (EOF exactly at a frame boundary).
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] on a partial frame, [`TraceError::BadCrc`] on
+/// an integrity failure, [`TraceError::Corrupt`] on an unknown kind or an
+/// absurd length. `frame_index` is used only for error reporting.
+pub fn read_frame(r: &mut impl Read, frame_index: usize) -> Result<Option<Frame>, TraceError> {
+    let mut kind = [0u8; 1];
+    match r.read(&mut kind)? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!(),
+    }
+    let kind = kind[0];
+    if !matches!(kind, KIND_HEADER | KIND_DATA | KIND_FOOTER) {
+        return Err(TraceError::Corrupt("unknown frame kind"));
+    }
+    let mut fixed = [0u8; 12];
+    r.read_exact(&mut fixed).map_err(|_| TraceError::Truncated)?;
+    let len = u32::from_le_bytes(fixed[0..4].try_into().expect("4 bytes")) as usize;
+    let stored = u32::from_le_bytes(fixed[4..8].try_into().expect("4 bytes"));
+    let ninsts = u32::from_le_bytes(fixed[8..12].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(TraceError::Corrupt("frame payload length out of range"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|_| TraceError::Truncated)?;
+    let computed = crc32(&payload);
+    if computed != stored {
+        return Err(TraceError::BadCrc { frame: frame_index, stored, computed });
+    }
+    Ok(Some(Frame { kind, ninsts, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            isa: "alpha".into(),
+            buildset: "block-all".into(),
+            visibility: Visibility::ALL,
+            semantic: Semantic::Block,
+            speculation: false,
+            kernel: "sieve".into(),
+            seed: 42,
+            fields: vec![(9, "opcode".into()), (16, "shift_out".into())],
+        }
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let m = meta();
+        assert_eq!(TraceMeta::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let f = TraceFooter {
+            insts: 1234,
+            stats: SimStats { insts: 1234, calls: 99, ..Default::default() },
+            exit_code: -7,
+            halted: true,
+            stdout: b"out\n".to_vec(),
+        };
+        assert_eq!(TraceFooter::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn frame_round_trip_and_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_DATA, 3, b"payload").unwrap();
+        let f = read_frame(&mut buf.as_slice(), 1).unwrap().unwrap();
+        assert_eq!((f.kind, f.ninsts, f.payload.as_slice()), (KIND_DATA, 3, &b"payload"[..]));
+        // Flip a payload bit: CRC must catch it.
+        let n = buf.len();
+        buf[n - 1] ^= 1;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1),
+            Err(TraceError::BadCrc { frame: 1, .. })
+        ));
+        // Truncate mid-payload.
+        buf.truncate(n - 3);
+        assert!(matches!(read_frame(&mut buf.as_slice(), 1), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn hostile_meta_rejected() {
+        assert!(TraceMeta::decode(&[]).is_err());
+        let mut p = meta().encode();
+        p.push(0); // trailing garbage
+        assert!(matches!(TraceMeta::decode(&p), Err(TraceError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,125 @@
+//! Recording: run a program once, capture the published record stream.
+
+use crate::error::{RecordError, TraceError};
+use crate::format::{TraceFooter, TraceMeta, CHUNK_TARGET};
+use crate::writer::TraceWriter;
+use lis_core::{BuildsetDef, IsaSpec, BLOCK_ALL};
+use lis_mem::Image;
+use lis_runtime::{SimStop, Simulator};
+use std::io::Write;
+
+/// Options for one recording run.
+#[derive(Debug, Clone)]
+pub struct RecordOptions {
+    /// Interface to record. Default [`BLOCK_ALL`] — maximum informational
+    /// detail at block semantic, so every lower-detail trace can later be
+    /// derived by projection (record once, replay anywhere).
+    pub buildset: BuildsetDef,
+    /// Workload label written into the header.
+    pub kernel: String,
+    /// Generator seed written into the header (0 for fixed kernels).
+    pub seed: u64,
+    /// Instruction budget.
+    pub max_insts: u64,
+    /// Chunk payload target in bytes.
+    pub chunk_target: usize,
+}
+
+impl Default for RecordOptions {
+    fn default() -> Self {
+        RecordOptions {
+            buildset: BLOCK_ALL,
+            kernel: String::new(),
+            seed: 0,
+            max_insts: 200_000_000,
+            chunk_target: CHUNK_TARGET,
+        }
+    }
+}
+
+/// What a recording run produced.
+#[derive(Debug, Clone)]
+pub struct RecordSummary {
+    /// Records written.
+    pub insts: u64,
+    /// Whether the program halted (false: the trace ends at a fault).
+    pub halted: bool,
+    /// Program exit code.
+    pub exit_code: i64,
+    /// The fault that ended the run, when not halted.
+    pub fault: Option<lis_core::Fault>,
+}
+
+/// Builds the self-describing header for a `(spec, opts)` pair.
+pub fn meta_for(spec: &IsaSpec, opts: &RecordOptions) -> TraceMeta {
+    TraceMeta {
+        isa: spec.name.to_string(),
+        buildset: opts.buildset.name.to_string(),
+        visibility: opts.buildset.visibility,
+        semantic: opts.buildset.semantic,
+        speculation: opts.buildset.speculation,
+        kernel: opts.kernel.clone(),
+        seed: opts.seed,
+        fields: spec.all_fields().map(|d| (d.id.0, d.name.to_string())).collect(),
+    }
+}
+
+/// Runs `image` on a fresh simulator and streams every published record
+/// into `w` as a complete trace (header, chunks, footer).
+///
+/// A program that ends in an architectural fault still records a complete
+/// trace — the faulting record is the last one and the footer says
+/// `halted: false` — because a fault is information, not an error.
+///
+/// # Errors
+///
+/// [`RecordError::Stop`] when the run ends by budget or deadline instead of
+/// halt/fault (the trace file is left incomplete), plus construction, load,
+/// and I/O failures.
+pub fn record<W: Write>(
+    spec: &'static IsaSpec,
+    image: &Image,
+    w: W,
+    opts: &RecordOptions,
+) -> Result<RecordSummary, RecordError> {
+    let mut sim = Simulator::new(spec, opts.buildset).map_err(RecordError::Build)?;
+    sim.load_program(image).map_err(RecordError::Load)?;
+
+    let meta = meta_for(spec, opts);
+    let mut writer = TraceWriter::with_chunk_target(w, &meta, opts.chunk_target)?;
+
+    // The sink cannot return an error, so the first write failure is parked
+    // here and re-raised after the run ends.
+    let mut write_err: Option<TraceError> = None;
+    let result = sim.run_with_sink(opts.max_insts, |di| {
+        if write_err.is_none() {
+            if let Err(e) = writer.push_dyninst(di) {
+                write_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e.into());
+    }
+    let fault = match result {
+        Ok(_) => None,
+        Err(SimStop::Fault(f)) => Some(f),
+        Err(stop) => return Err(RecordError::Stop(stop)),
+    };
+
+    let footer = TraceFooter {
+        insts: writer.len(),
+        stats: sim.stats,
+        exit_code: sim.state.exit_code,
+        halted: sim.state.halted,
+        stdout: sim.stdout().to_vec(),
+    };
+    let summary = RecordSummary {
+        insts: footer.insts,
+        halted: footer.halted,
+        exit_code: footer.exit_code,
+        fault,
+    };
+    writer.finish(&footer)?;
+    Ok(summary)
+}

@@ -1,0 +1,127 @@
+//! The golden replay property: a trace recorded once at maximum detail and
+//! replayed through the out-of-order consumer produces **the same timing
+//! report** as the execute-driven functional-first simulation — for every
+//! kernel on every ISA. Sharded replay preserves the exact instruction
+//! counts and whole-run facts, and is deterministic.
+
+use lis_timing::{run_functional_first_ooo, CoreConfig, OooConfig, TimingReport};
+use lis_trace::{record, replay_ooo, RecordOptions, ReplayConfig, Trace};
+use lis_workloads::{spec_of, suite_of, ISAS};
+
+/// Records a kernel at maximum detail with small chunks (so sharding has
+/// boundaries to split at) and loads the trace back.
+fn trace_of(isa: &str, kernel: &str) -> Trace {
+    let spec = spec_of(isa);
+    let image = lis_workloads::kernel(isa, kernel)
+        .expect("kernel exists")
+        .assemble()
+        .expect("kernel assembles");
+    let mut bytes = Vec::new();
+    let opts =
+        RecordOptions { kernel: kernel.to_string(), chunk_target: 4096, ..Default::default() };
+    record(spec, &image, &mut bytes, &opts).expect("recording succeeds");
+    Trace::read_from(bytes.as_slice()).expect("trace reads back")
+}
+
+fn execute_driven(isa: &str, kernel: &str) -> TimingReport {
+    let spec = spec_of(isa);
+    let image = lis_workloads::kernel(isa, kernel)
+        .expect("kernel exists")
+        .assemble()
+        .expect("kernel assembles");
+    run_functional_first_ooo(spec, &image, &CoreConfig::default(), &OooConfig::default())
+        .expect("kernel halts")
+}
+
+fn assert_reports_equal(live: &TimingReport, replayed: &TimingReport, label: &str) {
+    assert_eq!(replayed.cycles, live.cycles, "{label}: cycles");
+    assert_eq!(replayed.insts, live.insts, "{label}: insts");
+    assert_eq!(replayed.interface_calls, live.interface_calls, "{label}: interface calls");
+    assert_eq!(replayed.icache_misses, live.icache_misses, "{label}: icache misses");
+    assert_eq!(replayed.dcache_misses, live.dcache_misses, "{label}: dcache misses");
+    assert_eq!(replayed.mispredicts, live.mispredicts, "{label}: mispredicts");
+    assert_eq!(replayed.exit_code, live.exit_code, "{label}: exit code");
+    assert_eq!(replayed.stdout, live.stdout, "{label}: stdout");
+}
+
+#[test]
+fn single_shard_replay_is_bit_identical_to_execute_driven() {
+    for isa in ISAS {
+        for w in suite_of(isa) {
+            let label = format!("{isa}/{}", w.name);
+            let live = execute_driven(isa, w.name);
+            let trace = trace_of(isa, w.name);
+            let replayed = replay_ooo(spec_of(isa), &trace, &ReplayConfig::default())
+                .expect("replay succeeds");
+            assert_reports_equal(&live, &replayed, &label);
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_preserves_counts_and_is_deterministic() {
+    for isa in ISAS {
+        let label = format!("{isa}/sieve sharded");
+        let live = execute_driven(isa, "sieve");
+        let trace = trace_of(isa, "sieve");
+        assert!(trace.chunks.len() >= 4, "{label}: enough chunks to shard");
+
+        let cfg = ReplayConfig { shards: 4, ..Default::default() };
+        let a = replay_ooo(spec_of(isa), &trace, &cfg).expect("replay succeeds");
+        let b = replay_ooo(spec_of(isa), &trace, &cfg).expect("replay succeeds");
+
+        // Exact: instruction counts and whole-run facts survive sharding.
+        assert_eq!(a.insts, live.insts, "{label}: insts merge exactly");
+        assert_eq!(a.interface_calls, live.interface_calls, "{label}: interface calls");
+        assert_eq!(a.exit_code, live.exit_code, "{label}: exit code");
+        assert_eq!(a.stdout, live.stdout, "{label}: stdout");
+
+        // Deterministic: the same sharded replay twice is identical,
+        // cycles included.
+        assert_eq!(a.cycles, b.cycles, "{label}: deterministic cycles");
+        assert_eq!(a.insts, b.insts, "{label}: deterministic insts");
+        assert_eq!(a.icache_misses, b.icache_misses, "{label}: deterministic icache");
+        assert_eq!(a.dcache_misses, b.dcache_misses, "{label}: deterministic dcache");
+        assert_eq!(a.mispredicts, b.mispredicts, "{label}: deterministic mispredicts");
+
+        // Approximate: warmed-up shards land near the sequential cycle
+        // count (warm-up bounds the cold-start error, it cannot erase it).
+        let lo = live.cycles - live.cycles / 5;
+        let hi = live.cycles + live.cycles / 5;
+        assert!(
+            (lo..=hi).contains(&a.cycles),
+            "{label}: sharded cycles {} not within 20% of sequential {}",
+            a.cycles,
+            live.cycles
+        );
+    }
+}
+
+#[test]
+fn oversharding_degrades_gracefully() {
+    // More shards than chunks: clamps, still exact on instruction counts.
+    let live = execute_driven("alpha", "strrev");
+    let trace = trace_of("alpha", "strrev");
+    let cfg = ReplayConfig { shards: 64, ..Default::default() };
+    let r = replay_ooo(spec_of("alpha"), &trace, &cfg).expect("replay succeeds");
+    assert_eq!(r.insts, live.insts);
+    assert_eq!(r.stdout, live.stdout);
+}
+
+#[test]
+fn replay_of_a_faulting_program_reports_the_measured_prefix() {
+    // A program that faults mid-run still records a complete trace; replay
+    // consumes it and reports the work up to the fault.
+    let spec = spec_of("alpha");
+    let src = "_start:\n    .word 0\n";
+    let image = lis_workloads::assemble_source("alpha", src).expect("assembles");
+    let mut bytes = Vec::new();
+    let opts = RecordOptions { kernel: "fault".to_string(), ..Default::default() };
+    let summary = record(spec, &image, &mut bytes, &opts).expect("fault is a complete trace");
+    assert!(!summary.halted);
+    assert!(summary.fault.is_some());
+
+    let trace = Trace::read_from(bytes.as_slice()).expect("trace reads back");
+    let r = replay_ooo(spec, &trace, &ReplayConfig::default()).expect("replay succeeds");
+    assert!(r.insts <= trace.insts(), "faulting record ends the stream");
+}

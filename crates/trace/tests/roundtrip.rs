@@ -1,0 +1,120 @@
+//! Lossless round-trip and projection properties of the trace format.
+//!
+//! * decode → re-encode is **byte-identical** (the encoding is canonical:
+//!   deterministic flush rule, per-chunk delta reset, zeroed hidden slots);
+//! * projecting to the trace's own visibility is the identity;
+//! * projecting a maximum-detail recording down to a lower visibility
+//!   yields exactly the record stream a direct lower-detail recording
+//!   publishes — the single-specification principle, on data.
+
+use lis_core::{Visibility, BLOCK_ALL, BLOCK_DECODE};
+use lis_mem::Image;
+use lis_trace::{record, RecordOptions, Trace, TraceWriter};
+use lis_workloads::{assemble_source, gen::random_program, kernel, spec_of, ISAS};
+
+/// Small chunk target so even short programs span several chunks.
+const CHUNK: usize = 2048;
+
+fn programs(isa: &str) -> Vec<(String, Image)> {
+    let mut out = Vec::new();
+    let w = kernel(isa, "sieve").expect("sieve exists");
+    out.push(("sieve".to_string(), w.assemble().expect("kernel assembles")));
+    for seed in [1u64, 2, 3] {
+        let src = random_program(isa, seed, 80);
+        let image = assemble_source(isa, &src).expect("generated program assembles");
+        out.push((format!("rand-{seed}"), image));
+    }
+    out
+}
+
+fn record_with(isa: &str, image: &Image, name: &str, buildset: lis_core::BuildsetDef) -> Vec<u8> {
+    let spec = spec_of(isa);
+    let mut bytes = Vec::new();
+    let opts = RecordOptions {
+        buildset,
+        kernel: name.to_string(),
+        chunk_target: CHUNK,
+        ..Default::default()
+    };
+    record(spec, image, &mut bytes, &opts).expect("recording succeeds");
+    bytes
+}
+
+#[test]
+fn rerecord_is_byte_identical() {
+    for isa in ISAS {
+        for (name, image) in programs(isa) {
+            let bytes = record_with(isa, &image, &name, BLOCK_ALL);
+            let trace = Trace::read_from(bytes.as_slice()).expect("trace reads back");
+            let records = trace.records(None).expect("records decode");
+            assert_eq!(records.len() as u64, trace.insts(), "{isa}/{name}: record count");
+
+            let mut rewritten = TraceWriter::with_chunk_target(Vec::new(), &trace.meta, CHUNK)
+                .expect("writer opens");
+            for rec in &records {
+                rewritten.push(rec).expect("record re-encodes");
+            }
+            let rewritten = rewritten.finish(&trace.footer).expect("footer writes");
+            assert_eq!(rewritten, bytes, "{isa}/{name}: decode → re-encode must be byte-identical");
+        }
+    }
+}
+
+#[test]
+fn projecting_to_own_visibility_is_identity() {
+    for isa in ISAS {
+        let (name, image) = &programs(isa)[0];
+        let bytes = record_with(isa, image, name, BLOCK_ALL);
+        let trace = Trace::read_from(bytes.as_slice()).expect("trace reads back");
+        let plain = trace.records(None).expect("records decode");
+        // BLOCK_ALL records carry full visibility, so both the trace's own
+        // mask and Visibility::ALL must leave every record untouched.
+        for vis in [trace.meta.visibility, Visibility::ALL] {
+            let projected = trace.records(Some(vis)).expect("projection decodes");
+            assert_eq!(projected, plain, "{isa}: full-visibility projection is identity");
+        }
+    }
+}
+
+#[test]
+fn projection_matches_direct_lower_detail_recording() {
+    for isa in ISAS {
+        for (name, image) in programs(isa) {
+            let full = record_with(isa, &image, &name, BLOCK_ALL);
+            let direct = record_with(isa, &image, &name, BLOCK_DECODE);
+
+            let full = Trace::read_from(full.as_slice()).expect("full trace reads");
+            let direct = Trace::read_from(direct.as_slice()).expect("direct trace reads");
+
+            // Same program, same block semantic: identical retirement stream
+            // and identical whole-run interface statistics.
+            assert_eq!(full.insts(), direct.insts(), "{isa}/{name}: record counts");
+            assert_eq!(
+                full.footer.stats.calls, direct.footer.stats.calls,
+                "{isa}/{name}: interface call counts"
+            );
+
+            let projected =
+                full.records(Some(BLOCK_DECODE.visibility)).expect("projection decodes");
+            let published = direct.records(None).expect("direct records decode");
+            assert_eq!(
+                projected, published,
+                "{isa}/{name}: projecting the max-detail trace must equal the \
+                 record stream a direct BLOCK_DECODE run publishes"
+            );
+        }
+    }
+}
+
+#[test]
+fn header_describes_the_recording() {
+    let (name, image) = &programs("alpha")[0];
+    let bytes = record_with("alpha", image, name, BLOCK_ALL);
+    let trace = Trace::read_from(bytes.as_slice()).expect("trace reads back");
+    assert_eq!(trace.meta.isa, "alpha");
+    assert_eq!(trace.meta.buildset, BLOCK_ALL.name);
+    assert_eq!(trace.meta.kernel, "sieve");
+    assert!(!trace.meta.fields.is_empty(), "field dictionary present");
+    assert!(trace.footer.halted, "sieve halts");
+    assert!(trace.chunks.len() > 1, "small chunk target yields several chunks");
+}

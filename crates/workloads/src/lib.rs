@@ -105,5 +105,26 @@ pub fn suite_of(isa: &str) -> &'static [Workload] {
     }
 }
 
+/// Looks up one suite kernel by ISA and name.
+pub fn kernel(isa: &str, name: &str) -> Option<&'static Workload> {
+    suite_of(isa).iter().find(|w| w.name == name)
+}
+
+/// Assembles arbitrary source text for an ISA by name — the one place that
+/// routes to the per-ISA assemblers (generated programs use this; suite
+/// kernels go through [`Workload::assemble`]).
+///
+/// # Errors
+///
+/// Returns the assembler error.
+pub fn assemble_source(isa: &str, src: &str) -> Result<Image, lis_asm::AsmError> {
+    match isa {
+        "alpha" => lis_isa_alpha::assemble(src),
+        "arm" => lis_isa_arm::assemble(src),
+        "ppc" => lis_isa_ppc::assemble(src),
+        other => unreachable!("unknown ISA {other}"),
+    }
+}
+
 /// All three ISA names, in the paper's order.
 pub const ISAS: [&str; 3] = ["alpha", "arm", "ppc"];
