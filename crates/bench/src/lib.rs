@@ -19,6 +19,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod sweep;
+
+pub use sweep::{
+    run_sweep, CellResult, RatioRow, SweepCell, SweepConfig, SweepReport, BASELINE_BUILDSET,
+};
+
 use lis_core::{BuildsetDef, Semantic, STANDARD_BUILDSETS};
 use lis_runtime::{Backend, Simulator};
 use lis_workloads::{spec_of, suite_of, ISAS};

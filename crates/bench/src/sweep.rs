@@ -1,0 +1,626 @@
+//! The parallel full-matrix sweep engine behind `lis sweep`.
+//!
+//! The paper's core result is a *matrix* — 12 standard buildsets × 3 ISAs,
+//! with detail costing up to 14.4× — and this module produces that whole
+//! matrix in one command. Every (buildset × ISA × kernel × backend) cell is
+//! an isolated job: a fresh simulator, run to halt, its [`SimStats`]
+//! captured. Jobs are distributed over a pool of `std::thread` workers
+//! pulling from a shared atomic counter (work stealing without a dependency)
+//! and the per-cell results are re-assembled in matrix order, so the output
+//! is independent of scheduling.
+//!
+//! ## Why ratios are bit-identical
+//!
+//! The sweep's headline table is *detail-cost ratios*, not MIPS. Each cell's
+//! cost is [`SimStats::detail_units`] per retired instruction — interface
+//! calls + published field stores + operand-set publications + undo records,
+//! all deterministic counters — normalized to the `block-min` cell of the
+//! same (ISA, kernel, backend) block, the paper's 1.0 baseline. Because no
+//! wall-clock enters the metric, `BENCH_sweep.json` is byte-identical across
+//! repeated runs, hosts, and any `--jobs` count. Wall-clock MIPS can be
+//! added per cell with [`SweepConfig::measure_time`], which is explicitly
+//! opt-in because it forfeits that guarantee.
+
+use crate::semantic_rank;
+use lis_core::{BuildsetDef, JsonObj, STANDARD_BUILDSETS};
+use lis_harness::{backend_name, Watchdog};
+use lis_runtime::{Backend, SimStats, SimStop, Simulator};
+use lis_workloads::{spec_of, suite_of, ISAS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The buildset every block is normalized against (the paper's 1.0 row).
+pub const BASELINE_BUILDSET: &str = "block-min";
+
+/// Instructions between watchdog checks when driving one cell.
+const CELL_STRIDE: u64 = 65_536;
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads; 0 = one per available core. Always clamped to the
+    /// number of cells.
+    pub jobs: usize,
+    /// Kernel subset (empty = the full suite). Names are validated before
+    /// any thread spawns.
+    pub kernels: Vec<String>,
+    /// Backends to sweep (default: cached only).
+    pub backends: Vec<Backend>,
+    /// Per-cell instruction budget (kernels halt far below it; the budget
+    /// is a runaway guard, not a truncation).
+    pub max_insts: u64,
+    /// Per-cell wall-clock watchdog; a wedged cell is marked, not hung on.
+    pub deadline: Option<Duration>,
+    /// Include wall-clock timing (per-cell seconds and MIPS, pool size,
+    /// elapsed) in the JSON. Off by default: timing is host noise and
+    /// breaks the bit-identical-output guarantee.
+    pub measure_time: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            jobs: 0,
+            kernels: Vec::new(),
+            backends: vec![Backend::Cached],
+            max_insts: 50_000_000,
+            deadline: Some(Duration::from_secs(120)),
+            measure_time: false,
+        }
+    }
+}
+
+/// One cell of the sweep matrix, before execution.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// ISA name.
+    pub isa: &'static str,
+    /// Interface buildset.
+    pub buildset: BuildsetDef,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Execution backend.
+    pub backend: Backend,
+}
+
+/// One executed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// ISA name.
+    pub isa: &'static str,
+    /// Buildset name.
+    pub buildset: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Final engine statistics.
+    pub stats: SimStats,
+    /// Whether the kernel ran to completion.
+    pub halted: bool,
+    /// Guest exit code.
+    pub exit_code: i64,
+    /// Whether the per-cell watchdog expired.
+    pub deadline_expired: bool,
+    /// Fault that ended the run, rendered, if any.
+    pub fault: Option<String>,
+    /// Deterministic detail-work units per retired instruction.
+    pub units_per_inst: f64,
+    /// `units_per_inst` normalized to this block's `block-min` cell.
+    pub ratio: f64,
+    /// Wall-clock seconds for the cell (reported only with `measure_time`).
+    pub secs: f64,
+}
+
+/// One row of the aggregated ratio table: a (buildset, backend) pair with
+/// per-ISA geometric means over the kernel set.
+#[derive(Debug, Clone)]
+pub struct RatioRow {
+    /// Buildset name.
+    pub buildset: &'static str,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Geometric-mean detail units per instruction, indexed like [`ISAS`].
+    pub units_per_inst: [f64; 3],
+    /// Geometric-mean ratio vs `block-min`, indexed like [`ISAS`].
+    pub ratio: [f64; 3],
+}
+
+/// Everything one sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-cell results, in matrix order (backend, ISA, buildset, kernel).
+    pub cells: Vec<CellResult>,
+    /// Aggregated ratio table, one row per (buildset, backend).
+    pub table: Vec<RatioRow>,
+    /// Kernels actually swept.
+    pub kernels: Vec<&'static str>,
+    /// Backends actually swept.
+    pub backends: Vec<Backend>,
+    /// Instruction budget per cell.
+    pub max_insts: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whole-sweep wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Whether timing fields belong in the JSON.
+    pub measure_time: bool,
+}
+
+/// Resolves a requested job count against the cell count: 0 means one per
+/// available core, and the result is always within `[1, cells]` — a pool
+/// can neither be empty nor larger than its work list.
+pub fn resolve_jobs(requested: usize, cells: usize) -> usize {
+    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let j = if requested == 0 { auto } else { requested };
+    j.clamp(1, cells.max(1))
+}
+
+/// Validates a kernel subset against the suite (which is identical across
+/// ISAs by construction). Empty means the full suite.
+///
+/// # Errors
+///
+/// A human-readable message naming the unknown kernel and the valid names.
+pub fn resolve_kernels(requested: &[String]) -> Result<Vec<&'static str>, String> {
+    let all: Vec<&'static str> = suite_of("alpha").iter().map(|w| w.name).collect();
+    if requested.is_empty() {
+        return Ok(all);
+    }
+    let mut out = Vec::with_capacity(requested.len());
+    for k in requested {
+        match all.iter().find(|n| **n == k.as_str()) {
+            Some(n) => out.push(*n),
+            None => return Err(format!("unknown kernel '{k}' (valid: {})", all.join(", "))),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the full cell list in canonical matrix order.
+pub fn sweep_cells(kernels: &[&'static str], backends: &[Backend]) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(backends.len() * ISAS.len() * STANDARD_BUILDSETS.len());
+    for &backend in backends {
+        for isa in ISAS {
+            for &buildset in &STANDARD_BUILDSETS {
+                for &kernel in kernels {
+                    cells.push(SweepCell { isa, buildset, kernel, backend });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one isolated cell: fresh simulator, run to halt under the budget and
+/// the per-cell watchdog (the same [`Watchdog`] the chaos harness uses).
+fn run_cell(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
+    let image = lis_workloads::kernel(cell.isa, cell.kernel)
+        .expect("kernel validated before dispatch")
+        .assemble()
+        .expect("suite kernels assemble");
+    let mut sim =
+        Simulator::new(spec_of(cell.isa), cell.buildset).expect("standard buildsets are valid");
+    sim.set_backend(cell.backend);
+    sim.load_program(&image).expect("suite kernels load");
+
+    let mut watchdog = Watchdog::new(cfg.deadline);
+    let t0 = Instant::now();
+    let mut deadline_expired = false;
+    let mut fault = None;
+    loop {
+        if sim.state.halted || sim.stats.insts >= cfg.max_insts {
+            break;
+        }
+        if watchdog.expired() {
+            deadline_expired = true;
+            break;
+        }
+        let budget = CELL_STRIDE.min(cfg.max_insts - sim.stats.insts);
+        match sim.run_to_halt(budget) {
+            Ok(_) => break,
+            Err(SimStop::MaxInsts) => continue,
+            Err(SimStop::Deadline) => {
+                deadline_expired = true;
+                break;
+            }
+            Err(SimStop::Fault(f)) => {
+                fault = Some(f.to_string());
+                break;
+            }
+            Err(other) => {
+                fault = Some(format!("{other:?}"));
+                break;
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = sim.stats;
+    let units_per_inst =
+        if stats.insts == 0 { 0.0 } else { stats.detail_units() as f64 / stats.insts as f64 };
+    CellResult {
+        isa: cell.isa,
+        buildset: cell.buildset.name,
+        kernel: cell.kernel,
+        backend: cell.backend,
+        stats,
+        halted: sim.state.halted,
+        exit_code: sim.state.exit_code,
+        deadline_expired,
+        fault,
+        units_per_inst,
+        ratio: 0.0,
+        secs,
+    }
+}
+
+fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Runs the whole sweep: builds the matrix, executes every cell across the
+/// worker pool, normalizes ratios, and aggregates the table.
+///
+/// # Errors
+///
+/// A usage-level message (unknown kernel, empty backend list) before any
+/// work starts; cell-level trouble (fault, deadline) is recorded in the
+/// cell, never an error.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
+    if cfg.backends.is_empty() {
+        return Err("no backends selected".into());
+    }
+    let kernels = resolve_kernels(&cfg.kernels)?;
+    let cells = sweep_cells(&kernels, &cfg.backends);
+    let jobs = resolve_jobs(cfg.jobs, cells.len());
+    let t0 = Instant::now();
+
+    // Work sharing: workers pull the next cell index from a shared counter,
+    // so a slow cell (step-all-spec) never serializes the fast ones behind
+    // it. Results carry their index and are re-sorted into matrix order —
+    // the output never depends on which worker ran what.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let cells = &cells;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                if tx.send((i, run_cell(&cells[i], cfg))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut indexed: Vec<(usize, CellResult)> = rx.into_iter().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    let mut results: Vec<CellResult> = indexed.into_iter().map(|(_, r)| r).collect();
+
+    // Normalize: each (ISA, kernel, backend) block against its own
+    // block-min cell — the paper's 1.0 baseline.
+    let mut baseline: HashMap<(&str, &str, &str), f64> = HashMap::new();
+    for c in &results {
+        if c.buildset == BASELINE_BUILDSET {
+            baseline.insert((c.isa, c.kernel, backend_name(c.backend)), c.units_per_inst);
+        }
+    }
+    for c in &mut results {
+        let base =
+            baseline.get(&(c.isa, c.kernel, backend_name(c.backend))).copied().unwrap_or_default();
+        c.ratio = if base > 0.0 { c.units_per_inst / base } else { 0.0 };
+    }
+
+    // Aggregate: geometric mean over kernels per (buildset, backend, ISA).
+    let mut table = Vec::new();
+    for &backend in &cfg.backends {
+        for bs in &STANDARD_BUILDSETS {
+            let mut upi = [0.0f64; 3];
+            let mut ratio = [0.0f64; 3];
+            for (k, isa) in ISAS.iter().enumerate() {
+                let block: Vec<&CellResult> = results
+                    .iter()
+                    .filter(|c| c.buildset == bs.name && c.isa == *isa && c.backend == backend)
+                    .collect();
+                upi[k] = geomean(&block.iter().map(|c| c.units_per_inst).collect::<Vec<_>>());
+                ratio[k] = geomean(&block.iter().map(|c| c.ratio).collect::<Vec<_>>());
+            }
+            table.push(RatioRow { buildset: bs.name, backend, units_per_inst: upi, ratio });
+        }
+    }
+
+    Ok(SweepReport {
+        cells: results,
+        table,
+        kernels,
+        backends: cfg.backends.clone(),
+        max_insts: cfg.max_insts,
+        jobs,
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        measure_time: cfg.measure_time,
+    })
+}
+
+fn json_str_array<S: AsRef<str>>(items: &[S]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        lis_core::write_json_str(&mut out, s.as_ref());
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the whole sweep as one JSON document (`BENCH_sweep.json`).
+/// Deterministic by construction unless `measure_time` was set.
+pub fn to_json(r: &SweepReport) -> String {
+    let mut o = JsonObj::new();
+    o.str("schema", "lis-sweep-v1");
+    o.str("baseline", BASELINE_BUILDSET);
+    o.raw("isas", &json_str_array(&ISAS));
+    o.raw(
+        "buildsets",
+        &json_str_array(&STANDARD_BUILDSETS.iter().map(|b| b.name).collect::<Vec<_>>()),
+    );
+    o.raw("kernels", &json_str_array(&r.kernels));
+    o.raw(
+        "backends",
+        &json_str_array(&r.backends.iter().map(|b| backend_name(*b)).collect::<Vec<_>>()),
+    );
+    o.u64("max_insts", r.max_insts);
+    if r.measure_time {
+        o.u64("jobs", r.jobs as u64);
+        o.f64("elapsed_secs", r.elapsed_secs);
+    }
+
+    let mut cells = String::from("[");
+    for (i, c) in r.cells.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        let mut co = JsonObj::new();
+        co.str("isa", c.isa)
+            .str("buildset", c.buildset)
+            .str("kernel", c.kernel)
+            .str("backend", backend_name(c.backend))
+            .bool("halted", c.halted)
+            .i64("exit_code", c.exit_code)
+            .u64("detail_units", c.stats.detail_units())
+            .f64("units_per_inst", c.units_per_inst)
+            .f64("ratio", c.ratio)
+            .raw("stats", &c.stats.to_json());
+        if c.deadline_expired {
+            co.bool("deadline_expired", true);
+        }
+        if let Some(f) = &c.fault {
+            co.str("fault", f);
+        }
+        if r.measure_time {
+            co.f64("secs", c.secs);
+            co.f64("mips", c.stats.insts as f64 / c.secs.max(1e-9) / 1e6);
+        }
+        cells.push_str(&co.finish());
+    }
+    cells.push(']');
+    o.raw("cells", &cells);
+
+    let mut table = String::from("[");
+    for (i, row) in r.table.iter().enumerate() {
+        if i > 0 {
+            table.push(',');
+        }
+        let mut to = JsonObj::new();
+        to.str("buildset", row.buildset).str("backend", backend_name(row.backend));
+        for (k, isa) in ISAS.iter().enumerate() {
+            to.f64(&format!("units_per_inst_{isa}"), row.units_per_inst[k]);
+            to.f64(&format!("ratio_{isa}"), row.ratio[k]);
+        }
+        table.push_str(&to.finish());
+    }
+    table.push(']');
+    o.raw("table", &table);
+    o.finish()
+}
+
+/// Renders the Tables I–III analog as a markdown report.
+pub fn render_markdown(r: &SweepReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# LIS full-matrix sweep\n");
+    let _ = writeln!(
+        out,
+        "{} cells ({} buildsets x {} ISAs x {} kernels x {} backend(s)), \
+         normalized to `{}` = 1.0.\n",
+        r.cells.len(),
+        STANDARD_BUILDSETS.len(),
+        ISAS.len(),
+        r.kernels.len(),
+        r.backends.len(),
+        BASELINE_BUILDSET
+    );
+
+    let _ = writeln!(out, "## Table I analog: specification sizes\n");
+    let _ = writeln!(out, "```\n{}```\n", crate::render_table1());
+
+    for &backend in &r.backends {
+        let rows: Vec<&RatioRow> = r.table.iter().filter(|row| row.backend == backend).collect();
+        let _ =
+            writeln!(out, "## Table II analog: detail cost ({} backend)\n", backend_name(backend));
+        let _ = writeln!(
+            out,
+            "Deterministic interface-work units per instruction (calls + published \
+             values + operand sets + undo records); ratio vs `{BASELINE_BUILDSET}`.\n"
+        );
+        let _ = writeln!(
+            out,
+            "| interface | alpha units/inst | arm units/inst | ppc units/inst \
+             | alpha | arm | ppc |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        let mut sorted = rows.clone();
+        sorted.sort_by_key(|row| {
+            let idx = STANDARD_BUILDSETS.iter().position(|b| b.name == row.buildset);
+            let bs = STANDARD_BUILDSETS.iter().find(|b| b.name == row.buildset).expect("known");
+            (semantic_rank(bs), idx)
+        });
+        for row in &sorted {
+            let _ = writeln!(
+                out,
+                "| {} | {:.2} | {:.2} | {:.2} | {:.2}x | {:.2}x | {:.2}x |",
+                row.buildset,
+                row.units_per_inst[0],
+                row.units_per_inst[1],
+                row.units_per_inst[2],
+                row.ratio[0],
+                row.ratio[1],
+                row.ratio[2]
+            );
+        }
+        let spread = rows.iter().flat_map(|row| row.ratio).fold(f64::MIN, f64::max);
+        let _ = writeln!(
+            out,
+            "\nLargest detail-cost ratio: {spread:.1}x (paper reports up to 14.4x \
+             in wall-clock terms).\n"
+        );
+
+        let _ = writeln!(
+            out,
+            "## Table III analog: incremental cost of detail ({} backend)\n",
+            backend_name(backend)
+        );
+        let get = |name: &str| -> [f64; 3] {
+            rows.iter()
+                .find(|row| row.buildset == name)
+                .map(|row| row.units_per_inst)
+                .unwrap_or_default()
+        };
+        let sub = |a: [f64; 3], b: [f64; 3]| [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        let base = get(BASELINE_BUILDSET);
+        let spec_pairs = [
+            ("block-decode", "block-decode-spec"),
+            ("block-all", "block-all-spec"),
+            ("one-decode", "one-decode-spec"),
+            ("one-all", "one-all-spec"),
+            ("step-all", "step-all-spec"),
+        ];
+        let mut spec = [0.0f64; 3];
+        for (a, b) in spec_pairs {
+            let d = sub(get(b), get(a));
+            for k in 0..3 {
+                spec[k] += d[k] / spec_pairs.len() as f64;
+            }
+        }
+        let decomp = [
+            ("base cost (block/min)", base),
+            ("+ per-instruction calls", sub(get("one-min"), base)),
+            ("+ decode information", sub(get("one-decode"), get("one-min"))),
+            ("+ full information", sub(get("one-all"), get("one-min"))),
+            ("+ multiple calls", sub(get("step-all"), get("one-all"))),
+            ("+ speculation", spec),
+        ];
+        let _ = writeln!(out, "| component | alpha | arm | ppc |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for (label, ns) in decomp {
+            let _ = writeln!(out, "| {label} | {:.2} | {:.2} | {:.2} |", ns[0], ns[1], ns[2]);
+        }
+        out.push('\n');
+    }
+
+    if r.measure_time {
+        let _ =
+            writeln!(out, "Sweep wall-clock: {:.1}s with {} worker(s).", r.elapsed_secs, r.jobs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(jobs: usize) -> SweepConfig {
+        SweepConfig { jobs, kernels: vec!["gcd".into()], ..Default::default() }
+    }
+
+    #[test]
+    fn job_resolution_clamps() {
+        assert_eq!(resolve_jobs(3, 100), 3);
+        assert_eq!(resolve_jobs(64, 4), 4, "jobs beyond the cell count clamp down");
+        assert_eq!(resolve_jobs(7, 0), 1, "an empty matrix still gets one worker");
+        let auto = resolve_jobs(0, 1000);
+        assert!((1..=1000).contains(&auto), "auto is within [1, cells]");
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_usage_error() {
+        let err = resolve_kernels(&["nope".into()]).expect_err("must reject");
+        assert!(err.contains("unknown kernel 'nope'"), "{err}");
+        assert!(err.contains("sieve"), "error names the valid kernels: {err}");
+        assert!(!resolve_kernels(&[]).unwrap().is_empty(), "empty means full suite");
+    }
+
+    #[test]
+    fn matrix_covers_every_standard_buildset_and_isa() {
+        let cells = sweep_cells(&["gcd"], &[Backend::Cached]);
+        assert_eq!(cells.len(), 12 * 3);
+        for isa in ISAS {
+            for bs in &STANDARD_BUILDSETS {
+                assert!(
+                    cells.iter().any(|c| c.isa == isa && c.buildset.name == bs.name),
+                    "missing cell {isa}/{}",
+                    bs.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_bit_identical_across_job_counts() {
+        // The acceptance criterion: the JSON is a pure function of the
+        // configuration, not of scheduling.
+        let a = to_json(&run_sweep(&tiny(1)).expect("sweeps"));
+        let b = to_json(&run_sweep(&tiny(4)).expect("sweeps"));
+        assert_eq!(a, b, "jobs=1 and jobs=4 must produce identical bytes");
+    }
+
+    #[test]
+    fn ratios_are_normalized_to_block_min() {
+        let report = run_sweep(&tiny(0)).expect("sweeps");
+        assert_eq!(report.cells.len(), 12 * 3);
+        for c in &report.cells {
+            assert!(c.halted, "{}/{}/{}: kernel halts", c.isa, c.buildset, c.kernel);
+            assert_eq!(c.exit_code, 0, "{}/{}: clean exit", c.isa, c.buildset);
+            if c.buildset == BASELINE_BUILDSET {
+                assert!((c.ratio - 1.0).abs() < 1e-12, "baseline is exactly 1.0");
+            } else {
+                assert!(c.ratio >= 1.0, "{}/{}: below baseline", c.isa, c.buildset);
+            }
+        }
+        // The paper's shape: maximum-detail step interfaces cost several
+        // times the block-min baseline.
+        for row in &report.table {
+            if row.buildset == "step-all-spec" {
+                for (k, isa) in ISAS.iter().enumerate() {
+                    assert!(row.ratio[k] > 3.0, "{isa}: step-all-spec only {}", row.ratio[k]);
+                }
+            }
+        }
+        let json = to_json(&report);
+        assert!(json.contains("\"schema\":\"lis-sweep-v1\""));
+        assert!(!json.contains("\"secs\""), "no wall-clock in deterministic output");
+        let md = render_markdown(&report);
+        assert!(md.contains("Table II analog"));
+        assert!(md.contains("block-min"));
+    }
+}

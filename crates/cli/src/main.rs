@@ -9,6 +9,7 @@
 //! lis buildsets
 //! lis verify [--isa alpha] [--full]
 //! lis chaos --isa alpha [--chaos-seed N] [--period N] [--runs N]
+//! lis sweep [--jobs N] [--kernels a,b] [--backends both] [-o out.json]
 //! lis trace record <file.s> --isa alpha -o prog.lst
 //! lis trace info <prog.lst>
 //! lis trace replay <prog.lst> [--shards N] [--stats-json]
@@ -26,7 +27,7 @@ use lis_core::{
 use lis_harness::{
     chaos_run, verify_all, verify_isa, ChaosConfig, ChaosOutcome, HarnessError, VerifyConfig,
 };
-use lis_runtime::{ChaosPlan, Simulator};
+use lis_runtime::{Backend, ChaosPlan, Simulator};
 use lis_timing::{
     run_functional_first, run_functional_first_ooo, run_integrated,
     run_speculative_functional_first, run_timing_directed, run_timing_first, CoreConfig, OooConfig,
@@ -69,6 +70,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts).map(|()| 0),
         "verify" => cmd_verify(&opts),
         "chaos" => cmd_chaos(&opts),
+        "sweep" => cmd_sweep(&opts),
         "trace" => cmd_trace(trace_sub.as_deref().unwrap_or(""), &opts),
         "help" | "--help" | "-h" => {
             usage();
@@ -99,6 +101,8 @@ usage:
   lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
                                                      against the one-min reference
   lis chaos --isa <isa> [options]                    seeded fault-injection campaign
+  lis sweep [options]                                full buildset x ISA matrix, in
+                                                     parallel, to BENCH_sweep.json
   lis trace record <file.s> --isa <isa> [-o <out>]   record a max-detail trace
   lis trace info <trace>                             header, footer, integrity check
   lis trace replay <trace> [--shards <n>]            trace-driven ooo timing replay
@@ -128,6 +132,18 @@ options for `trace`:
   --project <vis>       replay: visibility projection min|decode|all
                         (default decode)
   --stats-json          replay: print the merged TimingReport as JSON
+
+options for `sweep`:
+  --jobs <n>            worker threads (default: one per core; clamped to
+                        the cell count)
+  --kernels <a,b,..>    kernel subset (default: the full suite)
+  --backends <set>      cached | interpreted | both (default cached)
+  -o, --output <path>   where to write the JSON (default BENCH_sweep.json)
+  --report <path>       also render the Tables I-III markdown report
+  --time                include wall-clock MIPS per cell (host-dependent;
+                        forfeits bit-identical output)
+  --max <n>             per-cell instruction budget
+  --deadline <secs>     per-cell watchdog (default 120)
 
 options for `verify` / `chaos`:
   --full                verify: all suite kernels (default: quick subset)
@@ -625,6 +641,80 @@ fn cmd_trace_replay(opts: &Opts) -> Result<u8, String> {
         );
     }
     Ok(0)
+}
+
+/// `lis sweep`: the full-matrix evaluation — every standard buildset on
+/// every ISA (optionally both backends) over the kernel suite, run as
+/// isolated parallel jobs. Writes `BENCH_sweep.json` (bit-identical across
+/// runs and job counts unless `--time` adds wall-clock fields) and an
+/// optional Tables I–III markdown report. Exit 0 when every cell ran to a
+/// clean halt, 3 when any cell faulted or hit its deadline.
+fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
+    let backends = match opts.backends.as_deref() {
+        None | Some("cached") => vec![Backend::Cached],
+        Some("interpreted") => vec![Backend::Interpreted],
+        Some("both") => vec![Backend::Cached, Backend::Interpreted],
+        Some(other) => {
+            return Err(format!("unknown --backends `{other}` (cached|interpreted|both)"))
+        }
+    };
+    let mut cfg = lis_bench::SweepConfig {
+        jobs: opts.jobs,
+        kernels: opts.kernels.clone(),
+        backends,
+        max_insts: opts.max,
+        measure_time: opts.time,
+        ..lis_bench::SweepConfig::default()
+    };
+    if let Some(secs) = opts.deadline {
+        cfg.deadline = Some(std::time::Duration::from_secs(secs));
+    }
+
+    let report = lis_bench::run_sweep(&cfg)?;
+
+    let json_path = opts.output.as_deref().unwrap_or("BENCH_sweep.json");
+    std::fs::write(json_path, lis_bench::sweep::to_json(&report) + "\n")
+        .map_err(|e| format!("{json_path}: {e}"))?;
+    if let Some(md_path) = &opts.report {
+        std::fs::write(md_path, lis_bench::sweep::render_markdown(&report))
+            .map_err(|e| format!("{md_path}: {e}"))?;
+    }
+
+    let bad: Vec<&lis_bench::CellResult> = report
+        .cells
+        .iter()
+        .filter(|c| c.deadline_expired || c.fault.is_some() || !c.halted || c.exit_code != 0)
+        .collect();
+    eprintln!(
+        "sweep: {} cells ({} kernels x {} buildsets x {} ISAs x {} backend(s)) \
+         on {} worker(s) in {:.2}s -> {json_path}{}",
+        report.cells.len(),
+        report.kernels.len(),
+        lis_core::STANDARD_BUILDSETS.len(),
+        lis_workloads::ISAS.len(),
+        report.backends.len(),
+        report.jobs,
+        report.elapsed_secs,
+        match &opts.report {
+            Some(p) => format!(" + {p}"),
+            None => String::new(),
+        }
+    );
+    for c in &bad {
+        eprintln!(
+            "  FAIL {}/{}/{} ({}): {}",
+            c.isa,
+            c.buildset,
+            c.kernel,
+            lis_harness::backend_name(c.backend),
+            match (&c.fault, c.deadline_expired) {
+                (Some(f), _) => f.clone(),
+                (None, true) => "deadline expired".into(),
+                (None, false) => format!("exit code {}", c.exit_code),
+            }
+        );
+    }
+    Ok(if bad.is_empty() { 0 } else { 3 })
 }
 
 /// `lis chaos`: a campaign of seeded fault-injection runs. Each seed runs

@@ -50,6 +50,18 @@ pub struct Opts {
     pub label: Option<String>,
     /// Emit machine-readable JSON statistics instead of the human summary.
     pub stats_json: bool,
+    /// Worker threads for `sweep` (0 = one per available core; an explicit
+    /// `--jobs 0` is a usage error).
+    pub jobs: usize,
+    /// Kernel subset for `sweep` (empty = the full suite).
+    pub kernels: Vec<String>,
+    /// Backend set for `sweep` (`cached` | `interpreted` | `both`).
+    pub backends: Option<String>,
+    /// Markdown report output path for `sweep`.
+    pub report: Option<String>,
+    /// Include wall-clock timing in sweep output (forfeits bit-identical
+    /// JSON).
+    pub time: bool,
 }
 
 impl Default for Opts {
@@ -77,6 +89,11 @@ impl Default for Opts {
             project: None,
             label: None,
             stats_json: false,
+            jobs: 0,
+            kernels: Vec::new(),
+            backends: None,
+            report: None,
+            time: false,
         }
     }
 }
@@ -139,6 +156,27 @@ impl Opts {
                 "--warmup" => {
                     o.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
                 }
+                "--jobs" => {
+                    o.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                    if o.jobs == 0 {
+                        return Err(
+                            "--jobs must be positive (omit the flag for one per core)".into()
+                        );
+                    }
+                }
+                "--kernels" => {
+                    o.kernels = value("--kernels")?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if o.kernels.is_empty() {
+                        return Err("--kernels needs at least one kernel name".into());
+                    }
+                }
+                "--backends" => o.backends = Some(value("--backends")?),
+                "--report" => o.report = Some(value("--report")?),
+                "--time" => o.time = true,
                 "--project" => o.project = Some(value("--project")?),
                 "--label" => o.label = Some(value("--label")?),
                 "--stats-json" => o.stats_json = true,
@@ -245,6 +283,36 @@ mod tests {
         assert!(parse(&["--shards", "x"]).is_err());
         assert!(!parse(&[]).unwrap().buildset_explicit);
         assert!(parse(&["--buildset", "block-all"]).unwrap().buildset_explicit);
+    }
+
+    #[test]
+    fn sweep_flags() {
+        let o = parse(&[
+            "--jobs",
+            "4",
+            "--kernels",
+            "gcd,sieve",
+            "--backends",
+            "both",
+            "--report",
+            "SWEEP.md",
+            "--time",
+        ])
+        .unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.kernels, vec!["gcd".to_string(), "sieve".to_string()]);
+        assert_eq!(o.backends.as_deref(), Some("both"));
+        assert_eq!(o.report.as_deref(), Some("SWEEP.md"));
+        assert!(o.time);
+
+        // `--jobs 0` is a zero-sized pool: a usage error, like `--shards 0`,
+        // not something to silently reinterpret.
+        let err = parse(&["--jobs", "0"]).expect_err("zero jobs is a usage error");
+        assert!(err.contains("--jobs must be positive"), "{err}");
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--kernels", ","]).is_err(), "an all-empty list is an error");
+        assert_eq!(parse(&[]).unwrap().jobs, 0, "default 0 means auto, one per core");
+        assert!(!parse(&[]).unwrap().time);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 use crate::driver::advance;
 use crate::lockstep::{retired, HarnessError};
 use crate::report::{backend_name, RetiredInst, Ring};
+use crate::watchdog::Watchdog;
 use lis_core::{BuildsetDef, DynInst, IsaSpec};
 use lis_mem::Image;
 use lis_runtime::{Backend, ChaosEvent, ChaosPlan, SimStats, Simulator};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tunables for one chaos run.
 #[derive(Debug, Clone, Copy)]
@@ -146,7 +147,10 @@ pub fn chaos_run(
     sim.set_chaos(plan);
     sim.load_program(image).map_err(HarnessError::Load)?;
 
-    let started = cfg.deadline.map(|limit| (Instant::now(), limit));
+    // Chaos iterations advance whole blocks, so every iteration can afford
+    // a clock read; the stride-1 watchdog keeps deadline behavior identical
+    // to the old inline check.
+    let mut watchdog = Watchdog::with_stride(cfg.deadline, 1);
     let mut ring = Ring::new();
     let mut buf: Vec<DynInst> = Vec::new();
     let mut seen = 0u64;
@@ -161,10 +165,8 @@ pub fn chaos_run(
         if seen >= cfg.max_insts {
             break ChaosOutcome::Budget;
         }
-        if let Some((t0, limit)) = started {
-            if t0.elapsed() >= limit {
-                break ChaosOutcome::Deadline;
-            }
+        if watchdog.expired() {
+            break ChaosOutcome::Deadline;
         }
         let n = advance(&mut sim, &mut buf).map_err(HarnessError::Iface)?;
         for rec in &buf[..n] {

@@ -34,6 +34,7 @@ mod driver;
 mod lockstep;
 mod report;
 mod verify;
+mod watchdog;
 
 pub use campaign::{chaos_run, ChaosConfig, ChaosOutcome, ChaosRunReport};
 pub use compare::{check_trace_against_reference, compare_retired, RetiredCmp};
@@ -42,6 +43,7 @@ pub use lockstep::{
 };
 pub use report::{backend_name, DivergenceReport, RegDelta, RetiredInst, Ring, RING_LEN};
 pub use verify::{verify_all, verify_isa, VerifyConfig, VerifyFailure, VerifyReport};
+pub use watchdog::{Watchdog, DEFAULT_STRIDE};
 
 #[cfg(test)]
 mod tests {

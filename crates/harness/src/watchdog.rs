@@ -1,0 +1,109 @@
+//! A reusable wall-clock watchdog for drive loops.
+//!
+//! Every harness loop that can wedge — a chaos campaign skipping faults
+//! forever, a sweep cell running a pathological buildset, a lockstep pair on
+//! a livelocked workload — needs the same three lines: remember a start
+//! instant, compare elapsed time against a limit, and do it cheaply enough
+//! to sit inside a per-instruction loop. [`Watchdog`] packages exactly that
+//! so each harness states its deadline policy once instead of re-deriving
+//! the clock-checking idiom.
+
+use std::time::{Duration, Instant};
+
+/// Default loop-iteration stride between clock reads. Reading the clock
+/// every iteration would tax tight drive loops; a 64-iteration stride keeps
+/// a watchdog responsive at microsecond-scale iterations without measurable
+/// overhead.
+pub const DEFAULT_STRIDE: u32 = 64;
+
+/// A strided wall-clock deadline check.
+///
+/// Construct one per bounded region (a run, a sweep cell), then poll
+/// [`Watchdog::expired`] from the loop. A watchdog built with no limit never
+/// expires and never reads the clock — disarmed is free.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    armed: Option<(Instant, Duration)>,
+    ticks: u32,
+    stride: u32,
+}
+
+impl Watchdog {
+    /// Arms a watchdog for `limit` (or a free never-expiring one for `None`)
+    /// with the default check stride.
+    pub fn new(limit: Option<Duration>) -> Watchdog {
+        Watchdog::with_stride(limit, DEFAULT_STRIDE)
+    }
+
+    /// Like [`Watchdog::new`] with an explicit stride; `stride` 0 or 1 means
+    /// check the clock on every poll.
+    pub fn with_stride(limit: Option<Duration>, stride: u32) -> Watchdog {
+        Watchdog { armed: limit.map(|l| (Instant::now(), l)), ticks: 0, stride: stride.max(1) }
+    }
+
+    /// Whether the deadline has passed. Only every `stride`-th poll reads
+    /// the clock (the first poll always does), so this is cheap enough for
+    /// per-instruction loops. Once expired, stays expired.
+    pub fn expired(&mut self) -> bool {
+        let Some((t0, limit)) = self.armed else { return false };
+        let tick = self.ticks;
+        self.ticks = self.ticks.wrapping_add(1);
+        if !tick.is_multiple_of(self.stride) {
+            return false;
+        }
+        t0.elapsed() >= limit
+    }
+
+    /// Wall-clock time since arming, `None` when disarmed.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.armed.map(|(t0, _)| t0.elapsed())
+    }
+
+    /// The configured limit, `None` when disarmed.
+    pub fn limit(&self) -> Option<Duration> {
+        self.armed.map(|(_, l)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_expires() {
+        let mut w = Watchdog::new(None);
+        for _ in 0..1000 {
+            assert!(!w.expired());
+        }
+        assert!(w.elapsed().is_none());
+        assert!(w.limit().is_none());
+    }
+
+    #[test]
+    fn zero_limit_expires_on_first_check() {
+        let mut w = Watchdog::new(Some(Duration::ZERO));
+        assert!(w.expired(), "a zero deadline is already past at the first clock read");
+    }
+
+    #[test]
+    fn stride_skips_clock_reads_but_still_fires() {
+        let mut w = Watchdog::with_stride(Some(Duration::ZERO), 8);
+        // Poll 0 reads the clock; 1..8 are stride skips; 8 reads again.
+        assert!(w.expired());
+        for _ in 1..8 {
+            // Stride skips report not-expired without consulting the clock.
+            assert!(!w.expired());
+        }
+        assert!(w.expired(), "next stride boundary re-reads the clock");
+    }
+
+    #[test]
+    fn generous_limit_does_not_expire() {
+        let mut w = Watchdog::new(Some(Duration::from_secs(3600)));
+        for _ in 0..10_000 {
+            assert!(!w.expired());
+        }
+        assert!(w.elapsed().unwrap() < Duration::from_secs(3600));
+        assert_eq!(w.limit(), Some(Duration::from_secs(3600)));
+    }
+}

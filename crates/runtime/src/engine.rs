@@ -25,8 +25,8 @@ use crate::decode::{DecodeTable, PcMap};
 use crate::error::{invalid_interface, BuildError, IfaceError, SimStop};
 use crate::stats::{RunSummary, SimStats};
 use lis_core::{
-    check_interface, ArchState, BuildsetDef, DynInst, Exec, Fault, Frame, InstClass, InstHeader,
-    IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, F_OPCODE,
+    check_interface, ArchState, BuildsetDef, DynInst, Exec, Fault, FieldSet, Frame, InstClass,
+    InstHeader, IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, F_OPCODE,
 };
 use lis_mem::{ChaosPlan, ChaosState, Image};
 use std::rc::Rc;
@@ -166,6 +166,16 @@ pub struct Simulator {
     inst_flipped: bool,
     verify_cache: bool,
     deadline: Option<Duration>,
+    /// Published-field mask, resolved from the buildset once at synthesis
+    /// time so the publication loop reads one word instead of chasing the
+    /// buildset struct on every call.
+    vis_fields: FieldSet,
+    /// Whether publications carry operand identifiers (same hoisting).
+    vis_ops: bool,
+    /// Reusable block-publication buffer for the driver loop; taken and
+    /// restored by [`Simulator::run_with_sink`] so repeated drive calls
+    /// never re-grow a fresh `Vec`.
+    scratch: Vec<DynInst>,
 }
 
 impl Simulator {
@@ -202,6 +212,9 @@ impl Simulator {
             inst_flipped: false,
             verify_cache: false,
             deadline: None,
+            vis_fields: buildset.visibility.fields,
+            vis_ops: buildset.visibility.operand_ids,
+            scratch: Vec::new(),
         })
     }
 
@@ -404,6 +417,7 @@ impl Simulator {
         }
         self.checkpoints.truncate(id.0);
         if self.checkpoints.is_empty() {
+            self.stats.undo_records += self.undo.len() as u64;
             self.undo.clear();
         }
         Ok(())
@@ -514,16 +528,18 @@ impl Simulator {
         Ok(())
     }
 
+    /// The single publication path for every entry point. Uses the
+    /// synthesis-time `vis_fields`/`vis_ops` copies and charges the
+    /// deterministic detail counters: one `published_values` unit per field
+    /// store that crosses the boundary, one `published_opsets` unit per
+    /// operand-set copy.
     #[inline]
     fn publish(&mut self, di: &mut DynInst, fault: Option<Fault>) {
         di.header = self.header;
         di.fault = fault;
-        di.publish(
-            &self.frame,
-            self.bs.visibility.fields,
-            &self.ops,
-            self.bs.visibility.operand_ids,
-        );
+        di.publish(&self.frame, self.vis_fields, &self.ops, self.vis_ops);
+        self.stats.published_values += u64::from(di.fields_valid().len());
+        self.stats.published_opsets += u64::from(self.vis_ops);
     }
 
     /// End-of-instruction housekeeping shared by all semantic levels.
@@ -532,6 +548,7 @@ impl Simulator {
         self.state.pc = self.header.next_pc;
         self.stats.insts += 1;
         if self.bs.speculation && self.checkpoints.is_empty() {
+            self.stats.undo_records += self.undo.len() as u64;
             self.undo.clear();
         }
         if let Some(chaos) = self.chaos.as_mut() {
@@ -774,15 +791,7 @@ impl Simulator {
             count += 1;
             match result {
                 Ok(()) => {
-                    let header = self.header;
-                    di.header = header;
-                    di.fault = None;
-                    di.publish(
-                        &self.frame,
-                        self.bs.visibility.fields,
-                        &self.ops,
-                        self.bs.visibility.operand_ids,
-                    );
+                    self.publish(di, None);
                     self.retire();
                     if self.state.halted {
                         break;
@@ -792,14 +801,7 @@ impl Simulator {
                     }
                 }
                 Err(fault) => {
-                    di.header = self.header;
-                    di.fault = Some(fault);
-                    di.publish(
-                        &self.frame,
-                        self.bs.visibility.fields,
-                        &self.ops,
-                        self.bs.visibility.operand_ids,
-                    );
+                    self.publish(di, Some(fault));
                     self.stats.faults += 1;
                     break;
                 }
@@ -1138,11 +1140,29 @@ impl Simulator {
         max_insts: u64,
         mut sink: impl FnMut(&DynInst),
     ) -> Result<RunSummary, SimStop> {
+        // The block buffer is engine-owned scratch: taking it out (and
+        // putting it back on every exit path) means repeated drive calls —
+        // the sweep runs thousands of them — publish into already-grown
+        // storage instead of reallocating per call.
+        let mut buf = std::mem::take(&mut self.scratch);
+        if buf.capacity() < self.max_block {
+            buf.reserve(self.max_block - buf.len());
+        }
+        let result = self.drive(max_insts, &mut sink, &mut buf);
+        self.scratch = buf;
+        result
+    }
+
+    fn drive(
+        &mut self,
+        max_insts: u64,
+        sink: &mut impl FnMut(&DynInst),
+        buf: &mut Vec<DynInst>,
+    ) -> Result<RunSummary, SimStop> {
         let start = self.stats.insts;
         let started_at = self.deadline.map(|limit| (Instant::now(), limit));
         let mut ticks = 0u32;
         let mut di = DynInst::new();
-        let mut buf: Vec<DynInst> = Vec::with_capacity(self.max_block);
         while !self.state.halted {
             if self.stats.insts - start >= max_insts {
                 return Err(SimStop::MaxInsts);
@@ -1165,8 +1185,8 @@ impl Simulator {
                     }
                 }
                 Semantic::Block => {
-                    self.next_block(&mut buf)?;
-                    for d in &buf {
+                    self.next_block(buf)?;
+                    for d in buf.iter() {
                         sink(d);
                     }
                     if let Some(f) = buf.last().and_then(|d| d.fault) {

@@ -24,6 +24,14 @@ pub struct SimStats {
     /// a one-shot interpreted rebuild (graceful degradation) instead of
     /// aborting the run.
     pub fallback_blocks: u64,
+    /// Field values copied across the interface boundary by the publication
+    /// loop (informational-detail work, counted per published field store).
+    pub published_values: u64,
+    /// Publications that carried operand identifiers.
+    pub published_opsets: u64,
+    /// Undo records retired (speculation bookkeeping work). Zero on
+    /// non-speculative buildsets.
+    pub undo_records: u64,
 }
 
 impl SimStats {
@@ -46,6 +54,16 @@ impl SimStats {
         }
     }
 
+    /// Deterministic interface-work units for this run: every interface
+    /// call, every published field store, every operand-set publication, and
+    /// every undo record costs one unit. This is the detail-cost measure the
+    /// sweep normalizes — unlike wall-clock it is a pure function of the
+    /// (program, buildset, backend) triple, so ratio tables are bit-identical
+    /// across hosts, job counts, and repeated runs.
+    pub fn detail_units(&self) -> u64 {
+        self.calls + self.published_values + self.published_opsets + self.undo_records
+    }
+
     /// Renders every counter as one flat JSON object (see `--stats-json`),
     /// including `fallback_blocks`, which the text display only shows when
     /// nonzero.
@@ -59,6 +77,9 @@ impl SimStats {
             .u64("checkpoints", self.checkpoints)
             .u64("rollbacks", self.rollbacks)
             .u64("fallback_blocks", self.fallback_blocks)
+            .u64("published_values", self.published_values)
+            .u64("published_opsets", self.published_opsets)
+            .u64("undo_records", self.undo_records)
             .f64("calls_per_inst", self.calls_per_inst())
             .f64("mean_block_len", self.mean_block_len());
         o.finish()
@@ -106,10 +127,27 @@ mod tests {
 
     #[test]
     fn json_has_every_counter() {
-        let s = SimStats { insts: 3, fallback_blocks: 2, ..Default::default() };
+        let s =
+            SimStats { insts: 3, fallback_blocks: 2, published_values: 9, ..Default::default() };
         let j = s.to_json();
         assert!(j.contains("\"insts\":3"));
         assert!(j.contains("\"fallback_blocks\":2"));
+        assert!(j.contains("\"published_values\":9"));
+        assert!(j.contains("\"published_opsets\":0"));
+        assert!(j.contains("\"undo_records\":0"));
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn detail_units_sums_interface_work() {
+        let s = SimStats {
+            calls: 10,
+            published_values: 20,
+            published_opsets: 5,
+            undo_records: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.detail_units(), 42);
+        assert_eq!(SimStats::default().detail_units(), 0);
     }
 }

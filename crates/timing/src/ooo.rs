@@ -92,11 +92,14 @@ pub struct OooCore {
 }
 
 impl OooCore {
-    /// Builds a cold core.
+    /// Builds a cold core. Degenerate structural parameters are clamped to
+    /// their minimum legal values (a 1-wide front end, a 1-entry ROB) so a
+    /// hostile or fuzzed configuration can model a tiny machine but never a
+    /// crashing one.
     pub fn new(isa: &'static IsaSpec, cfg: &CoreConfig, ooo: &OooConfig) -> OooCore {
         OooCore {
             isa,
-            ooo: *ooo,
+            ooo: OooConfig { width: ooo.width.max(1), rob: ooo.rob.max(1) },
             mispredict_penalty: cfg.mispredict_penalty,
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
@@ -144,9 +147,13 @@ impl OooCore {
         // Fetch: bandwidth-limited, plus icache misses stall the front end.
         self.fetch_cycle += self.icache.access(di.header.phys_pc);
         // ROB: an instruction cannot enter until the oldest of the
-        // previous `rob` instructions has completed.
-        if self.window.len() == self.ooo.rob {
-            let oldest_done = self.window.pop_front().expect("rob nonempty");
+        // previous `rob` instructions has completed. The pop is defensive
+        // (`>=` plus `if let`, never an `expect`): a record stream this core
+        // does not control — a projected trace, a truncated chunk, a
+        // reconfigured core fed mid-stream — must degrade, not abort a
+        // whole sweep cell.
+        while self.window.len() >= self.ooo.rob {
+            let Some(oldest_done) = self.window.pop_front() else { break };
             self.fetch_cycle = self.fetch_cycle.max(oldest_done);
         }
         // Issue when sources are ready.
@@ -243,6 +250,7 @@ pub fn run_functional_first_ooo(
     }
     let mut report = core.report("functional-first-ooo");
     report.interface_calls = sim.stats.calls;
+    report.fallback_blocks = sim.stats.fallback_blocks;
     report.exit_code = sim.state.exit_code;
     report.stdout = sim.stdout().to_vec();
     Ok(report)
@@ -276,6 +284,40 @@ mod tests {
         let (ra, rb) = (a.report("t"), b.report("t"));
         assert_eq!(ra.cycles, rb.cycles);
         assert_eq!(ra.insts, rb.insts);
+    }
+
+    #[test]
+    fn zero_sized_rob_cannot_panic() {
+        // Regression: the retire path used `pop_front().expect()`, which a
+        // rob=0 configuration turned into a panic on the first fed record.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let mut core = OooCore::new(isa, &cfg, &OooConfig { width: 0, rob: 0 });
+        let mut di = DynInst::new();
+        di.header.pc = 0x1000;
+        di.header.phys_pc = 0x1000;
+        di.header.next_pc = 0x1004;
+        for _ in 0..8 {
+            core.feed(&di).unwrap();
+        }
+        assert_eq!(core.report("t").insts, 8);
+    }
+
+    #[test]
+    fn short_and_empty_streams_report_cleanly() {
+        // A projected/truncated stream may carry records with no published
+        // fields at all; the core must accept them and an empty stream must
+        // produce an all-zero report rather than aborting.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let core = OooCore::new(isa, &cfg, &OooConfig::default());
+        assert_eq!(core.report("t").insts, 0);
+        let mut core = OooCore::new(isa, &cfg, &OooConfig { width: 1, rob: 1 });
+        let bare = DynInst::new(); // no opcode, no operands, no fields
+        for _ in 0..3 {
+            core.feed(&bare).unwrap();
+        }
+        assert_eq!(core.report("t").insts, 3);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct TimingReport {
     pub mismatches: u64,
     /// Rollbacks performed (speculative functional-first only).
     pub rollbacks: u64,
+    /// Stale cached blocks the functional source degraded gracefully on
+    /// (see `SimStats::fallback_blocks`). A whole-run fact of the
+    /// instruction *source*: live frontends copy it from the engine, replay
+    /// copies it from the trace footer, so the two `--stats-json` paths
+    /// agree at run granularity.
+    pub fallback_blocks: u64,
     /// Program exit code.
     pub exit_code: i64,
     /// Captured program output.
@@ -78,7 +84,9 @@ impl TimingReport {
     /// aggregate over all measured regions. `exit_code` and `stdout` are
     /// whole-program facts, not per-shard ones, so they are taken from
     /// `other` only when this report has none (the caller feeds shards in
-    /// order, and only the final shard carries them).
+    /// order, and only the final shard carries them). `fallback_blocks` is
+    /// likewise a whole-run fact that the caller sets once from the source,
+    /// never a per-shard sum.
     pub fn merge(&mut self, other: &TimingReport) {
         self.cycles += other.cycles;
         self.insts += other.insts;
@@ -109,6 +117,7 @@ impl TimingReport {
             .u64("mispredicts", self.mispredicts)
             .u64("mismatches", self.mismatches)
             .u64("rollbacks", self.rollbacks)
+            .u64("fallback_blocks", self.fallback_blocks)
             .f64("ipc", self.ipc())
             .f64("calls_per_inst", self.calls_per_inst())
             .i64("exit_code", self.exit_code)
@@ -189,5 +198,27 @@ mod tests {
         assert!(j.contains("\"organization\":\"test\""));
         assert!(j.contains("\"cycles\":2"));
         assert!(j.contains("\"stdout\":\"x\\n\""));
+    }
+
+    #[test]
+    fn golden_json_includes_fallback_blocks() {
+        // The exact serialized form both `lis run --stats-json` and
+        // `lis trace replay --stats-json` emit for a degraded run; a shape
+        // change here is a compatibility break for JSON consumers.
+        let r = TimingReport {
+            organization: "g",
+            cycles: 4,
+            insts: 2,
+            fallback_blocks: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"organization\":\"g\",\"cycles\":4,\"insts\":2,\
+             \"interface_calls\":0,\"icache_misses\":0,\"dcache_misses\":0,\
+             \"mispredicts\":0,\"mismatches\":0,\"rollbacks\":0,\
+             \"fallback_blocks\":3,\"ipc\":0.500000,\"calls_per_inst\":0.000000,\
+             \"exit_code\":0,\"stdout\":\"\"}"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! file   := magic version frame*
 //! magic  := "LISTRACE"            (8 bytes)
-//! version:= u32 LE                (currently 1)
+//! version:= u32 LE                (currently 2)
 //! frame  := kind:u8  payload_len:u32 LE  crc32:u32 LE  ninsts:u32 LE  payload
 //! kind   := 'H' (header, first) | 'D' (data chunk) | 'F' (footer, last)
 //! ```
@@ -172,6 +172,9 @@ impl TraceFooter {
             s.checkpoints,
             s.rollbacks,
             s.fallback_blocks,
+            s.published_values,
+            s.published_opsets,
+            s.undo_records,
         ] {
             put_uv(&mut out, v);
         }
@@ -199,6 +202,9 @@ impl TraceFooter {
             checkpoints: c.uv()?,
             rollbacks: c.uv()?,
             fallback_blocks: c.uv()?,
+            published_values: c.uv()?,
+            published_opsets: c.uv()?,
+            undo_records: c.uv()?,
         };
         let exit_code = c.iv()?;
         let halted = match c.u8()? {

@@ -39,8 +39,10 @@ mod replay;
 mod wire;
 mod writer;
 
-/// Current trace format version.
-pub const VERSION: u32 = 1;
+/// Current trace format version. Version 2 extended the footer with the
+/// publication-work counters (`published_values`, `published_opsets`,
+/// `undo_records`) that the sweep's detail-cost metric is built from.
+pub const VERSION: u32 = 2;
 
 pub use error::{RecordError, TraceError};
 pub use format::{TraceFooter, TraceMeta, CHUNK_TARGET, MAGIC, MAX_PAYLOAD};

@@ -129,7 +129,12 @@ pub fn replay_ooo(
         merged
     };
     // Whole-run facts come from the footer — the recorded ground truth.
+    // `fallback_blocks` in particular must come from here: mid-block cache
+    // degradation is an engine-side event the record stream itself never
+    // shows, so replay copies the engine's run-granularity count exactly as
+    // the live frontend does.
     merged.interface_calls = trace.footer.stats.calls;
+    merged.fallback_blocks = trace.footer.stats.fallback_blocks;
     merged.exit_code = trace.footer.exit_code;
     merged.stdout = trace.footer.stdout.clone();
     Ok(merged)

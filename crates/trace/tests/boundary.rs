@@ -1,0 +1,143 @@
+//! Varint/delta boundary values: the encodings that sit at the edge of the
+//! wire format's number line — `u64::MAX` PC deltas, sign flips straddling
+//! chunk-reset boundaries, 1-record chunks, and saturated footer counters —
+//! must all round-trip **byte-identically** through decode → re-encode.
+
+use lis_core::{InstHeader, Semantic, Visibility};
+use lis_runtime::SimStats;
+use lis_trace::{Cursor, Trace, TraceFooter, TraceMeta, TraceRecord, TraceWriter};
+
+fn meta() -> TraceMeta {
+    TraceMeta {
+        isa: "alpha".into(),
+        buildset: "block-all".into(),
+        visibility: Visibility::ALL,
+        semantic: Semantic::Block,
+        speculation: false,
+        kernel: "boundary".into(),
+        seed: 0,
+        fields: vec![],
+    }
+}
+
+fn rec(pc: u64, next_pc: u64) -> TraceRecord {
+    TraceRecord {
+        header: InstHeader { pc, phys_pc: pc, instr_bits: 0xABCD_EF01, next_pc },
+        ..Default::default()
+    }
+}
+
+fn write_trace(recs: &[TraceRecord], chunk_target: usize) -> Vec<u8> {
+    let mut w =
+        TraceWriter::with_chunk_target(Vec::new(), &meta(), chunk_target).expect("writer opens");
+    for r in recs {
+        w.push(r).expect("record encodes");
+    }
+    let footer = TraceFooter { insts: recs.len() as u64, ..Default::default() };
+    w.finish(&footer).expect("footer writes")
+}
+
+/// Reads `bytes` back, checks the records survive, re-encodes with the same
+/// chunk target, and demands the exact original bytes.
+fn assert_byte_identical(recs: &[TraceRecord], bytes: &[u8], chunk_target: usize) -> Trace {
+    let trace = Trace::read_from(bytes).expect("trace reads back");
+    let decoded = trace.records(None).expect("records decode");
+    assert_eq!(decoded, recs, "decoded records differ");
+    let mut w = TraceWriter::with_chunk_target(Vec::new(), &trace.meta, chunk_target)
+        .expect("writer reopens");
+    for r in &decoded {
+        w.push(r).expect("record re-encodes");
+    }
+    let out = w.finish(&trace.footer).expect("footer rewrites");
+    assert_eq!(out, bytes, "decode → re-encode must be byte-identical");
+    trace
+}
+
+#[test]
+fn u64_max_deltas_round_trip_byte_identically() {
+    // PC teleports across the whole address space: the signed delta against
+    // the previous record's next_pc wraps through both i64 extremes.
+    let recs = [
+        rec(0, 4),
+        rec(u64::MAX, 0),            // delta +(MAX-4), next wraps to 0
+        rec(0, u64::MAX),            // pc equals prev next_pc (seq flag)
+        rec(1, u64::MAX - 1),        // delta -(MAX-2)
+        rec(u64::MAX - 1, u64::MAX), // forward again
+    ];
+    let bytes = write_trace(&recs, 1 << 20); // one chunk holds everything
+    let trace = assert_byte_identical(&recs, &bytes, 1 << 20);
+    assert_eq!(trace.chunks.len(), 1);
+}
+
+#[test]
+fn sign_flips_at_chunk_reset_boundaries_round_trip() {
+    // Chunk target 1 byte: every record flushes its own chunk, so each
+    // record's delta is taken against the reset state (prev_next_pc = 0),
+    // alternating between a large positive and a large negative first delta.
+    let recs: Vec<TraceRecord> = (0..8u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                rec(u64::MAX - i, 8) // negative as i64: sign flip
+            } else {
+                rec(i, u64::MAX - 8) // positive small pc
+            }
+        })
+        .collect();
+    let bytes = write_trace(&recs, 1);
+    let trace = assert_byte_identical(&recs, &bytes, 1);
+    assert_eq!(trace.chunks.len(), recs.len(), "each record is its own chunk");
+    for (_, ninsts) in &trace.chunks {
+        assert_eq!(*ninsts, 1, "1-record chunks");
+    }
+}
+
+#[test]
+fn one_record_chunk_round_trips() {
+    let recs = [rec(u64::MAX, 0)];
+    let bytes = write_trace(&recs, 1);
+    let trace = assert_byte_identical(&recs, &bytes, 1);
+    assert_eq!(trace.chunks.len(), 1);
+    assert_eq!(trace.chunks[0].1, 1);
+    assert_eq!(trace.insts(), 1);
+}
+
+#[test]
+fn record_codec_at_delta_extremes() {
+    // Direct record-level checks of the zigzag delta paths, including the
+    // phys_pc and next_pc deltas, against both reset and saturated states.
+    let mut r = rec(u64::MAX, 0);
+    r.header.phys_pc = 0; // phys delta = -MAX (wrapping)
+    for prev in [0u64, u64::MAX, 1] {
+        let mut buf = Vec::new();
+        r.encode(&mut buf, prev);
+        let mut cur = Cursor::new(&buf);
+        let back = TraceRecord::decode(&mut cur, prev).expect("decodes");
+        assert!(cur.at_end());
+        assert_eq!(back, r, "prev_next_pc={prev:#x}");
+    }
+}
+
+#[test]
+fn footer_with_saturated_counters_round_trips() {
+    // Every footer counter at u64::MAX: the 10-byte LEB128 ceiling.
+    let f = TraceFooter {
+        insts: u64::MAX,
+        stats: SimStats {
+            insts: u64::MAX,
+            calls: u64::MAX,
+            blocks: u64::MAX,
+            faults: u64::MAX,
+            blocks_built: u64::MAX,
+            checkpoints: u64::MAX,
+            rollbacks: u64::MAX,
+            fallback_blocks: u64::MAX,
+            published_values: u64::MAX,
+            published_opsets: u64::MAX,
+            undo_records: u64::MAX,
+        },
+        exit_code: i64::MIN,
+        halted: false,
+        stdout: vec![],
+    };
+    assert_eq!(TraceFooter::decode(&f.encode()).expect("decodes"), f);
+}

@@ -40,6 +40,7 @@ fn assert_reports_equal(live: &TimingReport, replayed: &TimingReport, label: &st
     assert_eq!(replayed.icache_misses, live.icache_misses, "{label}: icache misses");
     assert_eq!(replayed.dcache_misses, live.dcache_misses, "{label}: dcache misses");
     assert_eq!(replayed.mispredicts, live.mispredicts, "{label}: mispredicts");
+    assert_eq!(replayed.fallback_blocks, live.fallback_blocks, "{label}: fallback blocks");
     assert_eq!(replayed.exit_code, live.exit_code, "{label}: exit code");
     assert_eq!(replayed.stdout, live.stdout, "{label}: stdout");
 }
@@ -106,6 +107,28 @@ fn oversharding_degrades_gracefully() {
     let r = replay_ooo(spec_of("alpha"), &trace, &cfg).expect("replay succeeds");
     assert_eq!(r.insts, live.insts);
     assert_eq!(r.stdout, live.stdout);
+}
+
+#[test]
+fn fallback_blocks_is_a_run_granularity_fact_in_both_json_paths() {
+    // `fallback_blocks` counts engine-side cache degradation the record
+    // stream never shows, so both `--stats-json` paths must report the
+    // engine's run-granularity count: live frontends copy it from
+    // `SimStats`, replay copies it from the trace footer. Golden-JSON check
+    // that the replayed report carries the recorded count verbatim.
+    let mut trace = trace_of("alpha", "gcd");
+    trace.footer.stats.fallback_blocks = 7;
+    let r = replay_ooo(spec_of("alpha"), &trace, &ReplayConfig::default()).expect("replays");
+    assert_eq!(r.fallback_blocks, 7, "footer count propagates unchanged");
+    assert!(
+        r.to_json().contains("\"fallback_blocks\":7"),
+        "stats-json exposes the run-granularity count"
+    );
+
+    // Sharding must not turn the whole-run fact into a per-shard sum.
+    let cfg = ReplayConfig { shards: 4, ..Default::default() };
+    let sharded = replay_ooo(spec_of("alpha"), &trace, &cfg).expect("replays sharded");
+    assert_eq!(sharded.fallback_blocks, 7, "sharded replay does not multiply the count");
 }
 
 #[test]
