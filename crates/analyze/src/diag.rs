@@ -1,0 +1,229 @@
+//! The shared diagnostic model: stable codes, severities, and locations.
+//!
+//! Every pass of the analyzer reports through one [`Diagnostic`] shape so
+//! that all three renderers (human text, line-delimited JSON, SARIF) and the
+//! CI gate can treat findings uniformly. Codes are *stable*: `LIS001` means
+//! the same thing in every release, scripts may match on it.
+
+use lis_core::Step;
+use std::fmt;
+
+/// A stable diagnostic code (`LIS001`, `LIS002`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(pub u16);
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LIS{:03}", self.0)
+    }
+}
+
+/// Visibility dataflow: a value crossing an interface-call boundary is
+/// hidden by the buildset.
+pub const LIS001: Code = Code(1);
+/// Speculation safety: an architectural write reachable under a speculative
+/// buildset is not provably covered by an `UndoRec` variant.
+pub const LIS002: Code = Code(2);
+/// Over-detail: the buildset publishes items no inter-step flow consumes
+/// across any of its call boundaries.
+pub const LIS003: Code = Code(3);
+/// Derivability: the buildset is not a genuine projection of the single
+/// specification (bad step partition or visibility outside the max-detail
+/// lattice).
+pub const LIS004: Code = Code(4);
+/// ISA self-check: the single specification itself is inconsistent
+/// (encodings, operands vs. flows, dead steps, missing exception handling).
+pub const LIS005: Code = Code(5);
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not known-broken; `--deny-warnings` escalates.
+    Warning,
+    /// The interface or specification is wrong; simulation would misbehave.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, matching the SARIF `level` values.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code identifying the pass and rule.
+    pub code: Code,
+    /// Error or warning.
+    pub severity: Severity,
+    /// ISA the finding applies to.
+    pub isa: &'static str,
+    /// Buildset the finding applies to (`None` for ISA-level findings).
+    pub buildset: Option<&'static str>,
+    /// Instruction the finding is anchored to, when one is.
+    pub inst: Option<&'static str>,
+    /// Step the finding is anchored to, when one is.
+    pub step: Option<Step>,
+    /// What is wrong.
+    pub message: String,
+    /// Suggested fix.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Logical location `isa[/buildset][/inst]`, used by every renderer.
+    pub fn location(&self) -> String {
+        let mut loc = String::from(self.isa);
+        if let Some(bs) = self.buildset {
+            loc.push('/');
+            loc.push_str(bs);
+        }
+        if let Some(inst) = self.inst {
+            loc.push('/');
+            loc.push_str(inst);
+        }
+        loc
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}] {}", self.code, self.severity, self.location(), self.message)
+    }
+}
+
+/// Whether any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Number of diagnostics at `severity`.
+pub fn count(diags: &[Diagnostic], severity: Severity) -> usize {
+    diags.iter().filter(|d| d.severity == severity).count()
+}
+
+/// Registry entry describing one pass, for SARIF rule metadata and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassInfo {
+    /// The pass's stable code.
+    pub code: Code,
+    /// Short kebab-case pass name.
+    pub name: &'static str,
+    /// One-line description (SARIF `shortDescription`).
+    pub short: &'static str,
+    /// What the pass guarantees when it reports nothing (SARIF `help`).
+    pub help: &'static str,
+}
+
+/// Every pass the analyzer runs, in code order.
+pub const PASSES: &[PassInfo] = &[
+    PassInfo {
+        code: LIS001,
+        name: "visibility-dataflow",
+        short: "a value crossing an interface-call boundary must be visible",
+        help: "Every inter-step dataflow edge whose producing and consuming steps land in \
+               different interface calls must be published by the buildset's visibility; \
+               otherwise the value is lost at the boundary and simulation diverges.",
+    },
+    PassInfo {
+        code: LIS002,
+        name: "speculation-safety",
+        short: "architectural writes under speculation must be undo-covered",
+        help: "Under a speculative buildset every architectural write must be captured by an \
+               UndoRec variant (Reg via operand accessors, Mem via Exec::store, OS effects via \
+               the checkpoint's OsMark) so rollback is provably sound. Actions at steps whose \
+               class gives them no accessor-routed write path cannot be proven covered.",
+    },
+    PassInfo {
+        code: LIS003,
+        name: "over-detail",
+        short: "published items no flow consumes across a call boundary are wasted",
+        help: "A field or operand set published by a step-semantic buildset that no \
+               instruction's dataflow consumes across any of its call boundaries is pure \
+               informational-detail cost (one published value per producing call, cf. \
+               SimStats::detail_units) with no intra-simulator consumer.",
+    },
+    PassInfo {
+        code: LIS004,
+        name: "derivability",
+        short: "every buildset must be a projection of the single specification",
+        help: "The semantic grouping must be an ordered contiguous partition of the seven \
+               steps and the visibility a sub-lattice of the max-detail field set; anything \
+               else is not derivable from the single specification.",
+    },
+    PassInfo {
+        code: LIS005,
+        name: "isa-self-check",
+        short: "the single specification must be internally consistent",
+        help: "Encodings must be reachable and well-formed, declared operands must fit the \
+               engine limits and be carried by the instruction's dataflow, steps with actions \
+               must appear in the dataflow, and syscall-class instructions must handle the \
+               exception step.",
+    },
+];
+
+/// Looks up the registry entry for `code`.
+pub fn pass_info(code: Code) -> Option<&'static PassInfo> {
+    PASSES.iter().find(|p| p.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: Code, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            isa: "alpha",
+            buildset: Some("step-min"),
+            inst: Some("ldq"),
+            step: Some(Step::Memory),
+            message: "m".into(),
+            help: "h".into(),
+        }
+    }
+
+    #[test]
+    fn code_formats_three_digits() {
+        assert_eq!(LIS001.to_string(), "LIS001");
+        assert_eq!(Code(42).to_string(), "LIS042");
+    }
+
+    #[test]
+    fn location_joins_present_parts() {
+        let mut d = diag(LIS001, Severity::Error);
+        assert_eq!(d.location(), "alpha/step-min/ldq");
+        d.inst = None;
+        assert_eq!(d.location(), "alpha/step-min");
+        d.buildset = None;
+        assert_eq!(d.location(), "alpha");
+    }
+
+    #[test]
+    fn counts_and_errors() {
+        let ds = vec![diag(LIS001, Severity::Error), diag(LIS003, Severity::Warning)];
+        assert!(has_errors(&ds));
+        assert_eq!(count(&ds, Severity::Warning), 1);
+        assert!(!has_errors(&ds[1..]));
+    }
+
+    #[test]
+    fn registry_covers_all_codes_in_order() {
+        let codes: Vec<_> = PASSES.iter().map(|p| p.code).collect();
+        assert_eq!(codes, vec![LIS001, LIS002, LIS003, LIS004, LIS005]);
+        assert!(pass_info(LIS004).unwrap().name.contains("deriv"));
+        assert!(pass_info(Code(99)).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! `lis-analyze` — the multi-pass static interface verifier.
+//!
+//! The paper's central claim is that one specification should drive every
+//! functional/timing interface a simulator exposes. The corollary this
+//! crate exploits: because the specification declares each instruction's
+//! inter-step dataflow *once*, whole classes of interface bugs that
+//! otherwise surface hundreds of instructions into a benchmark run can be
+//! rejected statically, before a simulator is even built.
+//!
+//! Five passes, each with a stable diagnostic code:
+//!
+//! | code     | pass                  | severity | question answered |
+//! |----------|-----------------------|----------|-------------------|
+//! | `LIS001` | visibility-dataflow   | error    | does every value crossing a call boundary stay visible? |
+//! | `LIS002` | speculation-safety    | error    | is every architectural write rollback-covered under speculation? |
+//! | `LIS003` | over-detail           | warning  | does the interface publish detail nothing consumes? |
+//! | `LIS004` | derivability          | mixed    | is the buildset a genuine projection of the one spec? |
+//! | `LIS005` | isa-self-check        | mixed    | is the specification itself consistent? |
+//!
+//! Entry points: [`analyze`] (buildset-level passes for one matrix cell),
+//! [`analyze_isa`] (specification self-check), and [`preflight`] (the
+//! errors-only gate the runtime and CLI run before simulating). Renderers:
+//! [`render_text`], [`render_json`] (line-delimited), [`render_sarif`]
+//! (SARIF 2.1.0 for code scanning).
+
+pub mod diag;
+pub mod passes;
+pub mod render;
+
+pub use diag::{
+    count, has_errors, pass_info, Code, Diagnostic, PassInfo, Severity, LIS001, LIS002, LIS003,
+    LIS004, LIS005, PASSES,
+};
+pub use passes::{
+    analyze, analyze_isa, pass_derivability, pass_isa, pass_over_detail, pass_speculation,
+    pass_visibility, preflight,
+};
+pub use render::{render_json, render_sarif, render_text};

@@ -1,0 +1,497 @@
+//! The analysis passes.
+//!
+//! Each pass is a pure function over `IsaSpec` × `BuildsetDef` (or the spec
+//! alone) returning [`Diagnostic`]s. [`analyze`] runs every buildset-level
+//! pass, [`analyze_isa`] the ISA-level self-check, and [`preflight`] the
+//! error-level subset used as the cheap gate before building a simulator or
+//! starting a lockstep/chaos/sweep run.
+
+use crate::diag::{Diagnostic, Severity, LIS001, LIS002, LIS003, LIS004, LIS005};
+use lis_core::{
+    check_interface, BuildsetDef, FieldId, FieldSet, FlowItem, InstClass, InstDef, IsaSpec,
+    OperandDir, Semantic, Step, Visibility, DEST_FIELDS, MAX_DEST, MAX_FIELDS, MAX_SRC, SRC_FIELDS,
+};
+
+/// Specification-level name of `id` under `isa` (`eff_addr`, `cr_nibble`,
+/// or `f29` for an undeclared slot).
+fn field_name(isa: &IsaSpec, id: FieldId) -> String {
+    match isa.all_fields().find(|d| d.id == id) {
+        Some(d) => d.name.to_string(),
+        None => format!("f{}", id.0),
+    }
+}
+
+/// Every field slot the specification declares: the common set plus the
+/// ISA-specific descriptors.
+fn declared_fields(isa: &IsaSpec) -> FieldSet {
+    isa.all_fields().map(|d| d.id).collect()
+}
+
+fn src_count(def: &InstDef) -> usize {
+    def.operands.iter().filter(|o| o.dir == OperandDir::Src).count()
+}
+
+fn dest_count(def: &InstDef) -> usize {
+    def.operands.iter().filter(|o| o.dir == OperandDir::Dest).count()
+}
+
+/// LIS001 — visibility dataflow.
+///
+/// Wraps the core primitive [`check_interface`] (the original 180-line
+/// pairing-constraint lint, kept in `lis-core` as a shim because the
+/// runtime's build-time gate sits below this crate) and lifts its findings
+/// into coded diagnostics with suggested fixes.
+pub fn pass_visibility(isa: &IsaSpec, bs: &BuildsetDef) -> Vec<Diagnostic> {
+    let Err(lint) = check_interface(isa, bs) else {
+        return Vec::new();
+    };
+    lint.into_iter()
+        .map(|d| {
+            let help = match d.flow.item {
+                FlowItem::Field(id) => format!(
+                    "publish `{}` (e.g. `visibility.plus(FieldSet::of(&[...]))`) or group the \
+                     `{}` and `{}` steps into one interface call",
+                    field_name(isa, id),
+                    d.flow.def,
+                    d.flow.used
+                ),
+                FlowItem::OperandIds => format!(
+                    "publish operand identifiers (`operand_ids: true`) or group the `{}` and \
+                     `{}` steps into one interface call",
+                    d.flow.def, d.flow.used
+                ),
+            };
+            Diagnostic {
+                code: LIS001,
+                severity: Severity::Error,
+                isa: isa.name,
+                buildset: Some(bs.name),
+                inst: Some(d.inst),
+                step: Some(d.flow.def),
+                message: format!(
+                    "{} is produced in the `{}` call but consumed in the `{}` call and is \
+                     hidden by the interface",
+                    d.flow.item, d.flow.def, d.flow.used
+                ),
+                help,
+            }
+        })
+        .collect()
+}
+
+/// LIS002 — speculation safety.
+///
+/// Under a speculative buildset every architectural write must be covered
+/// by an undo mechanism: register writes routed through operand accessors
+/// and `Exec::write_reg` are captured as `UndoRec::Reg`, stores through
+/// `Exec::store` as `UndoRec::Mem`, and OS effects of the exception step of
+/// syscall-class instructions by the checkpoint's `OsMark`. An action at a
+/// step whose class gives it no such path — a memory action on a
+/// non-memory class, an exception action on a non-syscall class — may
+/// write state the rollback machinery never records, so it is rejected.
+pub fn pass_speculation(isa: &IsaSpec, bs: &BuildsetDef) -> Vec<Diagnostic> {
+    if !bs.speculation {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for def in isa.insts {
+        if def.actions.memory.is_some() && !matches!(def.class, InstClass::Load | InstClass::Store)
+        {
+            out.push(Diagnostic {
+                code: LIS002,
+                severity: Severity::Error,
+                isa: isa.name,
+                buildset: Some(bs.name),
+                inst: Some(def.name),
+                step: Some(Step::Memory),
+                message: format!(
+                    "memory-step action on a `{}`-class instruction: its writes cannot be \
+                     proven covered by an `UndoRec` variant, so rollback is unsound",
+                    def.class
+                ),
+                help: "classify the instruction as Load or Store so stores are captured as \
+                       `UndoRec::Mem`, or route the effect through a destination operand \
+                       accessor so it is captured as `UndoRec::Reg`"
+                    .into(),
+            });
+        }
+        if def.actions.exception.is_some() && def.class != InstClass::Syscall {
+            out.push(Diagnostic {
+                code: LIS002,
+                severity: Severity::Error,
+                isa: isa.name,
+                buildset: Some(bs.name),
+                inst: Some(def.name),
+                step: Some(Step::Exception),
+                message: format!(
+                    "exception-step action on a `{}`-class instruction: OS effects are only \
+                     checkpoint-covered (OsMark) for syscall-class instructions",
+                    def.class
+                ),
+                help: "classify the instruction as Syscall so the checkpoint's `OsMark` \
+                       covers its exception-step effects"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// LIS003 — over-detail.
+///
+/// For step-semantic buildsets (the only ones with intra-instruction call
+/// boundaries) reports every published item no instruction's dataflow
+/// consumes across a boundary: pure informational-detail cost — one
+/// published value per producing call, the static analog of the sweep's
+/// measured detail-cost axis — with no intra-simulator consumer. One
+/// aggregated warning per buildset, with the minimal sufficient
+/// [`Visibility`] and an estimate of the wasted `detail_units()`.
+///
+/// Block- and one-semantic buildsets have a single call whose published
+/// record *is* the product consumed by the external timing simulator, so
+/// no static waste claim is possible and the pass stays silent.
+pub fn pass_over_detail(isa: &IsaSpec, bs: &BuildsetDef) -> Vec<Diagnostic> {
+    if bs.semantic != Semantic::Step {
+        return Vec::new();
+    }
+    // What genuinely crosses a call boundary somewhere in the ISA.
+    let mut needed = FieldSet::EMPTY;
+    let mut needed_opids = false;
+    // How many instructions produce each field at all (any flow mention):
+    // the per-call publication cost of keeping it visible.
+    let mut producers = [0u32; MAX_FIELDS];
+    for def in isa.insts {
+        for flow in def.flows() {
+            if let FlowItem::Field(id) = flow.item {
+                producers[id.index()] += 1;
+            }
+            if bs.semantic.call_of(flow.def) == bs.semantic.call_of(flow.used) {
+                continue;
+            }
+            match flow.item {
+                FlowItem::Field(id) => needed = needed.with(id),
+                FlowItem::OperandIds => needed_opids = true,
+            }
+        }
+    }
+    // Only judge slots the specification declares: reserved bits in a
+    // preset like `Visibility::ALL` are never valid in a frame and cost
+    // nothing to "publish".
+    let declared = declared_fields(isa);
+    let wasted = FieldSet(bs.visibility.fields.0 & declared.0 & !needed.0);
+    let wasted_opids = bs.visibility.operand_ids && !needed_opids;
+    if wasted.is_empty() && !wasted_opids {
+        return Vec::new();
+    }
+    let est: u32 = wasted.iter().map(|id| producers[id.index()]).sum();
+    let names: Vec<String> = wasted.iter().map(|id| field_name(isa, id)).collect();
+    let mut what = Vec::new();
+    if !wasted.is_empty() {
+        what.push(format!("{} field(s) ({})", wasted.len(), names.join(", ")));
+    }
+    if wasted_opids {
+        what.push("operand identifiers".to_string());
+    }
+    let min_names: Vec<String> = needed.iter().map(|id| field_name(isa, id)).collect();
+    vec![Diagnostic {
+        code: LIS003,
+        severity: Severity::Warning,
+        isa: isa.name,
+        buildset: Some(bs.name),
+        inst: None,
+        step: None,
+        message: format!(
+            "interface publishes {} that no instruction's dataflow consumes across any of \
+             its call boundaries",
+            what.join(" and ")
+        ),
+        help: format!(
+            "wasted informational detail costs one published value per producing call \
+             (up to {est} per instruction-table row here, counted in \
+             SimStats::detail_units); the minimal sufficient visibility for this semantic \
+             is {{{}}} with operand_ids={} — keep extra fields only if the external \
+             timing consumer reads them",
+            min_names.join(", "),
+            needed_opids
+        ),
+    }]
+}
+
+/// LIS004 — derivability.
+///
+/// A buildset is a *projection* of the single specification: its semantic
+/// grouping must be an ordered contiguous partition of the seven steps and
+/// its visibility a sub-lattice of the max-detail field set. Violations
+/// can't be expressed with today's `Semantic` enum, but visibility is an
+/// open bitset and custom masks can (and in fixtures do) escape the
+/// lattice.
+pub fn pass_derivability(isa: &IsaSpec, bs: &BuildsetDef) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Visibility ⊆ max-detail: no bits beyond the representable field
+    // universe.
+    let overflow = bs.visibility.fields.0 & !FieldSet::ALL.0;
+    if overflow != 0 {
+        let bits: Vec<String> =
+            (0..64).filter(|b| overflow & (1 << b) != 0).map(|b| format!("bit {b}")).collect();
+        out.push(Diagnostic {
+            code: LIS004,
+            severity: Severity::Error,
+            isa: isa.name,
+            buildset: Some(bs.name),
+            inst: None,
+            step: None,
+            message: format!(
+                "visibility is not a sub-lattice of the max-detail specification: {} beyond \
+                 MAX_FIELDS={MAX_FIELDS}",
+                bits.join(", ")
+            ),
+            help: "restrict the visibility mask to declared field slots (derive it from \
+                   Visibility::ALL with `.minus(...)`, or from field constants with \
+                   `FieldSet::of`)"
+                .into(),
+        });
+    }
+
+    // Semantic grouping: an ordered contiguous partition of the steps —
+    // call ids start at 0, never decrease, never skip, and end at
+    // calls_per_inst - 1.
+    let calls: Vec<usize> = Step::ALL.iter().map(|s| bs.semantic.call_of(*s)).collect();
+    let contiguous = calls[0] == 0
+        && calls.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1)
+        && calls[Step::COUNT - 1] + 1 == bs.semantic.calls_per_inst();
+    if !contiguous {
+        out.push(Diagnostic {
+            code: LIS004,
+            severity: Severity::Error,
+            isa: isa.name,
+            buildset: Some(bs.name),
+            inst: None,
+            step: None,
+            message: format!(
+                "semantic grouping is not an ordered contiguous partition of the seven steps \
+                 (call ids {calls:?} for {} calls per instruction)",
+                bs.semantic.calls_per_inst()
+            ),
+            help: "map consecutive steps to consecutive call ids starting at 0".into(),
+        });
+    }
+
+    // Declared-universe check: a custom mask naming slots this ISA never
+    // declares publishes values that cannot exist. The ALL preset is
+    // exempt — it deliberately covers every representable slot.
+    if bs.visibility.fields != Visibility::ALL.fields {
+        let undeclared =
+            FieldSet(bs.visibility.fields.0 & FieldSet::ALL.0 & !declared_fields(isa).0);
+        if !undeclared.is_empty() {
+            let names: Vec<String> = undeclared.iter().map(|id| field_name(isa, id)).collect();
+            out.push(Diagnostic {
+                code: LIS004,
+                severity: Severity::Warning,
+                isa: isa.name,
+                buildset: Some(bs.name),
+                inst: None,
+                step: None,
+                message: format!(
+                    "visibility publishes field slot(s) {{{}}} that the `{}` specification \
+                     never declares",
+                    names.join(", "),
+                    isa.name
+                ),
+                help: "drop the undeclared slots from the mask, or declare the fields in \
+                       the ISA's `isa_fields`"
+                    .into(),
+            });
+        }
+    }
+
+    out
+}
+
+/// LIS005 — ISA self-check.
+///
+/// Buildset-independent consistency of the single specification itself:
+/// encodings (via [`IsaSpec::validate`]), engine structural limits,
+/// operand/dataflow agreement, step liveness, flow ordering, declared
+/// fields, and exception handling for syscall-class instructions.
+pub fn pass_isa(isa: &IsaSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mk = |severity, inst, step, message: String, help: &str| Diagnostic {
+        code: LIS005,
+        severity,
+        isa: isa.name,
+        buildset: None,
+        inst,
+        step,
+        message,
+        help: help.into(),
+    };
+
+    if let Err(msg) = isa.validate() {
+        out.push(mk(
+            Severity::Error,
+            None,
+            None,
+            format!("specification failed encoding validation: {msg}"),
+            "fix the instruction table so every encoding is reachable and well-formed",
+        ));
+    }
+
+    let declared = declared_fields(isa);
+    for def in isa.insts {
+        let n_src = src_count(def);
+        let n_dest = dest_count(def);
+        if n_src > MAX_SRC {
+            out.push(mk(
+                Severity::Error,
+                Some(def.name),
+                None,
+                format!("declares {n_src} source operands; the engine supports {MAX_SRC}"),
+                "split the instruction or reduce its declared sources",
+            ));
+        }
+        if n_dest > MAX_DEST {
+            out.push(mk(
+                Severity::Error,
+                Some(def.name),
+                None,
+                format!("declares {n_dest} destination operands; the engine supports {MAX_DEST}"),
+                "split the instruction or reduce its declared destinations",
+            ));
+        }
+
+        // Operand/dataflow agreement: each declared operand must have a
+        // carrying edge, or its value can never cross a step boundary.
+        let covered_src = SRC_FIELDS
+            .iter()
+            .filter(|f| def.flows().any(|fl| fl.item == FlowItem::Field(**f)))
+            .count();
+        let covered_dest = DEST_FIELDS
+            .iter()
+            .filter(|f| def.flows().any(|fl| fl.item == FlowItem::Field(**f)))
+            .count();
+        if n_src > covered_src {
+            out.push(mk(
+                Severity::Error,
+                Some(def.name),
+                None,
+                format!(
+                    "declares {n_src} source operands but its dataflow only carries \
+                     {covered_src} source value(s)"
+                ),
+                "add an `extra_flows` edge carrying the missing src field or drop the operand",
+            ));
+        }
+        if n_dest > covered_dest {
+            out.push(mk(
+                Severity::Error,
+                Some(def.name),
+                None,
+                format!(
+                    "declares {n_dest} destination operands but its dataflow only carries \
+                     {covered_dest} destination value(s)"
+                ),
+                "add an `extra_flows` edge carrying the missing dest field or drop the operand",
+            ));
+        }
+
+        if def.class == InstClass::Syscall && def.actions.exception.is_none() {
+            out.push(mk(
+                Severity::Error,
+                Some(def.name),
+                Some(Step::Exception),
+                "syscall-class instruction has no exception-step action; the system call can \
+                 never be emulated"
+                    .into(),
+                "attach an `exception:` action that calls `Exec::syscall`",
+            ));
+        }
+
+        for flow in def.flows() {
+            if flow.def > flow.used {
+                out.push(mk(
+                    Severity::Error,
+                    Some(def.name),
+                    Some(flow.def),
+                    format!(
+                        "dataflow edge for {} runs backwards: defined at `{}`, used at `{}`",
+                        flow.item, flow.def, flow.used
+                    ),
+                    "a value must be produced in the same or an earlier step than it is used",
+                ));
+            }
+            if let FlowItem::Field(id) = flow.item {
+                if !declared.contains(id) {
+                    out.push(mk(
+                        Severity::Warning,
+                        Some(def.name),
+                        Some(flow.def),
+                        format!(
+                            "dataflow references field slot f{} that the specification never \
+                             declares",
+                            id.0
+                        ),
+                        "declare the field in the ISA's `isa_fields` so tools can name it",
+                    ));
+                }
+            }
+        }
+
+        // Dead steps: an action at a step no dataflow edge touches is
+        // invisible to interface checking — the classic "a step of
+        // instruction execution was left out" specification error.
+        for step in Step::ALL {
+            if step == Step::Fetch || def.actions.action(step).is_none() {
+                continue;
+            }
+            let touched = def.flows().any(|fl| fl.def == step || fl.used == step);
+            if !touched {
+                out.push(mk(
+                    Severity::Warning,
+                    Some(def.name),
+                    Some(step),
+                    format!(
+                        "has a `{step}` action but no dataflow edge touches that step; its \
+                         effects are invisible to interface checking"
+                    ),
+                    "declare what the step produces or consumes in `extra_flows`",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs every buildset-level pass (LIS001–LIS004) for one matrix cell.
+pub fn analyze(isa: &IsaSpec, bs: &BuildsetDef) -> Vec<Diagnostic> {
+    let mut out = pass_visibility(isa, bs);
+    out.extend(pass_speculation(isa, bs));
+    out.extend(pass_over_detail(isa, bs));
+    out.extend(pass_derivability(isa, bs));
+    out
+}
+
+/// Runs the ISA-level self-check (LIS005).
+pub fn analyze_isa(isa: &IsaSpec) -> Vec<Diagnostic> {
+    pass_isa(isa)
+}
+
+/// The cheap pre-run gate: every pass, errors only.
+///
+/// # Errors
+///
+/// Returns all error-severity diagnostics for the cell (warnings are
+/// dropped — a gate must not block on advisory findings).
+pub fn preflight(isa: &IsaSpec, bs: &BuildsetDef) -> Result<(), Vec<Diagnostic>> {
+    let mut errs: Vec<Diagnostic> = analyze(isa, bs)
+        .into_iter()
+        .chain(analyze_isa(isa))
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        errs.sort_by_key(|d| d.code);
+        Err(errs)
+    }
+}

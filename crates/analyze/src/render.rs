@@ -1,0 +1,115 @@
+//! Diagnostic renderers: human text, line-delimited JSON, and SARIF 2.1.0.
+//!
+//! All three consume the same `&[Diagnostic]` slice; the choice of format
+//! never changes what was found. JSON output is one object per line so it
+//! can be streamed into `jq`/log pipelines; SARIF is a single document for
+//! code-scanning upload.
+
+use crate::diag::{Diagnostic, PASSES};
+use lis_core::{write_json_str, JsonObj};
+use std::fmt::Write;
+
+/// Human-readable report: one block per diagnostic, `= help:` on the
+/// second line, mirroring rustc's layout.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+        let _ = writeln!(out, "  = help: {}", d.help);
+    }
+    out
+}
+
+/// Line-delimited JSON: one flat object per diagnostic. Absent location
+/// parts (`buildset`, `inst`, `step`) are omitted, not `null`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let mut obj = JsonObj::new();
+        obj.str("code", &d.code.to_string());
+        obj.str("severity", d.severity.name());
+        obj.str("isa", d.isa);
+        if let Some(bs) = d.buildset {
+            obj.str("buildset", bs);
+        }
+        if let Some(inst) = d.inst {
+            obj.str("inst", inst);
+        }
+        if let Some(step) = d.step {
+            obj.str("step", step.name());
+        }
+        obj.str("message", &d.message);
+        obj.str("help", &d.help);
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// SARIF 2.1.0 document with one run, rule metadata for every pass, and
+/// one result per diagnostic (located via SARIF logical locations, since
+/// findings live in a specification, not a source file).
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut rules = String::new();
+    for (i, p) in PASSES.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        let mut rule = JsonObj::new();
+        rule.str("id", &p.code.to_string());
+        rule.str("name", p.name);
+        rule.raw("shortDescription", &text_obj(p.short));
+        rule.raw("fullDescription", &text_obj(p.help));
+        rules.push_str(&rule.finish());
+    }
+
+    let mut results = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        let mut loc_inner = JsonObj::new();
+        loc_inner.str("fullyQualifiedName", &d.location());
+        loc_inner.str("kind", if d.inst.is_some() { "member" } else { "module" });
+        let mut loc = JsonObj::new();
+        loc.raw("logicalLocations", &format!("[{}]", loc_inner.finish()));
+
+        let mut msg = String::from(&d.message);
+        msg.push_str(" (help: ");
+        msg.push_str(&d.help);
+        msg.push(')');
+
+        let mut res = JsonObj::new();
+        res.str("ruleId", &d.code.to_string());
+        res.str("level", d.severity.name());
+        res.raw("message", &text_obj(&msg));
+        res.raw("locations", &format!("[{}]", loc.finish()));
+        results.push_str(&res.finish());
+    }
+
+    let mut driver = JsonObj::new();
+    driver.str("name", "lis-analyze");
+    driver.str("informationUri", env!("CARGO_PKG_REPOSITORY"));
+    driver.str("version", env!("CARGO_PKG_VERSION"));
+    driver.raw("rules", &format!("[{rules}]"));
+    let mut tool = JsonObj::new();
+    tool.raw("driver", &driver.finish());
+    let mut run = JsonObj::new();
+    run.raw("tool", &tool.finish());
+    run.raw("results", &format!("[{results}]"));
+    let mut doc = JsonObj::new();
+    doc.str("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    doc.str("version", "2.1.0");
+    doc.raw("runs", &format!("[{}]", run.finish()));
+    let mut out = doc.finish();
+    out.push('\n');
+    out
+}
+
+/// SARIF `message`/`multiformatMessageString` object: `{"text": ...}`.
+fn text_obj(text: &str) -> String {
+    let mut s = String::from("{\"text\":");
+    write_json_str(&mut s, text);
+    s.push('}');
+    s
+}

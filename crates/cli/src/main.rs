@@ -7,9 +7,10 @@
 //! lis disasm <file.s> --isa arm
 //! lis kernels [--isa alpha]
 //! lis buildsets
-//! lis verify [--isa alpha] [--full]
-//! lis chaos --isa alpha [--chaos-seed N] [--period N] [--runs N]
-//! lis sweep [--jobs N] [--kernels a,b] [--backends both] [-o out.json]
+//! lis lint [--isa all] [--buildset all] [--format text|json|sarif] [--deny-warnings]
+//! lis verify [--isa alpha] [--full] [--no-lint]
+//! lis chaos --isa alpha [--chaos-seed N] [--period N] [--runs N] [--no-lint]
+//! lis sweep [--jobs N] [--kernels a,b] [--backends both] [-o out.json] [--no-lint]
 //! lis trace record <file.s> --isa alpha -o prog.lst
 //! lis trace info <prog.lst>
 //! lis trace replay <prog.lst> [--shards N] [--stats-json]
@@ -17,13 +18,11 @@
 //!
 //! `verify` and `chaos` use exit codes 0 (clean), 2 (divergence detected),
 //! and 3 (fault-storm or deadline abort); `trace info` and `trace replay`
-//! use 4 for a corrupt or unreadable trace; all commands use 1 for ordinary
-//! errors and 2 for usage errors.
+//! use 4 for a corrupt or unreadable trace; `lint` — and the analyzer
+//! pre-flight gate in `verify`/`chaos`/`sweep` — uses 5 for error-level
+//! findings; all commands use 1 for ordinary errors and 2 for usage errors.
 
-use lis_core::{
-    check_interface, BuildsetDef, DynInst, InfoLevel, IsaSpec, Semantic, Step, Visibility,
-    STANDARD_BUILDSETS,
-};
+use lis_core::{BuildsetDef, DynInst, IsaSpec, Semantic, Step, Visibility, STANDARD_BUILDSETS};
 use lis_harness::{
     chaos_run, verify_all, verify_isa, ChaosConfig, ChaosOutcome, HarnessError, VerifyConfig,
 };
@@ -67,7 +66,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&opts).map(|()| 0),
         "kernels" => cmd_kernels(&opts).map(|()| 0),
         "buildsets" => cmd_buildsets().map(|()| 0),
-        "lint" => cmd_lint(&opts).map(|()| 0),
+        "lint" => cmd_lint(&opts),
         "verify" => cmd_verify(&opts),
         "chaos" => cmd_chaos(&opts),
         "sweep" => cmd_sweep(&opts),
@@ -97,7 +96,8 @@ usage:
   lis disasm <file.s> --isa <isa>                    assemble, then disassemble
   lis kernels [--isa <isa>]                          run the bundled kernels
   lis buildsets                                      list the standard interfaces
-  lis lint --isa <isa>                               interface validity matrix
+  lis lint [--isa <isa|all>]                         multi-pass static interface
+                                                     verifier (codes LIS001-LIS005)
   lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
                                                      against the one-min reference
   lis chaos --isa <isa> [options]                    seeded fault-injection campaign
@@ -145,7 +145,15 @@ options for `sweep`:
   --max <n>             per-cell instruction budget
   --deadline <secs>     per-cell watchdog (default 120)
 
+options for `lint`:
+  --isa <isa|all>       ISA(s) to analyze (default: all)
+  --buildset <name|all> buildset cell(s) (default: all standard buildsets)
+  --format <f>          text | json | sarif (default text; json is one
+                        object per line, sarif is a SARIF 2.1.0 document)
+  --deny-warnings       exit 5 on warnings too, not just errors
+
 options for `verify` / `chaos`:
+  --no-lint             skip the analyzer pre-flight gate (also for sweep)
   --full                verify: all suite kernels (default: quick subset)
   --chaos-seed <n>      chaos: first campaign seed (default 1)
   --period <n>          chaos: mean insts between injections (default 500)
@@ -154,10 +162,12 @@ options for `verify` / `chaos`:
   --deadline <secs>     chaos: wall-clock limit per run
   --snapshot <path>     crash-snapshot file (default lis-snapshot.txt)
 
-exit codes for `verify` / `chaos` / `trace`:
+exit codes for `lint` / `verify` / `chaos` / `trace`:
   0  clean            2  divergence detected
   3  fault-storm or deadline abort                   1  other errors
-  4  corrupt or unreadable trace file"
+  4  corrupt or unreadable trace file
+  5  lint failure (error-level diagnostics, or warnings under
+     --deny-warnings)"
     );
 }
 
@@ -412,44 +422,70 @@ fn cmd_kernels(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(opts: &Opts) -> Result<(), String> {
-    let spec = spec_of(&opts.isa)?;
-    println!("interface validity matrix for {} (semantic x informational detail):\n", spec.name);
-    println!("{:<8} {:>8} {:>8} {:>8}", "", "min", "decode", "all");
-    for semantic in [Semantic::Block, Semantic::One, Semantic::Step] {
-        print!("{:<8}", semantic.name());
-        for info in [InfoLevel::Min, InfoLevel::Decode, InfoLevel::All] {
-            let bs = BuildsetDef {
-                name: "probe",
-                semantic,
-                visibility: info.visibility(),
-                speculation: false,
-            };
-            match check_interface(spec, &bs) {
-                Ok(()) => print!(" {:>8}", "ok"),
-                Err(d) => print!(" {:>8}", format!("{} errs", d.len())),
-            }
-        }
-        println!();
-    }
-    println!();
-    println!("step-level interfaces need all-level information: values crossing a");
-    println!("call boundary must be published (the paper's \"typical interface");
-    println!("specification error\" is hiding one).");
-    // Show the first few diagnostics for the classic mistake.
-    let broken = BuildsetDef {
-        name: "step-min",
-        semantic: Semantic::Step,
-        visibility: Visibility::MIN,
-        speculation: false,
+/// `lis lint`: run the full multi-pass static analyzer (codes
+/// LIS001–LIS005) over every requested ISA × buildset cell. Exit 0 when no
+/// error-level diagnostic is found, 5 otherwise (`--deny-warnings`
+/// escalates warnings into the failing set).
+fn cmd_lint(opts: &Opts) -> Result<u8, String> {
+    let isas: Vec<&'static IsaSpec> = if opts.isa.is_empty() || opts.isa == "all" {
+        vec![lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()]
+    } else {
+        vec![spec_of(&opts.isa)?]
     };
-    if let Err(diags) = check_interface(spec, &broken) {
-        println!("\nexample diagnostics for step/min:");
-        for d in diags.iter().take(4) {
-            println!("  - {d}");
+    let cells: Vec<BuildsetDef> = if !opts.buildset_explicit || opts.buildset == "all" {
+        STANDARD_BUILDSETS.to_vec()
+    } else {
+        vec![*lis_core::find_buildset(&opts.buildset)
+            .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?]
+    };
+
+    let mut diags = Vec::new();
+    for spec in &isas {
+        diags.extend(lis_analyze::analyze_isa(spec));
+        for bs in &cells {
+            diags.extend(lis_analyze::analyze(spec, bs));
         }
     }
-    Ok(())
+    let errors = lis_analyze::count(&diags, lis_analyze::Severity::Error);
+    let warnings = lis_analyze::count(&diags, lis_analyze::Severity::Warning);
+
+    match opts.format.as_deref() {
+        None | Some("text") => {
+            print!("{}", lis_analyze::render_text(&diags));
+            eprintln!(
+                "lint: {} ISA(s) x {} buildset(s): {errors} error(s), {warnings} warning(s)",
+                isas.len(),
+                cells.len()
+            );
+        }
+        Some("json") => print!("{}", lis_analyze::render_json(&diags)),
+        Some("sarif") => print!("{}", lis_analyze::render_sarif(&diags)),
+        Some(other) => return Err(format!("unknown --format `{other}` (text|json|sarif)")),
+    }
+    Ok(if errors > 0 || (opts.deny_warnings && warnings > 0) { 5 } else { 0 })
+}
+
+/// The errors-only analyzer gate `verify`/`chaos`/`sweep` run before doing
+/// any expensive simulation: a broken interface is reported as LIS***
+/// diagnostics up front instead of as a divergence hundreds of instructions
+/// into a workload. Returns `true` (after printing the report) when any
+/// cell fails; `--no-lint` skips the call entirely.
+fn lint_gate(cells: &[(&'static IsaSpec, BuildsetDef)]) -> bool {
+    let mut all = Vec::new();
+    for (spec, bs) in cells {
+        if let Err(d) = lis_analyze::preflight(spec, bs) {
+            all.extend(d);
+        }
+    }
+    // `preflight` repeats the ISA-level pass per cell; collapse duplicates.
+    let mut seen = std::collections::HashSet::new();
+    all.retain(|d| seen.insert(d.to_string()));
+    if all.is_empty() {
+        return false;
+    }
+    eprint!("{}", lis_analyze::render_text(&all));
+    eprintln!("lint: {} pre-flight error(s); pass --no-lint to run anyway", all.len());
+    true
 }
 
 fn cmd_buildsets() -> Result<(), String> {
@@ -464,6 +500,18 @@ fn cmd_buildsets() -> Result<(), String> {
 /// the `one-min` interpreted reference, over suite kernels and generated
 /// programs. Exit 0 when every cell agrees, 2 on any divergence.
 fn cmd_verify(opts: &Opts) -> Result<u8, String> {
+    if !opts.no_lint {
+        let isas: Vec<&'static IsaSpec> = if opts.isa.is_empty() {
+            vec![lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()]
+        } else {
+            vec![spec_of(&opts.isa)?]
+        };
+        let cells: Vec<(&'static IsaSpec, BuildsetDef)> =
+            isas.iter().flat_map(|s| STANDARD_BUILDSETS.iter().map(|bs| (*s, *bs))).collect();
+        if lint_gate(&cells) {
+            return Ok(5);
+        }
+    }
     let mut cfg = if opts.full { VerifyConfig::full() } else { VerifyConfig::default() };
     cfg.lockstep.max_insts = opts.max;
     let t0 = std::time::Instant::now();
@@ -658,6 +706,16 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
             return Err(format!("unknown --backends `{other}` (cached|interpreted|both)"))
         }
     };
+    if !opts.no_lint {
+        let cells: Vec<(&'static IsaSpec, BuildsetDef)> = lis_workloads::ISAS
+            .iter()
+            .map(|isa| lis_workloads::spec_of(isa))
+            .flat_map(|s| STANDARD_BUILDSETS.iter().map(move |bs| (s, *bs)))
+            .collect();
+        if lint_gate(&cells) {
+            return Ok(5);
+        }
+    }
     let mut cfg = lis_bench::SweepConfig {
         jobs: opts.jobs,
         kernels: opts.kernels.clone(),
@@ -737,6 +795,9 @@ fn cmd_chaos(opts: &Opts) -> Result<u8, String> {
     };
     let bs = *lis_core::find_buildset(&opts.buildset)
         .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?;
+    if !opts.no_lint && lint_gate(&[(spec, bs)]) {
+        return Ok(5);
+    }
     let cfg = ChaosConfig {
         max_insts: opts.max,
         deadline: opts.deadline.map(std::time::Duration::from_secs),

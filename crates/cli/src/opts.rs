@@ -62,6 +62,12 @@ pub struct Opts {
     /// Include wall-clock timing in sweep output (forfeits bit-identical
     /// JSON).
     pub time: bool,
+    /// Diagnostic output format for `lint` (`text` | `json` | `sarif`).
+    pub format: Option<String>,
+    /// Treat lint warnings as errors (exit 5).
+    pub deny_warnings: bool,
+    /// Skip the analyzer pre-flight gate in `verify` / `chaos` / `sweep`.
+    pub no_lint: bool,
 }
 
 impl Default for Opts {
@@ -94,6 +100,9 @@ impl Default for Opts {
             backends: None,
             report: None,
             time: false,
+            format: None,
+            deny_warnings: false,
+            no_lint: false,
         }
     }
 }
@@ -177,6 +186,9 @@ impl Opts {
                 "--backends" => o.backends = Some(value("--backends")?),
                 "--report" => o.report = Some(value("--report")?),
                 "--time" => o.time = true,
+                "--format" => o.format = Some(value("--format")?),
+                "--deny-warnings" => o.deny_warnings = true,
+                "--no-lint" => o.no_lint = true,
                 "--project" => o.project = Some(value("--project")?),
                 "--label" => o.label = Some(value("--label")?),
                 "--stats-json" => o.stats_json = true,
@@ -313,6 +325,19 @@ mod tests {
         assert!(parse(&["--kernels", ","]).is_err(), "an all-empty list is an error");
         assert_eq!(parse(&[]).unwrap().jobs, 0, "default 0 means auto, one per core");
         assert!(!parse(&[]).unwrap().time);
+    }
+
+    #[test]
+    fn lint_flags() {
+        let o = parse(&["--format", "sarif", "--deny-warnings"]).unwrap();
+        assert_eq!(o.format.as_deref(), Some("sarif"));
+        assert!(o.deny_warnings);
+        assert!(!o.no_lint);
+        assert!(parse(&["--no-lint"]).unwrap().no_lint);
+        assert!(parse(&["--format"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.format, None);
+        assert!(!d.deny_warnings && !d.no_lint);
     }
 
     #[test]

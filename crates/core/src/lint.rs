@@ -11,10 +11,19 @@
 //! The lint mechanically derives the paper's pairing constraint — step-level
 //! semantic detail requires all-level informational detail — rather than
 //! hard-coding it.
+//!
+//! This module is the *primitive* shared with `lis-analyze`, which wraps it
+//! as pass `LIS001` of the full multi-pass interface verifier (speculation
+//! safety, over-detail, derivability, ISA self-checks, stable diagnostic
+//! codes, SARIF output). New code should prefer `lis_analyze::analyze`;
+//! [`check_interface`] stays as a thin shim because `lis-core` sits below
+//! `lis-analyze` in the dependency graph and the runtime needs a pre-flight
+//! check without depending upward.
 
 use crate::buildset::BuildsetDef;
 use crate::inst::{Flow, FlowItem};
 use crate::isa::IsaSpec;
+use std::collections::HashSet;
 use std::fmt;
 
 /// One interface-specification error found by the lint.
@@ -51,7 +60,7 @@ impl fmt::Display for LintDiag {
 /// `(class, flow)` pair to keep reports readable.
 pub fn check_interface(isa: &IsaSpec, buildset: &BuildsetDef) -> Result<(), Vec<LintDiag>> {
     let mut diags: Vec<LintDiag> = Vec::new();
-    let mut seen: Vec<(&'static str, Flow)> = Vec::new();
+    let mut seen: HashSet<(&'static str, Flow)> = HashSet::new();
     for def in isa.insts {
         for flow in def.flows() {
             let def_call = buildset.semantic.call_of(flow.def);
@@ -63,12 +72,8 @@ pub fn check_interface(isa: &IsaSpec, buildset: &BuildsetDef) -> Result<(), Vec<
                 FlowItem::Field(id) => buildset.visibility.fields.contains(id),
                 FlowItem::OperandIds => buildset.visibility.operand_ids,
             };
-            if !visible {
-                let key = (def.class.name(), flow);
-                if !seen.iter().any(|(c, fl)| *c == key.0 && *fl == flow) {
-                    seen.push(key);
-                    diags.push(LintDiag { inst: def.name, flow });
-                }
+            if !visible && seen.insert((def.class.name(), flow)) {
+                diags.push(LintDiag { inst: def.name, flow });
             }
         }
     }
@@ -101,6 +106,7 @@ mod tests {
     use super::*;
     use crate::buildset::{Semantic, Visibility, ONE_MIN, STEP_ALL};
     use crate::inst::{InstClass, InstDef, StepActions};
+    use crate::step::Step;
     use lis_mem::Endian;
 
     const INSTS: &[InstDef] = &[InstDef {
@@ -160,6 +166,112 @@ mod tests {
         let report = render_report(&bs, &diags);
         assert!(report.contains("eff_addr") || report.contains("field"), "{report}");
         assert!(report.contains("step-min"));
+    }
+
+    const NO_ACTIONS: StepActions = StepActions {
+        decode: None,
+        operand_fetch: None,
+        evaluate: None,
+        memory: None,
+        writeback: None,
+        exception: None,
+    };
+
+    /// Two loads and an ALU op: same-class duplicates must collapse, the
+    /// distinct class must not.
+    const MIXED_INSTS: &[InstDef] = &[
+        InstDef {
+            name: "ld1",
+            class: InstClass::Load,
+            mask: 0xff00_0000,
+            bits: 0x0100_0000,
+            operands: &[],
+            actions: NO_ACTIONS,
+            extra_flows: &[],
+        },
+        InstDef {
+            name: "ld2",
+            class: InstClass::Load,
+            mask: 0xff00_0000,
+            bits: 0x0200_0000,
+            operands: &[],
+            actions: NO_ACTIONS,
+            extra_flows: &[],
+        },
+        InstDef {
+            name: "add",
+            class: InstClass::Alu,
+            mask: 0xff00_0000,
+            bits: 0x0300_0000,
+            operands: &[],
+            actions: NO_ACTIONS,
+            extra_flows: &[],
+        },
+    ];
+
+    #[test]
+    fn duplicate_diags_collapse_per_class_and_flow() {
+        let mut s = isa();
+        s.insts = MIXED_INSTS;
+        let bs = BuildsetDef {
+            name: "step-min",
+            semantic: Semantic::Step,
+            visibility: Visibility::MIN,
+            speculation: false,
+        };
+        let diags = check_interface(&s, &bs).unwrap_err();
+        // Every diagnostic names the *first* instruction of its class: the
+        // second load contributes nothing new.
+        assert!(diags.iter().all(|d| d.inst != "ld2"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.inst == "ld1"));
+        assert!(diags.iter().any(|d| d.inst == "add"));
+        // Each (class, flow) pair appears exactly once.
+        let mut keys: Vec<_> = diags.iter().map(|d| (d.inst, d.flow)).collect();
+        let n = keys.len();
+        keys.sort_by_key(|(i, f)| (*i, format!("{f:?}")));
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate (inst, flow) diagnostics");
+        // Both classes share e.g. the src1 OF->EV flow, so the same flow
+        // must be reported once *per class*.
+        let src1_hits = diags
+            .iter()
+            .filter(|d| matches!(d.flow.item, FlowItem::Field(f) if f == crate::field::F_SRC1))
+            .count();
+        assert_eq!(src1_hits, 2, "one src1 diagnostic per class: {diags:?}");
+    }
+
+    /// Pins the exact `render_report` format: downstream tooling greps it.
+    #[test]
+    fn render_report_golden() {
+        let bs = BuildsetDef {
+            name: "step-min",
+            semantic: Semantic::Step,
+            visibility: Visibility::MIN,
+            speculation: false,
+        };
+        let diags = vec![
+            LintDiag {
+                inst: "ld",
+                flow: crate::inst::flow(
+                    FlowItem::Field(crate::field::F_EFF_ADDR),
+                    Step::Evaluate,
+                    Step::Memory,
+                ),
+            },
+            LintDiag {
+                inst: "ld",
+                flow: crate::inst::flow(FlowItem::OperandIds, Step::Decode, Step::OperandFetch),
+            },
+        ];
+        let report = render_report(&bs, &diags);
+        assert_eq!(
+            report,
+            "interface `step-min` (step/min/nospec) is invalid: 2 dataflow violation(s)\n\
+             \x20 - ld: field `eff_addr` is produced in the `evaluate` call but consumed in \
+             the `memory` call and is hidden by the interface\n\
+             \x20 - ld: operand identifiers is produced in the `decode` call but consumed in \
+             the `operand_fetch` call and is hidden by the interface\n"
+        );
     }
 
     #[test]

@@ -17,9 +17,9 @@
 use crate::fields::{F_CA_OUT, F_CR_NIBBLE};
 use crate::regs::{CR, CTR, GPR, LR, XER, XER_CA};
 use lis_core::{
-    generic_operand_fetch, generic_writeback, step_actions, Exec, Fault, InstClass, InstDef,
-    OperandDir, OperandSpec, F_ALU_OUT, F_COND, F_DEST1, F_DEST2, F_EFF_ADDR, F_IMM, F_MEM_DATA,
-    F_SRC1, F_SRC2, F_SRC3,
+    flow, generic_operand_fetch, generic_writeback, step_actions, Exec, Fault, Flow, FlowItem,
+    InstClass, InstDef, OperandDir, OperandSpec, Step, F_ALU_OUT, F_COND, F_DEST1, F_DEST2,
+    F_EFF_ADDR, F_IMM, F_MEM_DATA, F_SRC1, F_SRC2, F_SRC3,
 };
 
 const M32: u64 = 0xffff_ffff;
@@ -1013,6 +1013,17 @@ macro_rules! store_inst {
     };
 }
 
+/// `bc` is the only Branch-class instruction with a writeback step: it may
+/// write LR (link forms) and CTR (decrementing forms), both pushed as dest
+/// operands at decode and valued at evaluate. The class flow table has no
+/// edge into writeback, so without these declarations the step is invisible
+/// to interface checking (lis-analyze flags it as LIS005 dead-step).
+const BC_WRITEBACK_FLOWS: &[Flow] = &[
+    flow(FlowItem::OperandIds, Step::Decode, Step::Writeback),
+    flow(FlowItem::Field(F_DEST1), Step::Evaluate, Step::Writeback),
+    flow(FlowItem::Field(F_DEST2), Step::Evaluate, Step::Writeback),
+];
+
 /// Every instruction of the PowerPC description.
 pub const INSTS: &[InstDef] = &[
     // System call
@@ -1075,7 +1086,7 @@ pub const INSTS: &[InstDef] = &[
             evaluate: ev_bc,
             writeback: generic_writeback,
         },
-        extra_flows: &[],
+        extra_flows: BC_WRITEBACK_FLOWS,
     },
     InstDef {
         name: "bclr",

@@ -184,12 +184,39 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`BuildError::InvalidInterface`] when the interface lint
-    /// rejects the buildset (a value would be lost at a call boundary), or
-    /// [`BuildError::InvalidSpec`] when the ISA description is inconsistent.
+    /// rejects the buildset (a value would be lost at a call boundary),
+    /// [`BuildError::InvalidSpec`] when the ISA description is inconsistent,
+    /// or [`BuildError::Lint`] when the full static analyzer's pre-flight
+    /// finds other error-level diagnostics (speculation safety,
+    /// derivability, specification self-checks).
     pub fn new(isa: &'static IsaSpec, buildset: BuildsetDef) -> Result<Simulator, BuildError> {
         isa.validate().map_err(BuildError::InvalidSpec)?;
         check_interface(isa, &buildset).map_err(|d| invalid_interface(&buildset, d))?;
-        Ok(Simulator {
+        lis_analyze::preflight(isa, &buildset)
+            .map_err(|diags| BuildError::Lint { buildset: buildset.name, diags })?;
+        Ok(Simulator::build(isa, buildset))
+    }
+
+    /// Synthesizes a simulator *without* the analyzer pre-flight, keeping
+    /// only encoding validation (the decode table needs a well-formed
+    /// instruction table). This is the engine-level escape hatch behind the
+    /// CLI's `--no-lint`: harness experiments use it to run a deliberately
+    /// rejected interface and watch it actually misbehave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidSpec`] when the ISA description is
+    /// inconsistent.
+    pub fn new_unchecked(
+        isa: &'static IsaSpec,
+        buildset: BuildsetDef,
+    ) -> Result<Simulator, BuildError> {
+        isa.validate().map_err(BuildError::InvalidSpec)?;
+        Ok(Simulator::build(isa, buildset))
+    }
+
+    fn build(isa: &'static IsaSpec, buildset: BuildsetDef) -> Simulator {
+        Simulator {
             isa,
             bs: buildset,
             backend: Backend::Cached,
@@ -215,7 +242,7 @@ impl Simulator {
             vis_fields: buildset.visibility.fields,
             vis_ops: buildset.visibility.operand_ids,
             scratch: Vec::new(),
-        })
+        }
     }
 
     /// Selects the execution backend (default: [`Backend::Cached`]).

@@ -1,5 +1,6 @@
 //! Errors of the synthesis engine and the derived interfaces.
 
+use lis_analyze::Diagnostic;
 use lis_core::{BuildsetDef, Fault, LintDiag, Semantic, Step};
 use std::fmt;
 
@@ -16,6 +17,16 @@ pub enum BuildError {
     },
     /// The ISA description itself failed validation.
     InvalidSpec(String),
+    /// The static analyzer's pre-flight found error-level diagnostics
+    /// beyond plain dataflow visibility (speculation safety, derivability,
+    /// specification self-checks). Render the diagnostics with
+    /// `lis_analyze::render_text` for the full report.
+    Lint {
+        /// Name of the rejected buildset.
+        buildset: &'static str,
+        /// The error-level findings, in code order.
+        diags: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -25,6 +36,16 @@ impl fmt::Display for BuildError {
                 write!(f, "interface `{buildset}` is invalid ({} dataflow violations)", diags.len())
             }
             BuildError::InvalidSpec(msg) => write!(f, "invalid ISA description: {msg}"),
+            BuildError::Lint { buildset, diags } => {
+                let mut codes: Vec<String> = diags.iter().map(|d| d.code.to_string()).collect();
+                codes.dedup();
+                write!(
+                    f,
+                    "interface `{buildset}` rejected by pre-flight lint ({} error(s): {})",
+                    diags.len(),
+                    codes.join(", ")
+                )
+            }
         }
     }
 }

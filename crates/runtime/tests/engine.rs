@@ -513,3 +513,48 @@ fn run_with_sink_delivers_faulting_record() {
     assert_eq!(n, 2);
     assert!(matches!(last_fault, Some(Fault::IllegalInstruction { .. })));
 }
+
+#[test]
+fn analyzer_preflight_gates_simulator_build() {
+    use lis_core::{Exec, InstClass, InstDef, IsaSpec, StepActions};
+    use lis_runtime::BuildError;
+
+    fn act(_: &mut Exec<'_>) -> Result<(), Fault> {
+        Ok(())
+    }
+    // An ALU-class instruction with an exception-step action: under a
+    // speculative buildset its OS effects escape OsMark coverage (LIS002).
+    static BROKEN: &[InstDef] = &[InstDef {
+        name: "aluex",
+        class: InstClass::Alu,
+        mask: 0xff00_0000,
+        bits: 0x0100_0000,
+        operands: &[],
+        actions: StepActions { exception: Some(act), ..StepActions::NONE },
+        extra_flows: &[],
+    }];
+    static SPEC: IsaSpec = IsaSpec {
+        name: "broken-fix",
+        word_bits: 32,
+        endian: lis_mem::Endian::Little,
+        insts: BROKEN,
+        reg_classes: &[],
+        isa_fields: &[],
+        disasm: |_, _| String::new(),
+        pc_mask: u32::MAX as u64,
+        sp_gpr: 0,
+    };
+    let err = Simulator::new(&SPEC, ONE_ALL_SPEC).unwrap_err();
+    match &err {
+        BuildError::Lint { buildset, diags } => {
+            assert_eq!(*buildset, "one-all-spec");
+            assert!(diags.iter().any(|d| d.code == lis_analyze::LIS002), "{diags:?}");
+            assert!(err.to_string().contains("LIS002"), "{err}");
+        }
+        other => panic!("expected Lint rejection, got {other:?}"),
+    }
+    // Without speculation the interface is acceptable, and the escape hatch
+    // builds even the speculative cell.
+    assert!(Simulator::new(&SPEC, ONE_ALL).is_ok());
+    assert!(Simulator::new_unchecked(&SPEC, ONE_ALL_SPEC).is_ok());
+}
