@@ -52,7 +52,7 @@ fn write_gpr(st: &mut ArchState, idx: u16, val: u64) {
 }
 
 const REG_CLASSES: &[RegClassDef] =
-    &[RegClassDef { name: "gpr", count: 16, read: read_gpr, write: write_gpr }];
+    &[RegClassDef { name: "gpr", count: 16, read: read_gpr, write: write_gpr, backing: None }];
 
 fn sneak_memory_write(ex: &mut Exec<'_>) -> Result<(), Fault> {
     // Bypasses `Exec::write_reg`, so no `UndoRec::Reg` is captured.

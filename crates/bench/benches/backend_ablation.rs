@@ -1,5 +1,6 @@
 //! Criterion micro-benchmark behind footnote 5: the cached (translated
-//! analog) vs interpreted backend on the one-min interface.
+//! analog) vs interpreted vs compiled (superblock) backend on the one-min
+//! interface.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lis_core::ONE_MIN;
@@ -10,7 +11,11 @@ fn bench_backends(c: &mut Criterion) {
     let w = suite_of("alpha").iter().find(|w| w.name == "sieve").unwrap();
     let image = w.assemble().unwrap();
     let mut group = c.benchmark_group("backend");
-    for (name, backend) in [("cached", Backend::Cached), ("interpreted", Backend::Interpreted)] {
+    for (name, backend) in [
+        ("cached", Backend::Cached),
+        ("interpreted", Backend::Interpreted),
+        ("compiled", Backend::Compiled),
+    ] {
         group.bench_function(name, |b| {
             let mut sim = Simulator::new(spec_of("alpha"), ONE_MIN).unwrap();
             sim.set_backend(backend);

@@ -8,8 +8,9 @@
 //! (default 2,000,000).
 
 use lis_bench::{
-    backend_ablation, block_size_ablation, check_shape, fast_forward_ablation, render_table1,
-    render_table2, render_table3, table2, table3, trace_speed,
+    backend_ablation, block_backend_ablation, block_size_ablation, check_shape,
+    fast_forward_ablation, render_table1, render_table2, render_table3, table2, table3,
+    trace_speed,
 };
 use lis_runtime::Backend;
 use lis_timing::{
@@ -98,19 +99,41 @@ fn orgs_cmd() {
 }
 
 fn ablate_cmd() {
-    eprintln!("footnote 5: interpreted vs cached backend on one-min...");
-    println!("Backend ablation (one/min interface): cached (translated analog) vs interpreted");
-    println!("{:<8} {:>14} {:>14} {:>8}", "ISA", "cached MIPS", "interp MIPS", "ratio");
-    for (isa, cached, interp) in backend_ablation() {
+    eprintln!("footnote 5: backend base cost on one-min, plus block interfaces...");
+    println!("Backend ablation (one/min interface): cached | interpreted | compiled");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "ISA", "cached", "interp", "compiled", "cach/int", "comp/cach"
+    );
+    for (isa, m) in backend_ablation() {
         println!(
-            "{:<8} {:>14.2} {:>14.2} {:>7.2}x",
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>9.2}x {:>9.2}x",
             isa,
-            cached.mips,
-            interp.mips,
-            cached.mips / interp.mips
+            m[0].mips,
+            m[1].mips,
+            m[2].mips,
+            m[0].mips / m[1].mips,
+            m[2].mips / m[0].mips
         );
     }
     println!("(paper footnote 5: interpreted base cost ~2x the translated base cost)");
+    println!();
+    println!("Block-interface ablation (superblock chaining + publication elision)");
+    println!(
+        "{:<8} {:<14} {:>12} {:>12} {:>12} {:>10}",
+        "ISA", "interface", "cached", "interp", "compiled", "comp/cach"
+    );
+    for (isa, bs, mips) in block_backend_ablation() {
+        println!(
+            "{:<8} {:<14} {:>12.2} {:>12.2} {:>12.2} {:>9.2}x",
+            isa,
+            bs,
+            mips[0],
+            mips[1],
+            mips[2],
+            mips[2] / mips[0]
+        );
+    }
 }
 
 fn ablate_blocksize_cmd() {

@@ -341,15 +341,45 @@ pub fn render_table1() -> String {
     out
 }
 
-/// Footnote 5: interpreted vs cached base cost on the `one-min` interface.
-pub fn backend_ablation() -> Vec<(&'static str, Measurement, Measurement)> {
+/// Backends in ablation order, with their report names.
+pub const ABLATION_BACKENDS: [(&str, Backend); 3] = [
+    ("cached", Backend::Cached),
+    ("interpreted", Backend::Interpreted),
+    ("compiled", Backend::Compiled),
+];
+
+/// Footnote 5, extended: per-backend base cost. For each ISA, the `one-min`
+/// interface measured on every backend, in [`ABLATION_BACKENDS`] order
+/// (cached, interpreted, compiled). The compiled backend's superblock
+/// chaining shows up here; the block interfaces (where publication is also
+/// elided) are ablated by `lis sweep --backends all --time`.
+pub fn backend_ablation() -> Vec<(&'static str, [Measurement; 3])> {
     ISAS.iter()
         .map(|isa| {
-            let cached = measure(isa, lis_core::ONE_MIN, Backend::Cached);
-            let interp = measure(isa, lis_core::ONE_MIN, Backend::Interpreted);
-            (*isa, cached, interp)
+            let m: Vec<Measurement> = ABLATION_BACKENDS
+                .iter()
+                .map(|&(_, b)| measure(isa, lis_core::ONE_MIN, b))
+                .collect();
+            (*isa, [m[0], m[1], m[2]])
         })
         .collect()
+}
+
+/// The block-interface ablation behind the compiled backend's headline
+/// claim: `block-min` and `block-decode` wall-clock per backend. Returns
+/// `(isa, buildset, [cached, interpreted, compiled] MIPS)` rows.
+pub fn block_backend_ablation() -> Vec<(&'static str, &'static str, [f64; 3])> {
+    let mut out = Vec::new();
+    for isa in ISAS {
+        for bs in [lis_core::BLOCK_MIN, lis_core::BLOCK_DECODE] {
+            let mut mips = [0.0f64; 3];
+            for (k, &(_, backend)) in ABLATION_BACKENDS.iter().enumerate() {
+                mips[k] = measure(isa, bs, backend).mips;
+            }
+            out.push((isa, bs.name, mips));
+        }
+    }
+    out
 }
 
 /// Record-vs-replay speeds for one ISA (geometric mean over the kernel

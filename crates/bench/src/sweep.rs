@@ -236,8 +236,36 @@ fn run_cell(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
             }
         }
     }
-    let secs = t0.elapsed().as_secs_f64();
+    let mut secs = t0.elapsed().as_secs_f64();
     let stats = sim.stats;
+    let halted = sim.state.halted;
+    let exit_code = sim.state.exit_code;
+    // With `--time`, a single pass over these kernels (a few thousand
+    // dynamic instructions) is dominated by construction and translation,
+    // not execution. Re-run the program to a steady-state instruction
+    // floor, timing only the execution, and scale `secs` so the cell's
+    // insts/secs is the steady-state rate. The deterministic counters
+    // above are untouched — they come from the first, canonical pass.
+    if cfg.measure_time && fault.is_none() && !deadline_expired && halted {
+        const TIME_FLOOR: u64 = 1_000_000;
+        let mut timed_insts = 0u64;
+        let mut timed_secs = 0.0f64;
+        while timed_insts < TIME_FLOOR && !watchdog.expired() {
+            if sim.reset_program(&image).is_err() {
+                break;
+            }
+            let before = sim.stats.insts;
+            let t1 = Instant::now();
+            if sim.run_to_halt(cfg.max_insts).is_err() {
+                break;
+            }
+            timed_secs += t1.elapsed().as_secs_f64();
+            timed_insts += sim.stats.insts - before;
+        }
+        if timed_insts > 0 && timed_secs > 0.0 {
+            secs = stats.insts as f64 * timed_secs / timed_insts as f64;
+        }
+    }
     let units_per_inst =
         if stats.insts == 0 { 0.0 } else { stats.detail_units() as f64 / stats.insts as f64 };
     CellResult {
@@ -246,8 +274,8 @@ fn run_cell(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
         kernel: cell.kernel,
         backend: cell.backend,
         stats,
-        halted: sim.state.halted,
-        exit_code: sim.state.exit_code,
+        halted,
+        exit_code,
         deadline_expired,
         fault,
         units_per_inst,
@@ -434,6 +462,55 @@ pub fn to_json(r: &SweepReport) -> String {
     o.finish()
 }
 
+/// The per-backend cost summary written to `BENCH_backend.json`: for every
+/// (backend, buildset) pair, total deterministic `detail_units`, total
+/// instructions, and units-per-instruction aggregated over every ISA and
+/// kernel of the sweep. Pure counters — byte-identical across runs and job
+/// counts, like the unit fields of [`to_json`].
+pub fn backend_json(r: &SweepReport) -> String {
+    let mut o = JsonObj::new();
+    o.str("schema", "lis-backend-v1");
+    o.raw(
+        "backends",
+        &json_str_array(&r.backends.iter().map(|b| backend_name(*b)).collect::<Vec<_>>()),
+    );
+    let mut rows = String::from("[");
+    let mut first = true;
+    for &backend in &r.backends {
+        let total_units: u64 =
+            r.cells.iter().filter(|c| c.backend == backend).map(|c| c.stats.detail_units()).sum();
+        let total_insts: u64 =
+            r.cells.iter().filter(|c| c.backend == backend).map(|c| c.stats.insts).sum();
+        let mut bo = JsonObj::new();
+        bo.str("backend", backend_name(backend))
+            .str("buildset", "*")
+            .u64("detail_units", total_units)
+            .u64("insts", total_insts)
+            .f64("units_per_inst", total_units as f64 / total_insts.max(1) as f64);
+        if !first {
+            rows.push(',');
+        }
+        first = false;
+        rows.push_str(&bo.finish());
+        for bs in &STANDARD_BUILDSETS {
+            let sel = |c: &&CellResult| c.backend == backend && c.buildset == bs.name;
+            let units: u64 = r.cells.iter().filter(sel).map(|c| c.stats.detail_units()).sum();
+            let insts: u64 = r.cells.iter().filter(sel).map(|c| c.stats.insts).sum();
+            let mut bo = JsonObj::new();
+            bo.str("backend", backend_name(backend))
+                .str("buildset", bs.name)
+                .u64("detail_units", units)
+                .u64("insts", insts)
+                .f64("units_per_inst", units as f64 / insts.max(1) as f64);
+            rows.push(',');
+            rows.push_str(&bo.finish());
+        }
+    }
+    rows.push(']');
+    o.raw("rows", &rows);
+    o.finish()
+}
+
 /// Renders the Tables I–III analog as a markdown report.
 pub fn render_markdown(r: &SweepReport) -> String {
     use std::fmt::Write;
@@ -538,6 +615,102 @@ pub fn render_markdown(r: &SweepReport) -> String {
         out.push('\n');
     }
 
+    if r.measure_time && r.backends.len() > 1 {
+        let _ = writeln!(out, "## Backend ablation: wall-clock speed\n");
+        let _ = writeln!(
+            out,
+            "Geometric-mean MIPS over ISAs and kernels per backend (host-dependent, \
+             unlike the unit tables above); speedup is relative to `cached`.\n"
+        );
+        let mips_of = |bs_name: &str, backend: Backend| -> f64 {
+            let v: Vec<f64> = r
+                .cells
+                .iter()
+                .filter(|c| c.buildset == bs_name && c.backend == backend && c.secs > 0.0)
+                .map(|c| c.stats.insts as f64 / c.secs / 1e6)
+                .collect();
+            geomean(&v)
+        };
+        let mut header = String::from("| interface |");
+        let mut rule = String::from("|---|");
+        for &b in &r.backends {
+            header.push_str(&format!(" {} MIPS |", backend_name(b)));
+            rule.push_str("---|");
+        }
+        let cached = r.backends.contains(&Backend::Cached);
+        for &b in &r.backends {
+            if cached && b != Backend::Cached {
+                header.push_str(&format!(" {}/cached |", backend_name(b)));
+                rule.push_str("---|");
+            }
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        let mut sets: Vec<&BuildsetDef> = STANDARD_BUILDSETS.iter().collect();
+        sets.sort_by_key(|bs| semantic_rank(bs));
+        for bs in sets {
+            let mut line = format!("| {} |", bs.name);
+            let base = mips_of(bs.name, Backend::Cached);
+            for &b in &r.backends {
+                line.push_str(&format!(" {:.2} |", mips_of(bs.name, b)));
+            }
+            for &b in &r.backends {
+                if cached && b != Backend::Cached {
+                    let m = mips_of(bs.name, b);
+                    if base > 0.0 {
+                        line.push_str(&format!(" {:.2}x |", m / base));
+                    } else {
+                        line.push_str(" - |");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out.push('\n');
+        // The geomean above folds every ISA together, but the translation
+        // win is ISA-dependent (ARM's shared semantic cost — predicate
+        // check, barrel shifter, flag updates — is paid identically by both
+        // backends and caps its ratio). Break out the flagship translated
+        // interfaces per ISA, matching the paper's per-ISA tables.
+        if cached && r.backends.contains(&Backend::Compiled) {
+            let _ = writeln!(
+                out,
+                "Per-ISA breakdown of the translated interfaces (geomean over \
+                 kernels):\n"
+            );
+            let _ = writeln!(out, "| ISA | interface | cached MIPS | compiled MIPS | speedup |");
+            let _ = writeln!(out, "|---|---|---|---|---|");
+            let mut isas: Vec<&'static str> = Vec::new();
+            for c in &r.cells {
+                if !isas.contains(&c.isa) {
+                    isas.push(c.isa);
+                }
+            }
+            let isa_mips = |isa: &str, bs_name: &str, backend: Backend| -> f64 {
+                let v: Vec<f64> = r
+                    .cells
+                    .iter()
+                    .filter(|c| {
+                        c.isa == isa
+                            && c.buildset == bs_name
+                            && c.backend == backend
+                            && c.secs > 0.0
+                    })
+                    .map(|c| c.stats.insts as f64 / c.secs / 1e6)
+                    .collect();
+                geomean(&v)
+            };
+            for isa in isas {
+                for bs_name in ["block-min", "block-decode"] {
+                    let base = isa_mips(isa, bs_name, Backend::Cached);
+                    let m = isa_mips(isa, bs_name, Backend::Compiled);
+                    let speed = if base > 0.0 { format!("{:.2}x", m / base) } else { "-".into() };
+                    let _ = writeln!(out, "| {isa} | {bs_name} | {base:.2} | {m:.2} | {speed} |");
+                }
+            }
+            out.push('\n');
+        }
+    }
     if r.measure_time {
         let _ =
             writeln!(out, "Sweep wall-clock: {:.1}s with {} worker(s).", r.elapsed_secs, r.jobs);

@@ -1,7 +1,7 @@
 //! `lis` — assemble and simulate programs under any derived interface.
 //!
 //! ```text
-//! lis run <file.s> --isa alpha [--buildset one-all] [--backend cached|interpreted]
+//! lis run <file.s> --isa alpha [--buildset one-all] [--backend cached|interpreted|compiled]
 //!                              [--trace] [--max N] [--deadline S] [--timing ORG]
 //! lis asm <file.s> --isa ppc
 //! lis disasm <file.s> --isa arm
@@ -100,6 +100,7 @@ usage:
                                                      verifier (codes LIS001-LIS005)
   lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
                                                      against the one-min reference
+                                                     (--backend <b> restricts to one)
   lis chaos --isa <isa> [options]                    seeded fault-injection campaign
   lis sweep [options]                                full buildset x ISA matrix, in
                                                      parallel, to BENCH_sweep.json
@@ -109,7 +110,7 @@ usage:
 
 options for `run`:
   --buildset <name>     interface to synthesize (default one-all)
-  --backend <b>         cached | interpreted (default cached)
+  --backend <b>         cached | interpreted | compiled (default cached)
   --trace               print each dynamic instruction
   --mix                 print an instruction-class mix histogram
   --max <n>             instruction budget (default 100M)
@@ -137,7 +138,8 @@ options for `sweep`:
   --jobs <n>            worker threads (default: one per core; clamped to
                         the cell count)
   --kernels <a,b,..>    kernel subset (default: the full suite)
-  --backends <set>      cached | interpreted | both (default cached)
+  --backends <set>      cached | interpreted | compiled | both | all
+                        (default cached)
   -o, --output <path>   where to write the JSON (default BENCH_sweep.json)
   --report <path>       also render the Tables I-III markdown report
   --time                include wall-clock MIPS per cell (host-dependent;
@@ -496,9 +498,10 @@ fn cmd_buildsets() -> Result<(), String> {
     Ok(())
 }
 
-/// `lis verify`: lockstep every standard buildset on both backends against
+/// `lis verify`: lockstep every standard buildset on every backend against
 /// the `one-min` interpreted reference, over suite kernels and generated
-/// programs. Exit 0 when every cell agrees, 2 on any divergence.
+/// programs. `--backend <b>` restricts the matrix to one backend. Exit 0
+/// when every cell agrees, 2 on any divergence.
 fn cmd_verify(opts: &Opts) -> Result<u8, String> {
     if !opts.no_lint {
         let isas: Vec<&'static IsaSpec> = if opts.isa.is_empty() {
@@ -514,6 +517,9 @@ fn cmd_verify(opts: &Opts) -> Result<u8, String> {
     }
     let mut cfg = if opts.full { VerifyConfig::full() } else { VerifyConfig::default() };
     cfg.lockstep.max_insts = opts.max;
+    if opts.backend_explicit {
+        cfg.backends = vec![opts.backend];
+    }
     let t0 = std::time::Instant::now();
     let report = if opts.isa.is_empty() {
         verify_all(&cfg)
@@ -701,9 +707,13 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
     let backends = match opts.backends.as_deref() {
         None | Some("cached") => vec![Backend::Cached],
         Some("interpreted") => vec![Backend::Interpreted],
+        Some("compiled") => vec![Backend::Compiled],
         Some("both") => vec![Backend::Cached, Backend::Interpreted],
+        Some("all") => vec![Backend::Cached, Backend::Interpreted, Backend::Compiled],
         Some(other) => {
-            return Err(format!("unknown --backends `{other}` (cached|interpreted|both)"))
+            return Err(format!(
+                "unknown --backends `{other}` (cached|interpreted|compiled|both|all)"
+            ))
         }
     };
     if !opts.no_lint {
@@ -733,6 +743,13 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
     let json_path = opts.output.as_deref().unwrap_or("BENCH_sweep.json");
     std::fs::write(json_path, lis_bench::sweep::to_json(&report) + "\n")
         .map_err(|e| format!("{json_path}: {e}"))?;
+    if report.backends.len() > 1 {
+        // Multi-backend sweeps also emit the per-backend cost summary
+        // (deterministic counters only, so byte-identical like the unit
+        // fields of the main JSON).
+        std::fs::write("BENCH_backend.json", lis_bench::sweep::backend_json(&report) + "\n")
+            .map_err(|e| format!("BENCH_backend.json: {e}"))?;
+    }
     if let Some(md_path) = &opts.report {
         std::fs::write(md_path, lis_bench::sweep::render_markdown(&report))
             .map_err(|e| format!("{md_path}: {e}"))?;

@@ -13,6 +13,9 @@ pub struct Opts {
     pub buildset: String,
     /// Execution backend for `run`.
     pub backend: Backend,
+    /// True when `--backend` was given explicitly (`verify` restricts the
+    /// matrix to that backend; by default it runs all of them).
+    pub backend_explicit: bool,
     /// Per-instruction trace flag.
     pub trace: bool,
     /// Instruction-mix histogram flag.
@@ -55,7 +58,8 @@ pub struct Opts {
     pub jobs: usize,
     /// Kernel subset for `sweep` (empty = the full suite).
     pub kernels: Vec<String>,
-    /// Backend set for `sweep` (`cached` | `interpreted` | `both`).
+    /// Backend set for `sweep`
+    /// (`cached` | `interpreted` | `compiled` | `both` | `all`).
     pub backends: Option<String>,
     /// Markdown report output path for `sweep`.
     pub report: Option<String>,
@@ -77,6 +81,7 @@ impl Default for Opts {
             isa: String::new(),
             buildset: "one-all".into(),
             backend: Backend::Cached,
+            backend_explicit: false,
             trace: false,
             mix: false,
             max: 100_000_000,
@@ -126,8 +131,10 @@ impl Opts {
                     o.backend = match value("--backend")?.as_str() {
                         "cached" => Backend::Cached,
                         "interpreted" => Backend::Interpreted,
+                        "compiled" => Backend::Compiled,
                         other => return Err(format!("unknown backend `{other}`")),
-                    }
+                    };
+                    o.backend_explicit = true;
                 }
                 "--trace" => o.trace = true,
                 "--mix" => o.mix = true,
@@ -228,7 +235,11 @@ mod tests {
     fn backend_and_timing() {
         let o = parse(&["--backend", "interpreted", "--timing", "sff"]).unwrap();
         assert_eq!(o.backend, Backend::Interpreted);
+        assert!(o.backend_explicit);
         assert_eq!(o.timing.as_deref(), Some("sff"));
+        let o = parse(&["--backend", "compiled"]).unwrap();
+        assert_eq!(o.backend, Backend::Compiled);
+        assert!(!parse(&[]).unwrap().backend_explicit);
     }
 
     #[test]

@@ -126,6 +126,14 @@ impl Visibility {
     pub const fn with_operand_ids(self, show: bool) -> Visibility {
         Visibility { fields: self.fields, operand_ids: show }
     }
+
+    /// Whether this visibility publishes nothing beyond the always-present
+    /// header — no fields, no operand identifiers. Backends query this at
+    /// synthesis time to elide the publication walk entirely (`Min` and any
+    /// custom visibility that reduces to it).
+    pub const fn header_only(self) -> bool {
+        self.fields.is_empty() && !self.operand_ids
+    }
 }
 
 /// One derived interface definition.
@@ -145,6 +153,19 @@ pub struct BuildsetDef {
 }
 
 impl BuildsetDef {
+    /// Whether a backend may statically elide all publication work beyond
+    /// the header for this interface (the visibility mask excludes every
+    /// field and the operand identifiers).
+    pub const fn elides_publish(&self) -> bool {
+        self.visibility.header_only()
+    }
+
+    /// Whether a backend may compile out undo recording for this interface
+    /// (no speculation support, so no architectural write is ever captured).
+    pub const fn elides_undo(&self) -> bool {
+        !self.speculation
+    }
+
     /// The standard name (`one-all-spec`, `block-min`, ...) for a
     /// combination of detail levels.
     pub fn describe(&self) -> String {

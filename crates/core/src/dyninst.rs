@@ -84,6 +84,18 @@ impl DynInst {
         self.ops_valid.then_some(&self.ops)
     }
 
+    /// Publishes a header-only record: the `Min` fast path. Equivalent to
+    /// [`DynInst::publish`] with an empty visibility mask (the field and
+    /// operand slots are marked invalid, nothing is copied), so backends
+    /// whose buildset hides everything can skip the mask walk.
+    #[inline]
+    pub fn publish_header(&mut self, header: InstHeader, fault: Option<Fault>) {
+        self.header = header;
+        self.fault = fault;
+        self.fields_valid = FieldSet::EMPTY;
+        self.ops_valid = false;
+    }
+
     /// Publishes the working frame into this record under a visibility mask.
     ///
     /// Copies exactly the fields that are both *computed* and *visible*;

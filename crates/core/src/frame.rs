@@ -85,6 +85,40 @@ impl Frame {
             self.set(f, v);
         }
     }
+
+    /// Writes `field`'s value slot *without* updating validity. A batch of
+    /// staged writes becomes visible with one [`Frame::mark_valid`] — the
+    /// two-phase form of repeated [`Frame::set`] calls, for hot loops whose
+    /// field set is known ahead of time.
+    #[inline]
+    pub fn stage(&mut self, field: FieldId, val: u64) {
+        self.vals[field.index()] = val;
+    }
+
+    /// Marks every field in `mask` valid in one store. Pairs with
+    /// [`Frame::stage`]; the mask must cover exactly the staged fields.
+    #[inline]
+    pub fn mark_valid(&mut self, mask: FieldSet) {
+        self.valid = self.valid.union(mask);
+    }
+
+    /// Replays a precomputed decode capture: writes the raw `(field-id,
+    /// value)` pairs and *replaces* the whole validity mask with `valid` in
+    /// one store — the bulk equivalent of `clear()` followed by one `set`
+    /// per pair. `valid` must be exactly the set of ids in `pairs`; anything
+    /// else would publish stale or phantom fields.
+    #[inline]
+    pub fn replay(&mut self, pairs: &[(u8, u64)], valid: FieldSet) {
+        debug_assert_eq!(
+            pairs.iter().fold(FieldSet::EMPTY, |s, &(f, _)| s.with(FieldId(f))),
+            valid,
+            "replay mask must match the replayed pairs"
+        );
+        for &(f, v) in pairs {
+            self.vals[f as usize] = v;
+        }
+        self.valid = valid;
+    }
 }
 
 #[cfg(test)]

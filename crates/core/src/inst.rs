@@ -70,6 +70,36 @@ impl StepActions {
             Step::Exception => self.exception,
         }
     }
+
+    /// The execution-time slots (operand fetch → exception) in step order —
+    /// the chain every post-decode replay path runs. Decode is excluded: its
+    /// results are pure functions of the instruction bits and are captured
+    /// once at predecode time.
+    #[inline]
+    pub const fn exec_slots(&self) -> [Option<ActionFn>; 5] {
+        [self.operand_fetch, self.evaluate, self.memory, self.writeback, self.exception]
+    }
+
+    /// Flattens the present execution-time actions into a dense array in
+    /// step order, returning the filled prefix length. This is the
+    /// direct-threaded chain a compiled backend dispatches over: absent
+    /// slots are filtered out once at build time instead of being
+    /// branch-tested on every execution.
+    #[inline]
+    pub fn flatten_exec(&self) -> ([ActionFn; 5], u8) {
+        // The filler is never invoked (dispatch is bounded by the returned
+        // length); it only keeps the array dense and `Copy`.
+        fn unreached(_: &mut Exec<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+        let mut chain: [ActionFn; 5] = [unreached; 5];
+        let mut n = 0u8;
+        for a in self.exec_slots().into_iter().flatten() {
+            chain[n as usize] = a;
+            n += 1;
+        }
+        (chain, n)
+    }
 }
 
 impl fmt::Debug for StepActions {

@@ -108,6 +108,9 @@ impl IsaSpec {
                 return Err(format!("ISA field {} overlaps common fields", d.name));
             }
         }
+        for c in self.reg_classes {
+            c.validate_backing()?;
+        }
         Ok(())
     }
 }

@@ -85,7 +85,8 @@ pub use isa::IsaSpec;
 pub use json::{write_json_str, JsonObj};
 pub use lint::{check_interface, render_report, LintDiag};
 pub use operand::{
-    OperandDir, OperandRef, OperandSpec, Operands, RegClass, RegClassDef, MAX_DEST, MAX_SRC,
+    OperandDir, OperandRef, OperandSpec, Operands, RegBacking, RegClass, RegClassDef, MAX_DEST,
+    MAX_SRC,
 };
 pub use os::{decode_syscall, nr, OsMark, OsState, SysCall};
 pub use state::{ArchState, NUM_GPR, NUM_SPR};

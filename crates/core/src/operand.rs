@@ -25,6 +25,37 @@ impl fmt::Display for RegClass {
     }
 }
 
+/// Declarative description of where a register class lives in the flat
+/// [`ArchState`] register file.
+///
+/// The accessor *functions* say **how** to access a class; the backing says
+/// **where** it is stored, so synthesized backends can lower ordinary
+/// operands to direct register-file loads and stores instead of accessor
+/// calls. Both halves come from the same specification line, and
+/// [`RegClassDef::validate_backing`] cross-checks them at synthesis, so the
+/// declaration can never drift from the functions it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegBacking {
+    /// Backed by `ArchState::gpr[index]`; written values are AND-masked
+    /// with `write_mask`. `special`, when present, names one index with
+    /// non-trivial accessor semantics (a hardwired zero register, a PC
+    /// view) — operands on that index keep using the accessor functions.
+    Gpr {
+        /// Index excluded from direct lowering.
+        special: Option<u16>,
+        /// AND-mask applied to written values.
+        write_mask: u64,
+    },
+    /// Backed by a single `ArchState::spr` slot; writes AND-masked
+    /// likewise.
+    Spr {
+        /// The `spr` slot this class occupies.
+        slot: u8,
+        /// AND-mask applied to written values.
+        write_mask: u64,
+    },
+}
+
 /// How a register class reads and writes architectural state — the paper's
 /// *accessor* construct. One definition per class per ISA.
 #[derive(Clone, Copy)]
@@ -37,6 +68,83 @@ pub struct RegClassDef {
     pub read: fn(&ArchState, u16) -> u64,
     /// Writes register `idx` in architectural state.
     pub write: fn(&mut ArchState, u16, u64),
+    /// Where the class lives in the flat register file, if it admits direct
+    /// lowering. `None` keeps the class opaque: only the accessor functions
+    /// are ever used.
+    pub backing: Option<RegBacking>,
+}
+
+impl RegClassDef {
+    /// Cross-checks a declared [`RegBacking`] against the accessor
+    /// functions by probing them on scratch state: writes through the
+    /// accessor must land in the declared slot under the declared mask, and
+    /// reads must observe direct stores to it. Classes without a backing
+    /// pass trivially.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first observed divergence — a
+    /// specification bug.
+    pub fn validate_backing(&self) -> Result<(), String> {
+        use crate::state::{NUM_GPR, NUM_SPR};
+        let Some(backing) = self.backing else { return Ok(()) };
+        let mut st = ArchState::new(lis_mem::Endian::Little);
+        const PATS: [u64; 2] = [0xA5A5_5A5A_DEAD_BEEF, 0x0123_4567_89AB_CDEF];
+        match backing {
+            RegBacking::Gpr { special, write_mask } => {
+                if self.count as usize > NUM_GPR {
+                    return Err(format!(
+                        "class `{}`: gpr backing but count {} exceeds the register file",
+                        self.name, self.count
+                    ));
+                }
+                for idx in [0, self.count / 2, self.count - 1] {
+                    if Some(idx) == special {
+                        continue;
+                    }
+                    for pat in PATS {
+                        (self.write)(&mut st, idx, pat);
+                        if st.gpr[idx as usize] != pat & write_mask {
+                            return Err(format!(
+                                "class `{}`: write accessor disagrees with gpr backing at {idx}",
+                                self.name
+                            ));
+                        }
+                        if (self.read)(&st, idx) != st.gpr[idx as usize] {
+                            return Err(format!(
+                                "class `{}`: read accessor disagrees with gpr backing at {idx}",
+                                self.name
+                            ));
+                        }
+                    }
+                }
+            }
+            RegBacking::Spr { slot, write_mask } => {
+                if slot as usize >= NUM_SPR {
+                    return Err(format!(
+                        "class `{}`: spr backing slot {slot} exceeds the register file",
+                        self.name
+                    ));
+                }
+                for pat in PATS {
+                    (self.write)(&mut st, 0, pat);
+                    if st.spr[slot as usize] != pat & write_mask {
+                        return Err(format!(
+                            "class `{}`: write accessor disagrees with spr slot {slot}",
+                            self.name
+                        ));
+                    }
+                    if (self.read)(&st, 0) != st.spr[slot as usize] {
+                        return Err(format!(
+                            "class `{}`: read accessor disagrees with spr slot {slot}",
+                            self.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for RegClassDef {

@@ -42,7 +42,7 @@ pub use lockstep::{
     job_label, lockstep, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome, PerturbHook,
 };
 pub use report::{backend_name, DivergenceReport, RegDelta, RetiredInst, Ring, RING_LEN};
-pub use verify::{verify_all, verify_isa, VerifyConfig, VerifyFailure, VerifyReport};
+pub use verify::{verify_all, verify_isa, VerifyConfig, VerifyFailure, VerifyReport, ALL_BACKENDS};
 pub use watchdog::{Watchdog, DEFAULT_STRIDE};
 
 #[cfg(test)]
@@ -64,7 +64,7 @@ mod tests {
         let spec = lis_workloads::spec_of("alpha");
         let image = kernel("alpha", "strrev");
         for bs in STANDARD_BUILDSETS {
-            for backend in [Backend::Cached, Backend::Interpreted] {
+            for backend in ALL_BACKENDS {
                 match lockstep(spec, &image, bs, backend) {
                     Ok(LockstepOutcome::Halted { exit_code, insts, .. }) => {
                         assert_eq!(exit_code, 0, "{}: bad exit", bs.name);
@@ -245,10 +245,11 @@ mod tests {
             kernels: vec!["strrev"],
             random_seeds: vec![],
             random_len: 0,
+            backends: ALL_BACKENDS.to_vec(),
             lockstep: LockstepConfig::default(),
         };
         let report = verify_isa("alpha", &cfg);
-        assert_eq!(report.jobs, STANDARD_BUILDSETS.len() * 2);
+        assert_eq!(report.jobs, STANDARD_BUILDSETS.len() * ALL_BACKENDS.len());
         let msgs: Vec<String> =
             report.failures.iter().map(|f| format!("{}: {}", f.job, f.error)).collect();
         assert!(report.ok(), "failures: {msgs:?}");

@@ -14,6 +14,7 @@ pub fn backend_name(b: Backend) -> &'static str {
     match b {
         Backend::Cached => "cached",
         Backend::Interpreted => "interpreted",
+        Backend::Compiled => "compiled",
     }
 }
 

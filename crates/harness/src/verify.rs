@@ -1,4 +1,4 @@
-//! The full verification matrix: every standard buildset on both backends,
+//! The full verification matrix: every standard buildset on every backend,
 //! for every ISA, in lockstep against the reference.
 
 use crate::lockstep::{job_label, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome};
@@ -17,9 +17,14 @@ pub struct VerifyConfig {
     pub random_seeds: Vec<u64>,
     /// Length (static instructions) of each random program.
     pub random_len: usize,
+    /// Backends to include in the matrix.
+    pub backends: Vec<Backend>,
     /// Per-run lockstep settings.
     pub lockstep: LockstepConfig,
 }
+
+/// Every execution backend, in matrix order.
+pub const ALL_BACKENDS: [Backend; 3] = [Backend::Cached, Backend::Interpreted, Backend::Compiled];
 
 impl Default for VerifyConfig {
     /// A quick matrix: two short kernels plus two random programs per ISA.
@@ -28,6 +33,7 @@ impl Default for VerifyConfig {
             kernels: vec!["strrev", "hash31"],
             random_seeds: vec![0xC0FFEE, 7],
             random_len: 48,
+            backends: ALL_BACKENDS.to_vec(),
             lockstep: LockstepConfig::default(),
         }
     }
@@ -40,6 +46,7 @@ impl VerifyConfig {
             kernels: vec!["sieve", "fib", "matmul", "hash31", "strrev", "sort", "gcd", "bitcount"],
             random_seeds: vec![1, 2, 3],
             random_len: 64,
+            backends: ALL_BACKENDS.to_vec(),
             lockstep: LockstepConfig::default(),
         }
     }
@@ -95,9 +102,9 @@ fn assemble(isa: &str, src: &str) -> Result<Image, lis_asm::AsmError> {
     lis_workloads::assemble_source(isa, src)
 }
 
-/// Sweeps one ISA: every standard buildset × both backends × every
-/// configured workload, in lockstep against the reference. Suite kernels
-/// additionally have their stdout checked against the golden model.
+/// Sweeps one ISA: every standard buildset × every configured backend ×
+/// every configured workload, in lockstep against the reference. Suite
+/// kernels additionally have their stdout checked against the golden model.
 pub fn verify_isa(isa: &str, cfg: &VerifyConfig) -> VerifyReport {
     let spec = spec_of(isa);
     let mut report = VerifyReport::default();
@@ -118,7 +125,7 @@ pub fn verify_isa(isa: &str, cfg: &VerifyConfig) -> VerifyReport {
 
     for (name, image, expected) in &programs {
         for bs in lis_core::STANDARD_BUILDSETS {
-            for backend in [Backend::Cached, Backend::Interpreted] {
+            for &backend in &cfg.backends {
                 report.jobs += 1;
                 let job = job_label(isa, &bs, backend, name);
                 match lockstep_with(spec, image, bs, backend, &cfg.lockstep, None) {

@@ -4,7 +4,7 @@
 //! zero (reads return 0, writes are discarded — the accessor enforces this,
 //! so no instruction semantics ever special-case it).
 
-use lis_core::{ArchState, RegClass, RegClassDef};
+use lis_core::{ArchState, RegBacking, RegClass, RegClassDef};
 
 /// The integer register class.
 pub const GPR: RegClass = RegClass(0);
@@ -23,9 +23,16 @@ fn write_gpr(st: &mut ArchState, idx: u16, val: u64) {
     }
 }
 
-/// Register classes of the Alpha description.
-pub const REG_CLASSES: &[RegClassDef] =
-    &[RegClassDef { name: "gpr", count: 32, read: read_gpr, write: write_gpr }];
+/// Register classes of the Alpha description. The backing declares the
+/// flat-file mapping (with `r31` as the special zero register) so compiled
+/// backends can lower ordinary operands to direct register-file accesses.
+pub const REG_CLASSES: &[RegClassDef] = &[RegClassDef {
+    name: "gpr",
+    count: 32,
+    read: read_gpr,
+    write: write_gpr,
+    backing: Some(RegBacking::Gpr { special: Some(31), write_mask: u64::MAX }),
+}];
 
 /// Software register-name aliases, in index order (`$0`..`$31` and `rN` also
 /// accepted by the assembler).

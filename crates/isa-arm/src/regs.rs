@@ -7,7 +7,7 @@
 //! data-processing instruction is not supported in this subset — use `bx`
 //! or `mov pc, lr` is rejected by the assembler.
 
-use lis_core::{ArchState, RegClass, RegClassDef};
+use lis_core::{ArchState, RegBacking, RegClass, RegClassDef};
 
 /// The general-purpose register class.
 pub const GPR: RegClass = RegClass(0);
@@ -48,10 +48,24 @@ fn write_cpsr(st: &mut ArchState, _idx: u16, val: u64) {
     st.spr[0] = val & 0xf000_0000;
 }
 
-/// Register classes of the ARM description.
+/// Register classes of the ARM description. Backings declare the flat-file
+/// mapping (`r15` is special: it reads as a PC view and discards writes) so
+/// compiled backends can lower ordinary operands to direct accesses.
 pub const REG_CLASSES: &[RegClassDef] = &[
-    RegClassDef { name: "gpr", count: 16, read: read_gpr, write: write_gpr },
-    RegClassDef { name: "cpsr", count: 1, read: read_cpsr, write: write_cpsr },
+    RegClassDef {
+        name: "gpr",
+        count: 16,
+        read: read_gpr,
+        write: write_gpr,
+        backing: Some(RegBacking::Gpr { special: Some(15), write_mask: 0xffff_ffff }),
+    },
+    RegClassDef {
+        name: "cpsr",
+        count: 1,
+        read: read_cpsr,
+        write: write_cpsr,
+        backing: Some(RegBacking::Spr { slot: 0, write_mask: 0xf000_0000 }),
+    },
 ];
 
 /// Parses a register name (already lower-cased).

@@ -1,6 +1,6 @@
 //! PowerPC register classes and accessors.
 
-use lis_core::{ArchState, RegClass, RegClassDef};
+use lis_core::{ArchState, RegBacking, RegClass, RegClassDef};
 
 /// General-purpose registers (`r0`..`r31`).
 pub const GPR: RegClass = RegClass(0);
@@ -40,13 +40,45 @@ spr_class!(read_xer, write_xer, 1);
 spr_class!(read_lr, write_lr, 2);
 spr_class!(read_ctr, write_ctr, 3);
 
-/// Register classes of the PowerPC description.
+/// Register classes of the PowerPC description. Backings declare the
+/// flat-file mapping (slot numbers match the `spr_class!` expansions above)
+/// so compiled backends can lower ordinary operands to direct accesses.
 pub const REG_CLASSES: &[RegClassDef] = &[
-    RegClassDef { name: "gpr", count: 32, read: read_gpr, write: write_gpr },
-    RegClassDef { name: "cr", count: 1, read: read_cr, write: write_cr },
-    RegClassDef { name: "lr", count: 1, read: read_lr, write: write_lr },
-    RegClassDef { name: "ctr", count: 1, read: read_ctr, write: write_ctr },
-    RegClassDef { name: "xer", count: 1, read: read_xer, write: write_xer },
+    RegClassDef {
+        name: "gpr",
+        count: 32,
+        read: read_gpr,
+        write: write_gpr,
+        backing: Some(RegBacking::Gpr { special: None, write_mask: 0xffff_ffff }),
+    },
+    RegClassDef {
+        name: "cr",
+        count: 1,
+        read: read_cr,
+        write: write_cr,
+        backing: Some(RegBacking::Spr { slot: 0, write_mask: 0xffff_ffff }),
+    },
+    RegClassDef {
+        name: "lr",
+        count: 1,
+        read: read_lr,
+        write: write_lr,
+        backing: Some(RegBacking::Spr { slot: 2, write_mask: 0xffff_ffff }),
+    },
+    RegClassDef {
+        name: "ctr",
+        count: 1,
+        read: read_ctr,
+        write: write_ctr,
+        backing: Some(RegBacking::Spr { slot: 3, write_mask: 0xffff_ffff }),
+    },
+    RegClassDef {
+        name: "xer",
+        count: 1,
+        read: read_xer,
+        write: write_xer,
+        backing: Some(RegBacking::Spr { slot: 1, write_mask: 0xffff_ffff }),
+    },
 ];
 
 /// Parses a register name (already lower-cased): `rN` or `crN`.

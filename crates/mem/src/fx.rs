@@ -1,0 +1,114 @@
+//! A fast, deterministic FxHash-style hasher for hot-path integer-keyed
+//! maps: the sparse page table here in `lis-mem`, and the PC-keyed block,
+//! decode, and compiled-code caches in `lis-runtime`.
+//!
+//! The keys are small, well-distributed integers (page numbers, word-aligned
+//! PCs) inside maps that never outlive one deterministic run, so SipHash's
+//! keyed DoS resistance is pure overhead on the hot path.
+
+/// FxHash's 64-bit multiplier: odd, golden-ratio derived, with good
+/// avalanche into the top bits the hash table actually indexes with.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One FxHash round: rotate to spread low-entropy (word-aligned) inputs,
+/// fold in the word, multiply to diffuse upward.
+#[inline]
+fn fx_mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// The hasher state. See the module docs for when this is appropriate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time: mix full 8-byte chunks, then the zero-padded tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.0 = fx_mix(self.0, u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.0 = fx_mix(self.0, u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.0 = fx_mix(self.0, v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.0 = fx_mix(self.0, v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = fx_mix(self.0, v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = fx_mix(self.0, v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.0 = fx_mix(self.0, v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+/// A `HashMap` using the fast hasher.
+pub type FxMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hasher};
+
+    #[test]
+    fn deterministic_and_spreads_aligned_keys() {
+        let build = FxBuildHasher;
+        let hash = |k: u64| build.hash_one(k);
+        assert_eq!(hash(0x1000), hash(0x1000));
+        // Word-aligned keys must differ in the top bits the table indexes
+        // with, or every page lands in one bucket.
+        let a = hash(0x1000) >> 57;
+        let b = hash(0x1008) >> 57;
+        let c = hash(0x2000) >> 57;
+        assert!(a != b || b != c, "aligned keys collapse to one bucket");
+    }
+
+    #[test]
+    fn multi_chunk_writes_differ_from_single() {
+        let build = FxBuildHasher;
+        let mut h1 = build.build_hasher();
+        h1.write(&[1u8; 16]);
+        let mut h2 = build.build_hasher();
+        h2.write(&[1u8; 8]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -1,7 +1,8 @@
 //! The sparse paged memory itself.
 
+use crate::fx::FxMap;
 use crate::{AccessKind, Endian, Image, MemFault};
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Size of a memory page in bytes.
 pub const PAGE_SIZE: usize = 4096;
@@ -22,7 +23,10 @@ type Page = [u8; PAGE_SIZE];
 /// addresses with [`MemFault::OutOfRange`].
 ///
 /// A one-entry page cache makes the sequential access patterns of
-/// instruction fetch and block predecode cheap.
+/// instruction fetch, block predecode, and loop-resident data cheap. The
+/// cache is refreshed by reads as well as writes (interior mutability), so
+/// the common load–load and load–store runs against one page hash at most
+/// once per page switch.
 ///
 /// # Examples
 ///
@@ -37,10 +41,14 @@ type Page = [u8; PAGE_SIZE];
 /// ```
 #[derive(Debug)]
 pub struct Mem {
-    pages: HashMap<u64, Box<Page>>,
+    pages: FxMap<u64, Box<Page>>,
     limit: u64,
-    last_page: u64,
-    last_ptr: *mut Page,
+    last_page: Cell<u64>,
+    last_ptr: Cell<*mut Page>,
+    /// Whether `last_ptr` was derived from a `&mut` lookup. Pointers cached
+    /// by the read path come from a shared reference and must never be
+    /// written through; `page_mut` re-derives them instead.
+    last_writable: Cell<bool>,
 }
 
 impl Clone for Mem {
@@ -50,17 +58,20 @@ impl Clone for Mem {
         Mem {
             pages: self.pages.clone(),
             limit: self.limit,
-            last_page: u64::MAX,
-            last_ptr: std::ptr::null_mut(),
+            last_page: Cell::new(u64::MAX),
+            last_ptr: Cell::new(std::ptr::null_mut()),
+            last_writable: Cell::new(false),
         }
     }
 }
 
 // SAFETY: `last_ptr` always points into a `Box<Page>` owned by `pages` (or is
-// null); it is a cache, never shared, and invalidated on any structural
-// change. `Mem` is therefore as thread-safe as the `HashMap` it owns.
+// null); it is a cache, never shared outside this struct, and invalidated on
+// any structural change. `Mem` is Send but deliberately NOT Sync: the cache
+// cells are updated by `&self` reads, so concurrent shared access from two
+// threads would race on them. Simulators own their memory and move whole
+// into worker threads, which only needs Send.
 unsafe impl Send for Mem {}
-unsafe impl Sync for Mem {}
 
 impl Default for Mem {
     fn default() -> Self {
@@ -85,7 +96,13 @@ impl Mem {
             limit > NULL_GUARD && limit.is_multiple_of(PAGE_SIZE as u64),
             "limit must be page-aligned and above the null guard"
         );
-        Mem { pages: HashMap::new(), limit, last_page: u64::MAX, last_ptr: std::ptr::null_mut() }
+        Mem {
+            pages: FxMap::default(),
+            limit,
+            last_page: Cell::new(u64::MAX),
+            last_ptr: Cell::new(std::ptr::null_mut()),
+            last_writable: Cell::new(false),
+        }
     }
 
     /// Upper bound (exclusive) of the valid address range.
@@ -115,8 +132,9 @@ impl Mem {
         let removed = self.pages.remove(&pno).is_some();
         if removed {
             // The one-entry cache may point into the freed box.
-            self.last_page = u64::MAX;
-            self.last_ptr = std::ptr::null_mut();
+            self.last_page.set(u64::MAX);
+            self.last_ptr.set(std::ptr::null_mut());
+            self.last_writable.set(false);
         }
         removed
     }
@@ -165,24 +183,35 @@ impl Mem {
 
     #[inline]
     fn page_ref(&self, pno: u64) -> Option<&Page> {
-        if pno == self.last_page && !self.last_ptr.is_null() {
-            // SAFETY: see the Send/Sync comment; the cache is kept coherent.
-            return Some(unsafe { &*self.last_ptr });
+        let ptr = self.last_ptr.get();
+        if pno == self.last_page.get() && !ptr.is_null() {
+            // SAFETY: see the Send comment; the cache is kept coherent.
+            return Some(unsafe { &*ptr });
         }
-        self.pages.get(&pno).map(|b| &**b)
+        let page = self.pages.get(&pno)?;
+        // Refresh the cache so runs of reads against one page hash once.
+        // The pointer is derived from a shared reference: readable only.
+        self.last_page.set(pno);
+        self.last_ptr.set(&**page as *const Page as *mut Page);
+        self.last_writable.set(false);
+        Some(page)
     }
 
     #[inline]
     fn page_mut(&mut self, pno: u64) -> &mut Page {
-        if pno == self.last_page && !self.last_ptr.is_null() {
-            // SAFETY: cache is coherent and we hold &mut self.
-            return unsafe { &mut *self.last_ptr };
+        let ptr = self.last_ptr.get();
+        if pno == self.last_page.get() && self.last_writable.get() && !ptr.is_null() {
+            // SAFETY: cache is coherent, the pointer was derived from a
+            // `&mut` lookup, and we hold `&mut self`.
+            return unsafe { &mut *ptr };
         }
         let page = self.pages.entry(pno).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        self.last_page = pno;
-        self.last_ptr = &mut **page as *mut Page;
+        self.last_page.set(pno);
+        let ptr = &mut **page as *mut Page;
+        self.last_ptr.set(ptr);
+        self.last_writable.set(true);
         // SAFETY: pointer freshly derived from the owned box.
-        unsafe { &mut *self.last_ptr }
+        unsafe { &mut *ptr }
     }
 
     /// Reads `buf.len()` bytes starting at `addr` into `buf`.

@@ -1,0 +1,394 @@
+//! The compiled superblock backend.
+//!
+//! [`Backend::Compiled`](crate::Backend::Compiled) is the toolkit's
+//! binary-translation analog taken one step further than the cached backend.
+//! Per (ISA, buildset) it synthesizes a translation layer from the same
+//! single specification:
+//!
+//! * **Flattened action chains.** Each instruction's present actions are
+//!   filtered into a dense array once at block-build time
+//!   ([`lis_core::StepActions::flatten_exec`]), so execution dispatches
+//!   direct-threaded over the chain with no per-step `Option` tests.
+//! * **Superblock chaining.** Every block records the arena index of its
+//!   observed fall-through and taken-branch successors. Hot loops follow
+//!   those links instead of re-entering the PC index, so steady-state
+//!   execution does one hash lookup per *chain*, not per block.
+//! * **Mask-driven elision.** The buildset's precomputed visibility mask is
+//!   consulted at synthesis time: header-only interfaces skip the
+//!   publication walk, the unobserved driver builds no records at all, and
+//!   non-speculative buildsets run with no undo plumbing (the engine wires
+//!   `Exec::undo` to `None` once, at synthesis).
+//!
+//! Links are *hints*, never trusted: each traversal validates that the
+//! linked block actually starts at the wanted PC, so stale links after an
+//! invalidation are harmless — they miss and get repatched. Cache-integrity
+//! rules mirror the cached backend: a chaos-poisoned build is returned as a
+//! one-shot block that is never inserted (and therefore never linkable), and
+//! unmap events drop the whole compiled cache.
+
+use crate::decode::PcMap;
+use crate::engine::{Block, PredecInst};
+use lis_core::{
+    generic_operand_fetch, generic_writeback, ActionFn, ArchState, FieldId, FieldSet, IsaSpec,
+    OperandRef, Operands, RegBacking, F_OPCODE, MAX_DEST, MAX_SRC, SRC_FIELDS,
+};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// "No successor recorded" marker for superblock links and the chain
+/// cursor.
+pub(crate) const NO_LINK: u32 = u32::MAX;
+
+/// "Generic action not present in the chain" marker used while locating
+/// the fetch/writeback slots during translation.
+pub(crate) const NO_STEP: u8 = u8::MAX;
+
+fn read_nothing(_: &ArchState, _: u16) -> u64 {
+    0
+}
+
+fn write_nothing(_: &mut ArchState, _: u16, _: u64) {}
+
+/// A lowered source-operand read. Classes whose [`RegBacking`] admits it
+/// become direct register-file loads; everything else stays an accessor
+/// call.
+#[derive(Clone, Copy)]
+pub(crate) enum SrcOp {
+    /// Accessor call (opaque backing or the class's special index).
+    Call(fn(&ArchState, u16) -> u64, u16),
+    /// Direct `gpr[i]` load.
+    Gpr(u16),
+    /// Direct `spr[slot]` load.
+    Spr(u8),
+}
+
+/// A lowered destination-operand write, with the backing's write mask baked
+/// in for the direct forms.
+#[derive(Clone, Copy)]
+pub(crate) enum DestOp {
+    /// Accessor call (opaque backing or the class's special index).
+    Call(fn(&mut ArchState, u16, u64), u16),
+    /// Direct masked `gpr[i]` store.
+    Gpr(u16, u64),
+    /// Direct masked `spr[slot]` store.
+    Spr(u8, u64),
+}
+
+fn lower_src(isa: &IsaSpec, r: OperandRef) -> SrcOp {
+    let def = &isa.reg_classes[r.class as usize];
+    match def.backing {
+        Some(RegBacking::Gpr { special, .. }) if special != Some(r.index) => SrcOp::Gpr(r.index),
+        Some(RegBacking::Spr { slot, .. }) => SrcOp::Spr(slot),
+        _ => SrcOp::Call(def.read, r.index),
+    }
+}
+
+fn lower_dest(isa: &IsaSpec, r: OperandRef) -> DestOp {
+    let def = &isa.reg_classes[r.class as usize];
+    match def.backing {
+        Some(RegBacking::Gpr { special, write_mask }) if special != Some(r.index) => {
+            DestOp::Gpr(r.index, write_mask)
+        }
+        Some(RegBacking::Spr { slot, write_mask }) => DestOp::Spr(slot, write_mask),
+        _ => DestOp::Call(def.write, r.index),
+    }
+}
+
+/// One instruction in a compiled superblock: the predecoded replay data
+/// plus its flattened direct-threaded action chain.
+///
+/// When an instruction uses the specification's *generic* operand-fetch or
+/// writeback actions in the canonical positions (fetch first, writeback
+/// last), translation strips them from the dispatched range (`mid_lo` /
+/// `mid_hi`) and resolves each operand's register-class accessor once,
+/// here. The fast execution loop then runs the lowered operand list as
+/// straight-line code around the remaining actions — no action call, no
+/// runtime walk of the operand table, no per-slot position tests. The
+/// unspecialized `chain` is kept as-is for the observing and speculative
+/// drivers, whose writeback must capture undo records.
+#[derive(Clone, Copy)]
+pub(crate) struct CompiledInst {
+    /// Instruction index, or [`crate::engine::ILLEGAL`].
+    pub(crate) op: u16,
+    /// Raw instruction word.
+    pub(crate) bits: u32,
+    /// Captured operand identifiers.
+    pub(crate) ops: Operands,
+    /// Captured decode-time `(field, value)` pairs, with the opcode field
+    /// appended so one replay restores the whole decode frame.
+    pub(crate) fields: [(u8, u64); 5],
+    /// Number of valid entries in `fields`.
+    pub(crate) nfields: u8,
+    /// Validity mask covering exactly the `fields` entries — assigning it
+    /// replaces the per-field mask updates of a set-by-set replay.
+    pub(crate) valid: FieldSet,
+    /// True when the decode action must re-run at execution time.
+    pub(crate) fallback: bool,
+    /// Dense execution chain (absent action slots filtered out at build).
+    pub(crate) chain: [ActionFn; 5],
+    /// Number of live entries in `chain`.
+    pub(crate) chain_len: u8,
+    /// End of the chain range dispatched *before* the inlined generic
+    /// fetch (actions such as a predicate check that precede operand
+    /// fetch; usually empty).
+    pub(crate) pre_hi: u8,
+    /// Run the lowered source reads between the pre and mid ranges.
+    pub(crate) has_fetch: bool,
+    /// Start of the chain range dispatched after the inlined fetch.
+    pub(crate) mid_lo: u8,
+    /// End of the dispatched chain range (stops before an inlined trailing
+    /// generic writeback).
+    pub(crate) mid_hi: u8,
+    /// Run the lowered destination writes after the dispatched range.
+    pub(crate) has_wb: bool,
+    /// Lowered source-operand reads.
+    pub(crate) src_read: [SrcOp; MAX_SRC],
+    /// Live entries in `src_read`.
+    pub(crate) nsrc: u8,
+    /// Validity mask for the staged source fields (`SRC_FIELDS[..nsrc]`).
+    pub(crate) src_mask: FieldSet,
+    /// Lowered destination-operand writes.
+    pub(crate) dest_write: [DestOp; MAX_DEST],
+    /// Live entries in `dest_write`.
+    pub(crate) ndest: u8,
+}
+
+impl CompiledInst {
+    fn compile(e: &PredecInst, isa: &IsaSpec) -> CompiledInst {
+        let (chain, chain_len) = e.actions.flatten_exec();
+        let mut fetch_at = NO_STEP;
+        let mut wb_at = NO_STEP;
+        if !e.fallback {
+            // Fallback instructions re-decode at execution time, so their
+            // operands are not translate-time constants.
+            for (i, &a) in chain[..chain_len as usize].iter().enumerate() {
+                if std::ptr::fn_addr_eq(a, generic_operand_fetch as ActionFn) {
+                    fetch_at = i as u8;
+                } else if std::ptr::fn_addr_eq(a, generic_writeback as ActionFn) {
+                    wb_at = i as u8;
+                }
+            }
+        }
+        // Specialize the canonical layout: fetch anywhere before a
+        // trailing writeback (predicate checks may precede the fetch).
+        // Anything else keeps the full chain in the dispatched ranges,
+        // where the generic actions still run correctly as actions.
+        let mut pre_hi = 0u8;
+        let mut mid_lo = 0u8;
+        let mut mid_hi = chain_len;
+        let mut has_fetch = false;
+        let mut has_wb = false;
+        let wb_ok = wb_at == NO_STEP
+            || (chain_len > 0
+                && wb_at == chain_len - 1
+                && (fetch_at == NO_STEP || fetch_at < wb_at));
+        if wb_ok {
+            if fetch_at != NO_STEP {
+                has_fetch = true;
+                pre_hi = fetch_at;
+                mid_lo = fetch_at + 1;
+            }
+            if wb_at != NO_STEP {
+                has_wb = true;
+                mid_hi = chain_len - 1;
+            }
+        }
+        let src_mask =
+            SRC_FIELDS[..e.ops.srcs().len()].iter().fold(FieldSet::EMPTY, |s, &f| s.with(f));
+        let mut fields = [(0u8, 0u64); 5];
+        fields[..4].copy_from_slice(&e.fields);
+        fields[e.nfields as usize] = (F_OPCODE.0, e.op as u64);
+        let nfields = e.nfields + 1;
+        let valid = fields[..nfields as usize]
+            .iter()
+            .fold(FieldSet::EMPTY, |s, &(f, _)| s.with(FieldId(f)));
+        let mut src_read = [SrcOp::Call(read_nothing, 0); MAX_SRC];
+        for (slot, &r) in src_read.iter_mut().zip(e.ops.srcs()) {
+            *slot = lower_src(isa, r);
+        }
+        let mut dest_write = [DestOp::Call(write_nothing, 0); MAX_DEST];
+        for (slot, &r) in dest_write.iter_mut().zip(e.ops.dests()) {
+            *slot = lower_dest(isa, r);
+        }
+        CompiledInst {
+            op: e.op,
+            bits: e.bits,
+            ops: e.ops,
+            fields,
+            nfields,
+            valid,
+            fallback: e.fallback,
+            chain,
+            chain_len,
+            pre_hi,
+            has_fetch,
+            mid_lo,
+            mid_hi,
+            has_wb,
+            src_read,
+            nsrc: e.ops.srcs().len() as u8,
+            src_mask,
+            dest_write,
+            ndest: e.ops.dests().len() as u8,
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledInst")
+            .field("op", &self.op)
+            .field("bits", &format_args!("{:#010x}", self.bits))
+            .field("chain_len", &self.chain_len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A compiled basic block with successor links.
+pub(crate) struct Superblock {
+    /// First instruction's PC.
+    pub(crate) entry: u64,
+    /// The compiled instructions.
+    pub(crate) insts: Box<[CompiledInst]>,
+    /// Arena index of the sequential (fall-through) successor.
+    fallthrough: Cell<u32>,
+    /// Arena index of the last observed taken-flow successor.
+    taken: Cell<u32>,
+    /// Entry PC the `taken` link leads to.
+    taken_pc: Cell<u64>,
+}
+
+impl Superblock {
+    pub(crate) fn compile(entry: u64, block: &Block, isa: &IsaSpec) -> Superblock {
+        Superblock {
+            entry,
+            insts: block.insts.iter().map(|e| CompiledInst::compile(e, isa)).collect(),
+            fallthrough: Cell::new(NO_LINK),
+            taken: Cell::new(NO_LINK),
+            taken_pc: Cell::new(0),
+        }
+    }
+
+    /// PC of the instruction after this block (the sequential successor's
+    /// entry).
+    #[inline]
+    pub(crate) fn fallthrough_pc(&self, pc_mask: u64) -> u64 {
+        self.entry.wrapping_add(4 * self.insts.len() as u64) & pc_mask
+    }
+}
+
+impl std::fmt::Debug for Superblock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Superblock")
+            .field("entry", &format_args!("{:#x}", self.entry))
+            .field("len", &self.insts.len())
+            .field("fallthrough", &self.fallthrough.get())
+            .field("taken", &self.taken.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The per-simulator compiled-code cache: an arena of superblocks plus a PC
+/// index and the chain-patching cursor. Links are arena indices into the
+/// arena vector; clearing the arena invalidates every link at once because
+/// traversal always bounds-checks and validates the target entry PC.
+#[derive(Debug)]
+pub(crate) struct CompiledCache {
+    arena: Vec<Rc<Superblock>>,
+    index: PcMap<u32>,
+    /// Arena index of the most recently executed cached block, used to
+    /// patch successor links as control flow is observed.
+    pub(crate) last: u32,
+}
+
+impl Default for CompiledCache {
+    fn default() -> Self {
+        CompiledCache { arena: Vec::new(), index: PcMap::default(), last: NO_LINK }
+    }
+}
+
+impl CompiledCache {
+    /// Drops every superblock, link, and the cursor.
+    pub(crate) fn clear(&mut self) {
+        self.arena.clear();
+        self.index.clear();
+        self.last = NO_LINK;
+    }
+
+    /// Number of cached superblocks.
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Index lookup by entry PC.
+    pub(crate) fn lookup(&self, pc: u64) -> Option<(Rc<Superblock>, u32)> {
+        let &idx = self.index.get(&pc)?;
+        Some((Rc::clone(&self.arena[idx as usize]), idx))
+    }
+
+    /// Inserts a block, returning its arena index ([`NO_LINK`] if the arena
+    /// is implausibly full, in which case the block stays one-shot).
+    pub(crate) fn insert(&mut self, pc: u64, sb: Rc<Superblock>) -> u32 {
+        if self.arena.len() >= NO_LINK as usize {
+            return NO_LINK;
+        }
+        let idx = self.arena.len() as u32;
+        self.arena.push(sb);
+        self.index.insert(pc, idx);
+        idx
+    }
+
+    /// Records that control flowed from block `from` into the block at `pc`
+    /// (arena index `to`), patching the matching successor link.
+    pub(crate) fn patch(&self, from: u32, to: u32, pc: u64, pc_mask: u64) {
+        let Some(prev) = self.arena.get(from as usize) else { return };
+        if pc == prev.fallthrough_pc(pc_mask) {
+            prev.fallthrough.set(to);
+        } else {
+            prev.taken.set(to);
+            prev.taken_pc.set(pc);
+        }
+    }
+
+    /// Follows a successor link of block `from` toward `pc`. Returns the
+    /// linked block only when the hint exists and the target really starts
+    /// at `pc` — stale or missing links simply miss.
+    #[inline]
+    pub(crate) fn follow(&self, from: u32, pc: u64, pc_mask: u64) -> Option<(Rc<Superblock>, u32)> {
+        let prev = self.arena.get(from as usize)?;
+        let hint = if pc == prev.fallthrough_pc(pc_mask) {
+            prev.fallthrough.get()
+        } else if pc == prev.taken_pc.get() {
+            prev.taken.get()
+        } else {
+            NO_LINK
+        };
+        let sb = self.arena.get(hint as usize)?;
+        (sb.entry == pc).then(|| (Rc::clone(sb), hint))
+    }
+
+    /// [`CompiledCache::follow`] without the `Rc` traffic: returns the
+    /// linked block's arena index for callers that borrow blocks through
+    /// [`CompiledCache::peek`] instead of holding them. The chain loop
+    /// follows links this way — two refcount updates per basic block add
+    /// up when hot blocks are two instructions long.
+    #[inline]
+    pub(crate) fn follow_idx(&self, from: u32, pc: u64, pc_mask: u64) -> Option<u32> {
+        let prev = self.arena.get(from as usize)?;
+        let hint = if pc == prev.fallthrough_pc(pc_mask) {
+            prev.fallthrough.get()
+        } else if pc == prev.taken_pc.get() {
+            prev.taken.get()
+        } else {
+            NO_LINK
+        };
+        let sb = self.arena.get(hint as usize)?;
+        (sb.entry == pc).then_some(hint)
+    }
+
+    /// Borrows an arena block by index.
+    #[inline]
+    pub(crate) fn peek(&self, idx: u32) -> Option<&Superblock> {
+        self.arena.get(idx as usize).map(|rc| &**rc)
+    }
+}

@@ -47,47 +47,19 @@ impl DecodeTable {
     }
 }
 
-/// A fast, deterministic hasher for PC-keyed maps (block and decode caches).
-/// PCs are small, well-distributed integers; SipHash is overkill on the hot
-/// path.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PcHasher(u64);
-
-impl std::hash::Hasher for PcHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        // Fibonacci-style multiplicative mix; enough for page-aligned PCs.
-        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-}
+/// The fast, deterministic FxHash-style hasher for PC-keyed maps (block,
+/// decode, and compiled-code caches). PCs are small, well-distributed
+/// integers, and the maps never outlive a single deterministic run, so
+/// SipHash's keyed DoS resistance is pure overhead on the hot path. The
+/// implementation lives in `lis-mem` (which uses it for its page table) so
+/// there is exactly one copy in the tree.
+pub use lis_mem::fx::FxHasher as PcHasher;
 
 /// `BuildHasher` for the PC hasher.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PcHashBuilder;
-
-impl std::hash::BuildHasher for PcHashBuilder {
-    type Hasher = PcHasher;
-
-    #[inline]
-    fn build_hasher(&self) -> PcHasher {
-        PcHasher(0)
-    }
-}
+pub use lis_mem::fx::FxBuildHasher as PcHashBuilder;
 
 /// A `HashMap` keyed by PC using the fast hasher.
-pub type PcMap<V> = std::collections::HashMap<u64, V, PcHashBuilder>;
+pub type PcMap<V> = lis_mem::fx::FxMap<u64, V>;
 
 #[cfg(test)]
 mod tests {
@@ -108,6 +80,38 @@ mod tests {
         let isa = toy::spec();
         let table = DecodeTable::build(isa);
         assert!(table.mean_bucket_len() < isa.num_insts() as f64);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_spreads_aligned_keys() {
+        use std::hash::BuildHasher;
+        let h = |pc: u64| PcHashBuilder.hash_one(pc);
+        assert_eq!(h(0x1000), h(0x1000));
+        // Word-aligned PCs must spread across the top bits hashbrown
+        // indexes with (h1 uses the high bits, h2 the top 7).
+        let mut tops = std::collections::HashSet::new();
+        for pc in (0x1000u64..0x1000 + 4 * 1024).step_by(4) {
+            tops.insert(h(pc) >> 57);
+        }
+        assert!(tops.len() > 100, "top-bit spread too poor: {}", tops.len());
+    }
+
+    #[test]
+    fn hasher_byte_path_matches_chunking() {
+        use std::hash::Hasher;
+        // 11 bytes: one full chunk plus a 3-byte tail; both orders of
+        // feeding must agree with the one-shot write.
+        let bytes: Vec<u8> = (1..=11).collect();
+        let mut a = PcHasher::default();
+        a.write(&bytes);
+        let mut b = PcHasher::default();
+        b.write(&bytes);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = PcHasher::default();
+        c.write(&bytes[..8]);
+        let mut d = PcHasher::default();
+        d.write_u64(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+        assert_eq!(c.finish(), d.finish());
     }
 
     #[test]

@@ -21,19 +21,21 @@
 //! the interpreted backend re-fetches and re-decodes every time (the paper's
 //! footnote 5 comparison).
 
+use crate::compile::{CompiledCache, CompiledInst, DestOp, SrcOp, Superblock, NO_LINK};
 use crate::decode::{DecodeTable, PcMap};
 use crate::error::{invalid_interface, BuildError, IfaceError, SimStop};
 use crate::stats::{RunSummary, SimStats};
 use lis_core::{
     check_interface, ArchState, BuildsetDef, DynInst, Exec, Fault, FieldSet, Frame, InstClass,
-    InstHeader, IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, F_OPCODE,
+    InstHeader, IsaSpec, Operands, OsMark, OsState, Semantic, Step, UndoLog, UndoMark, DEST_FIELDS,
+    F_OPCODE, SRC_FIELDS,
 };
 use lis_mem::{ChaosPlan, ChaosState, Image};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Marker for an undecodable word inside a predecoded block.
-const ILLEGAL: u16 = u16::MAX;
+pub(crate) const ILLEGAL: u16 = u16::MAX;
 
 /// Default maximum basic-block length in instructions.
 pub const DEFAULT_MAX_BLOCK: usize = 64;
@@ -49,6 +51,11 @@ pub enum Backend {
     Cached,
     /// Re-fetch and re-decode every instruction on every execution.
     Interpreted,
+    /// Translate superblocks: flattened direct-threaded action chains,
+    /// chained block successors, and buildset-specialized elision of
+    /// publish/undo work (the aggressive binary-translation analog; see
+    /// [`crate::compile`](self)).
+    Compiled,
 }
 
 /// One predecoded instruction inside a cached block.
@@ -60,23 +67,23 @@ pub enum Backend {
 /// analog of the paper's binary-translation optimization scope: work moves
 /// out of the per-execution loop at block granularity.
 #[derive(Clone, Copy)]
-struct PredecInst {
+pub(crate) struct PredecInst {
     /// Instruction index, or [`ILLEGAL`].
-    op: u16,
+    pub(crate) op: u16,
     /// Raw instruction word.
-    bits: u32,
+    pub(crate) bits: u32,
     /// Captured operand identifiers.
-    ops: Operands,
+    pub(crate) ops: Operands,
     /// Captured decode-time `(field, value)` pairs.
-    fields: [(u8, u64); 4],
+    pub(crate) fields: [(u8, u64); 4],
     /// Number of valid entries in `fields`.
-    nfields: u8,
+    pub(crate) nfields: u8,
     /// True when the decode action must re-run at execution time (it
     /// faulted or produced more fields than the capture buffer holds).
-    fallback: bool,
+    pub(crate) fallback: bool,
     /// The instruction's resolved action pointers, so the block loop
     /// dispatches without re-walking the instruction table.
-    actions: lis_core::StepActions,
+    pub(crate) actions: lis_core::StepActions,
 }
 
 impl std::fmt::Debug for PredecInst {
@@ -91,8 +98,8 @@ impl std::fmt::Debug for PredecInst {
 
 /// A predecoded basic block.
 #[derive(Debug)]
-struct Block {
-    insts: Vec<PredecInst>,
+pub(crate) struct Block {
+    pub(crate) insts: Vec<PredecInst>,
 }
 
 /// A speculation checkpoint.
@@ -155,6 +162,8 @@ pub struct Simulator {
     inst_fault: bool,
     blocks: PcMap<Rc<Block>>,
     inst_cache: PcMap<(u16, u32)>,
+    /// Compiled-backend superblock cache (arena + PC index + chain links).
+    compiled: CompiledCache,
     checkpoints: Vec<Checkpoint>,
     /// Execution statistics.
     pub stats: SimStats,
@@ -172,6 +181,11 @@ pub struct Simulator {
     vis_fields: FieldSet,
     /// Whether publications carry operand identifiers (same hoisting).
     vis_ops: bool,
+    /// Whether the buildset publishes nothing beyond the header, resolved
+    /// once at synthesis time: publication then skips the mask walk
+    /// entirely (the mask-driven elision the compiled backend leans on,
+    /// shared by every backend since the publish path is common).
+    hdr_only: bool,
     /// Reusable block-publication buffer for the driver loop; taken and
     /// restored by [`Simulator::run_with_sink`] so repeated drive calls
     /// never re-grow a fresh `Vec`.
@@ -232,6 +246,7 @@ impl Simulator {
             inst_fault: false,
             blocks: PcMap::default(),
             inst_cache: PcMap::default(),
+            compiled: CompiledCache::default(),
             checkpoints: Vec::new(),
             stats: SimStats::default(),
             max_block: DEFAULT_MAX_BLOCK,
@@ -241,6 +256,7 @@ impl Simulator {
             deadline: None,
             vis_fields: buildset.visibility.fields,
             vis_ops: buildset.visibility.operand_ids,
+            hdr_only: buildset.elides_publish(),
             scratch: Vec::new(),
         }
     }
@@ -325,10 +341,18 @@ impl Simulator {
         self.backend
     }
 
-    /// Discards all predecoded state (needed after loading new code).
+    /// Discards all predecoded and compiled state (needed after loading new
+    /// code).
     pub fn clear_caches(&mut self) {
         self.blocks.clear();
         self.inst_cache.clear();
+        self.compiled.clear();
+    }
+
+    /// Number of superblocks currently in the compiled-code cache (test and
+    /// diagnostics hook; zero unless the backend is [`Backend::Compiled`]).
+    pub fn compiled_blocks(&self) -> usize {
+        self.compiled.len()
     }
 
     /// Loads a program image, points the PC at its entry, sets up the stack
@@ -528,28 +552,68 @@ impl Simulator {
         Ok(())
     }
 
+    /// Runs the post-decode steps (operand fetch → exception) through cached
+    /// action pointers, in step order. This is the *single* interpreted
+    /// invocation sequence behind `next_block`, `fast_forward`, and the
+    /// predecode-fallback path; the compiled backend's flattened chains
+    /// ([`CompiledInst`]) are its pre-filtered counterpart.
+    #[inline]
+    fn run_exec_actions(
+        &mut self,
+        opcode: u16,
+        actions: &lis_core::StepActions,
+    ) -> Result<(), Fault> {
+        let mut ex = self.exec(opcode);
+        actions.exec_slots().into_iter().flatten().try_for_each(|a| a(&mut ex))
+    }
+
     /// Runs decode..exception for a decoded instruction (One/Block paths).
     #[inline]
     fn run_all_actions(&mut self, opcode: u16) -> Result<(), Fault> {
         self.frame.set(F_OPCODE, opcode as u64);
         let actions = self.isa.inst(opcode).actions;
-        let mut ex = self.exec(opcode);
         if let Some(a) = actions.decode {
+            let mut ex = self.exec(opcode);
             a(&mut ex)?;
         }
-        if let Some(a) = actions.operand_fetch {
-            a(&mut ex)?;
+        self.run_exec_actions(opcode, &actions)
+    }
+
+    /// Replays a predecoded instruction: captured decode results back into
+    /// the working frame, then the shared execution chain. Falls back to
+    /// the full decode-inclusive path when the capture overflowed or the
+    /// decode action faulted at build time.
+    #[inline]
+    fn exec_predec(&mut self, e: &PredecInst, ipc: u64) -> Result<(), Fault> {
+        if e.op == ILLEGAL {
+            return Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits });
         }
-        if let Some(a) = actions.evaluate {
-            a(&mut ex)?;
+        if e.fallback {
+            return self.run_all_actions(e.op);
         }
-        if let Some(a) = actions.memory {
-            a(&mut ex)?;
+        self.ops = e.ops;
+        for &(f, v) in &e.fields[..e.nfields as usize] {
+            self.frame.set(lis_core::FieldId(f), v);
         }
-        if let Some(a) = actions.writeback {
-            a(&mut ex)?;
+        self.frame.set(F_OPCODE, e.op as u64);
+        self.run_exec_actions(e.op, &e.actions)
+    }
+
+    /// Executes one compiled instruction: the same replay as
+    /// [`Simulator::exec_predec`], but dispatching direct-threaded over the
+    /// flattened chain — no per-step `Option` tests at run time.
+    #[inline]
+    fn exec_compiled(&mut self, e: &CompiledInst, ipc: u64) -> Result<(), Fault> {
+        if e.op == ILLEGAL {
+            return Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits });
         }
-        if let Some(a) = actions.exception {
+        if e.fallback {
+            return self.run_all_actions(e.op);
+        }
+        self.ops = e.ops;
+        self.frame.replay(&e.fields[..e.nfields as usize], e.valid);
+        let mut ex = self.exec(e.op);
+        for a in &e.chain[..e.chain_len as usize] {
             a(&mut ex)?;
         }
         Ok(())
@@ -562,10 +626,29 @@ impl Simulator {
     /// operand-set copy.
     #[inline]
     fn publish(&mut self, di: &mut DynInst, fault: Option<Fault>) {
+        if self.hdr_only {
+            // The mask excludes every field and the operand identifiers:
+            // nothing to walk, nothing to charge (an empty-mask publish
+            // counts zero published_values and zero published_opsets).
+            di.publish_header(self.header, fault);
+            return;
+        }
         di.header = self.header;
         di.fault = fault;
         di.publish(&self.frame, self.vis_fields, &self.ops, self.vis_ops);
         self.stats.published_values += u64::from(di.fields_valid().len());
+        self.stats.published_opsets += u64::from(self.vis_ops);
+    }
+
+    /// Charges the publication detail counters without building a record —
+    /// the unobserved compiled driver's statically elided publish. The
+    /// charges are exactly what [`Simulator::publish`] would have counted,
+    /// keeping `detail_units` a pure function of (program, buildset,
+    /// backend) whether or not anyone observes the records.
+    #[inline]
+    fn charge_publish(&mut self) {
+        self.stats.published_values +=
+            u64::from((self.frame.valid().0 & self.vis_fields.0).count_ones());
         self.stats.published_opsets += u64::from(self.vis_ops);
     }
 
@@ -583,8 +666,11 @@ impl Simulator {
             if chaos.maybe_unmap(&mut self.state.mem) {
                 // Discarded code may be cached; predecoded state is now
                 // unreliable (the chaos fault-storm invalidation path).
+                // Superblock chains go with it: links into a cleared arena
+                // can never validate.
                 self.blocks.clear();
                 self.inst_cache.clear();
+                self.compiled.clear();
             }
         }
     }
@@ -620,7 +706,9 @@ impl Simulator {
         self.begin_inst(pc);
 
         let result = (|| -> Result<(), Fault> {
-            let opcode = if self.backend == Backend::Cached {
+            // One-semantic interfaces have no blocks to compile; the
+            // compiled backend degenerates to the decode cache here.
+            let opcode = if self.backend != Backend::Interpreted {
                 if let Some(&(op, bits)) = self.inst_cache.get(&pc) {
                     // The decode cache replaces the fetch, so the chaos flip
                     // channel applies to the delivered word here; a corrupted
@@ -689,36 +777,36 @@ impl Simulator {
         let mut done = 0u64;
         'outer: while done < n && !self.state.halted {
             let pc = self.state.pc & self.isa.pc_mask;
+            if self.backend == Backend::Compiled {
+                let Ok((sb, _)) = self.lookup_compiled(pc) else { break };
+                self.stats.blocks += 1;
+                for (i, e) in sb.insts.iter().enumerate() {
+                    let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
+                    self.begin_inst(ipc);
+                    self.header.instr_bits = e.bits;
+                    if self.exec_compiled(e, ipc).is_err() {
+                        // Leave the PC at the faulting instruction; a
+                        // regular interface call will reproduce it.
+                        break 'outer;
+                    }
+                    self.retire();
+                    done += 1;
+                    if self.state.halted
+                        || done == n
+                        || self.header.next_pc != ipc.wrapping_add(4) & self.isa.pc_mask
+                    {
+                        continue 'outer;
+                    }
+                }
+                continue 'outer;
+            }
             let Ok(block) = self.lookup_block(pc) else { break };
             self.stats.blocks += 1;
             for (i, e) in block.insts.iter().enumerate() {
                 let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
                 self.begin_inst(ipc);
                 self.header.instr_bits = e.bits;
-                let result = if e.op == ILLEGAL {
-                    Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits })
-                } else if e.fallback {
-                    self.run_all_actions(e.op)
-                } else {
-                    self.ops = e.ops;
-                    for &(f, v) in &e.fields[..e.nfields as usize] {
-                        self.frame.set(lis_core::FieldId(f), v);
-                    }
-                    self.frame.set(F_OPCODE, e.op as u64);
-                    let actions = e.actions;
-                    let mut ex = self.exec(e.op);
-                    [
-                        actions.operand_fetch,
-                        actions.evaluate,
-                        actions.memory,
-                        actions.writeback,
-                        actions.exception,
-                    ]
-                    .into_iter()
-                    .flatten()
-                    .try_for_each(|a| a(&mut ex))
-                };
-                if result.is_err() {
+                if self.exec_predec(e, ipc).is_err() {
                     // Leave the PC at the faulting instruction; a regular
                     // interface call will reproduce and report the fault.
                     break 'outer;
@@ -750,6 +838,9 @@ impl Simulator {
         self.check_semantic(Semantic::Block)?;
         self.stats.calls += 1;
         self.stats.blocks += 1;
+        if self.backend == Backend::Compiled {
+            return self.next_block_compiled(out);
+        }
         let pc = self.state.pc & self.isa.pc_mask;
         // `out` slots are reused across calls: existing records are
         // overwritten in place, so the per-instruction cost is the
@@ -759,16 +850,7 @@ impl Simulator {
         let block = match self.lookup_block(pc) {
             Ok(b) => b,
             Err(fault) => {
-                // The very first fetch of the block faulted.
-                self.begin_inst(pc);
-                if out.is_empty() {
-                    out.push(DynInst::new());
-                }
-                out[0].clear();
-                let (head, _) = out.split_at_mut(1);
-                self.publish(&mut head[0], Some(fault));
-                self.stats.faults += 1;
-                out.truncate(1);
+                self.publish_head_fault(out, pc, fault);
                 return Ok(0);
             }
         };
@@ -777,39 +859,70 @@ impl Simulator {
             let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
             self.begin_inst(ipc);
             self.header.instr_bits = e.bits;
-            let result = if e.op == ILLEGAL {
-                Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits })
-            } else if e.fallback {
-                self.run_all_actions(e.op)
-            } else {
-                // Replay the captured decode results and run the remaining
-                // steps through the cached action pointers.
-                self.ops = e.ops;
-                for &(f, v) in &e.fields[..e.nfields as usize] {
-                    self.frame.set(lis_core::FieldId(f), v);
+            // Replay the captured decode results and run the remaining
+            // steps through the shared action-chain helper.
+            let result = self.exec_predec(e, ipc);
+            if out.len() == count {
+                out.push(DynInst::new());
+            }
+            let di = &mut out[count];
+            di.clear();
+            count += 1;
+            match result {
+                Ok(()) => {
+                    self.publish(di, None);
+                    self.retire();
+                    if self.state.halted {
+                        break;
+                    }
+                    if self.header.next_pc != ipc.wrapping_add(4) & self.isa.pc_mask {
+                        break; // taken control flow ends the block
+                    }
                 }
-                self.frame.set(F_OPCODE, e.op as u64);
-                (|| -> Result<(), Fault> {
-                    let actions = e.actions;
-                    let mut ex = self.exec(e.op);
-                    if let Some(a) = actions.operand_fetch {
-                        a(&mut ex)?;
-                    }
-                    if let Some(a) = actions.evaluate {
-                        a(&mut ex)?;
-                    }
-                    if let Some(a) = actions.memory {
-                        a(&mut ex)?;
-                    }
-                    if let Some(a) = actions.writeback {
-                        a(&mut ex)?;
-                    }
-                    if let Some(a) = actions.exception {
-                        a(&mut ex)?;
-                    }
-                    Ok(())
-                })()
-            };
+                Err(fault) => {
+                    self.publish(di, Some(fault));
+                    self.stats.faults += 1;
+                    break;
+                }
+            }
+        }
+        out.truncate(count);
+        Ok(count)
+    }
+
+    /// Publishes the single faulting record a block call produces when the
+    /// very first fetch of the block faults.
+    fn publish_head_fault(&mut self, out: &mut Vec<DynInst>, pc: u64, fault: Fault) {
+        self.begin_inst(pc);
+        if out.is_empty() {
+            out.push(DynInst::new());
+        }
+        out[0].clear();
+        let (head, _) = out.split_at_mut(1);
+        self.publish(&mut head[0], Some(fault));
+        self.stats.faults += 1;
+        out.truncate(1);
+    }
+
+    /// [`Simulator::next_block`] on the compiled backend: same one block
+    /// per call, same publication contract, but execution dispatches over
+    /// flattened chains and block lookup prefers the previous block's
+    /// successor links to the PC index.
+    fn next_block_compiled(&mut self, out: &mut Vec<DynInst>) -> Result<usize, IfaceError> {
+        let pc = self.state.pc & self.isa.pc_mask;
+        let mut count = 0usize;
+        let sb = match self.lookup_compiled(pc) {
+            Ok((sb, _)) => sb,
+            Err(fault) => {
+                self.publish_head_fault(out, pc, fault);
+                return Ok(0);
+            }
+        };
+        for (i, e) in sb.insts.iter().enumerate() {
+            let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
+            self.begin_inst(ipc);
+            self.header.instr_bits = e.bits;
+            let result = self.exec_compiled(e, ipc);
             if out.len() == count {
                 out.push(DynInst::new());
             }
@@ -872,6 +985,59 @@ impl Simulator {
     /// architectural fetch, so chaos injection does not apply.
     fn block_is_fresh(&self, pc: u64, block: &Block) -> bool {
         let Some(first) = block.insts.first() else { return false };
+        match self.state.mem.fetch_u32(pc & self.isa.pc_mask, self.isa.endian) {
+            Ok(word) => word == first.bits,
+            Err(_) => false,
+        }
+    }
+
+    /// Looks up (or builds) the compiled superblock starting at `pc`,
+    /// preferring the previous block's successor links over the PC index
+    /// and patching links as control flow is observed. The returned arena
+    /// index is [`NO_LINK`] for one-shot blocks (stale rebuilds and
+    /// chaos-poisoned builds), which are never cached and never linkable.
+    fn lookup_compiled(&mut self, pc: u64) -> Result<(Rc<Superblock>, u32), Fault> {
+        let prev = self.compiled.last;
+        let hit =
+            self.compiled.follow(prev, pc, self.isa.pc_mask).or_else(|| self.compiled.lookup(pc));
+        if let Some((sb, idx)) = hit {
+            if !self.verify_cache || self.superblock_is_fresh(pc, &sb) {
+                self.compiled.patch(prev, idx, pc, self.isa.pc_mask);
+                self.compiled.last = idx;
+                return Ok((sb, idx));
+            }
+            // Graceful degradation, as for the cached backend — except that
+            // chained successors may be equally stale, so the whole
+            // compiled cache is dropped, not just this entry.
+            self.compiled.clear();
+            self.stats.fallback_blocks += 1;
+            let (block, _) = self.build_block(pc)?;
+            self.stats.blocks_built += 1;
+            return Ok((Rc::new(Superblock::compile(pc, &block, self.isa)), NO_LINK));
+        }
+        let (block, poisoned) = self.build_block(pc)?;
+        self.stats.blocks_built += 1;
+        let sb = Rc::new(Superblock::compile(pc, &block, self.isa));
+        if poisoned {
+            // A chaos-corrupted build stays transient: not cached, not
+            // linkable, and the chain cursor is dropped so no later block
+            // links back through it.
+            self.compiled.last = NO_LINK;
+            return Ok((sb, NO_LINK));
+        }
+        let idx = self.compiled.insert(pc, Rc::clone(&sb));
+        if idx != NO_LINK {
+            self.compiled.patch(prev, idx, pc, self.isa.pc_mask);
+        }
+        self.compiled.last = idx;
+        Ok((sb, idx))
+    }
+
+    /// [`Simulator::block_is_fresh`] for superblocks: same first-word
+    /// integrity probe, applied on every block entry (linked or indexed)
+    /// when cache verification is on.
+    fn superblock_is_fresh(&self, pc: u64, sb: &Superblock) -> bool {
+        let Some(first) = sb.insts.first() else { return false };
         match self.state.mem.fetch_u32(pc & self.isa.pc_mask, self.isa.endian) {
             Ok(word) => word == first.bits,
             Err(_) => false,
@@ -996,7 +1162,7 @@ impl Simulator {
                 self.reload(di);
                 let pc = self.header.pc;
                 let bits = self.header.instr_bits;
-                let op = if self.backend == Backend::Cached && !self.inst_flipped {
+                let op = if self.backend != Backend::Interpreted && !self.inst_flipped {
                     match self.inst_cache.get(&pc) {
                         Some(&(op, _)) => op,
                         None => {
@@ -1148,7 +1314,270 @@ impl Simulator {
     /// [`SimStop::Deadline`] when a wall-clock deadline set with
     /// [`Simulator::set_deadline`] expires.
     pub fn run_to_halt(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
+        if self.backend == Backend::Compiled && self.bs.semantic == Semantic::Block {
+            return self.run_compiled(max_insts);
+        }
         self.run_with_sink(max_insts, |_| {})
+    }
+
+    /// The compiled backend's unobserved block driver: chains superblocks
+    /// with no record construction at all. With no sink there is nobody to
+    /// observe the publication buffers, so the work the visibility mask
+    /// would govern is statically elided — only the deterministic detail
+    /// charges remain ([`Simulator::charge_publish`]), keeping every
+    /// counter identical to the record-publishing drivers.
+    fn run_compiled(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
+        let start = self.stats.insts;
+        let started_at = self.deadline.map(|limit| (Instant::now(), limit));
+        let mut ticks = 0u32;
+        // The hot configuration: nobody injecting faults, no undo log to
+        // drain. Every per-instruction effect then lands in the execution
+        // frame, the header, the architectural state, or the stats counters,
+        // so the superblock can run on one Exec context built per *block*
+        // (not per instruction) over split field borrows.
+        let fast = self.chaos.is_none() && !self.bs.speculation;
+        while !self.state.halted {
+            if self.stats.insts - start >= max_insts {
+                return Err(SimStop::MaxInsts);
+            }
+            if let Some((t0, limit)) = started_at {
+                if ticks & 0x3f == 0 && t0.elapsed() >= limit {
+                    return Err(SimStop::Deadline);
+                }
+                ticks = ticks.wrapping_add(1);
+            }
+            self.stats.calls += 1;
+            self.stats.blocks += 1;
+            let pc = self.state.pc & self.isa.pc_mask;
+            let (sb, idx) = match self.lookup_compiled(pc) {
+                Ok(hit) => hit,
+                Err(fault) => {
+                    // Mirror the block call's head-fault record accounting.
+                    self.begin_inst(pc);
+                    self.charge_publish();
+                    self.stats.faults += 1;
+                    return Err(SimStop::Fault(fault));
+                }
+            };
+            if fast {
+                let left = max_insts - (self.stats.insts - start);
+                self.run_superchain_fast(sb, idx, pc, left, started_at)?;
+                continue;
+            }
+            for (i, e) in sb.insts.iter().enumerate() {
+                let ipc = (pc.wrapping_add(4 * i as u64)) & self.isa.pc_mask;
+                self.begin_inst(ipc);
+                self.header.instr_bits = e.bits;
+                match self.exec_compiled(e, ipc) {
+                    Ok(()) => {
+                        self.charge_publish();
+                        self.retire();
+                        if self.state.halted {
+                            break;
+                        }
+                        if self.header.next_pc != ipc.wrapping_add(4) & self.isa.pc_mask {
+                            break; // taken control flow ends the block
+                        }
+                    }
+                    Err(fault) => {
+                        self.charge_publish();
+                        self.stats.faults += 1;
+                        return Err(SimStop::Fault(fault));
+                    }
+                }
+            }
+        }
+        Ok(RunSummary {
+            insts: self.stats.insts - start,
+            halted: self.state.halted,
+            exit_code: self.state.exit_code,
+        })
+    }
+
+    /// Superblock-chain execution on the unobserved fast path: chaos-free
+    /// and non-speculative by precondition, so a single [`Exec`] context
+    /// serves the whole chain and the per-instruction work reduces to the
+    /// frame reset, the decode replay, the flattened chain, and the
+    /// deterministic stat charges (accumulated in locals and flushed at
+    /// every exit). When a block ends, execution follows the superblock's
+    /// successor links *inline* — steady-state hot loops never leave this
+    /// function, paying the driver's lookup/dispatch cost only on a link
+    /// miss. Counter-for-counter identical to the slow loop: each embedded
+    /// block charges one call and one block, exactly like a driver entry.
+    fn run_superchain_fast(
+        &mut self,
+        sb: Rc<Superblock>,
+        mut idx: u32,
+        mut pc: u64,
+        insts_left: u64,
+        started_at: Option<(Instant, Duration)>,
+    ) -> Result<(), SimStop> {
+        let isa = self.isa;
+        let mask = isa.pc_mask;
+        let vis = self.vis_fields.0;
+        let vis_ops = u64::from(self.vis_ops);
+        // Freshness probes (cache verification) live in the driver's lookup,
+        // so inline chaining would skip them; chain only when it is off.
+        let may_chain = !self.verify_cache;
+        let Simulator { frame, ops, header, state, os, stats, compiled, .. } = self;
+        let mut ex =
+            Exec { isa, frame, ops, header, opcode: 0, state, os, undo: None, chaos: None };
+        // Local accumulators keep the per-instruction counter traffic in
+        // registers; flushed on every path out of the chain.
+        let mut insts = 0u64;
+        let mut pv = 0u64;
+        let mut po = 0u64;
+        let mut links = 0u64;
+        let mut ticks = 0u32;
+        // The entry block is held by `Rc` (one-shot blocks never enter the
+        // arena); chained successors are borrowed from the arena by index,
+        // avoiding two refcount updates per basic block.
+        let mut cur: &Superblock = &sb;
+        'chain: loop {
+            let mut fault = None;
+            for (i, e) in cur.insts.iter().enumerate() {
+                let ipc = pc.wrapping_add(4 * i as u64) & mask;
+                ex.header.pc = ipc;
+                ex.header.phys_pc = ipc; // identity address translation
+                ex.header.next_pc = ipc.wrapping_add(4) & mask;
+                ex.header.instr_bits = e.bits;
+                ex.opcode = e.op;
+                let result = if e.op == ILLEGAL {
+                    ex.frame.clear();
+                    Err(Fault::IllegalInstruction { pc: ipc, bits: e.bits })
+                } else if e.fallback {
+                    // Rare: the predecode capture overflowed, so decode
+                    // reruns.
+                    ex.frame.clear();
+                    ex.ops.clear();
+                    ex.frame.set(F_OPCODE, e.op as u64);
+                    let actions = isa.inst(e.op).actions;
+                    match actions.decode.map_or(Ok(()), |a| a(&mut ex)) {
+                        Ok(()) => {
+                            actions.exec_slots().into_iter().flatten().try_for_each(|a| a(&mut ex))
+                        }
+                        Err(fault) => Err(fault),
+                    }
+                } else {
+                    *ex.ops = e.ops;
+                    ex.frame.replay(&e.fields[..e.nfields as usize], e.valid);
+                    let mut r = Ok(());
+                    for a in &e.chain[..e.pre_hi as usize] {
+                        r = a(&mut ex);
+                        if r.is_err() {
+                            break;
+                        }
+                    }
+                    if r.is_ok() {
+                        if e.has_fetch {
+                            // Generic operand fetch, specialized at
+                            // translation: operands whose class declares a
+                            // register-file backing were lowered to direct
+                            // loads; the rest keep their resolved
+                            // accessor. Values are staged and the validity
+                            // mask updated once for the batch.
+                            for (j, src) in e.src_read[..e.nsrc as usize].iter().enumerate() {
+                                let v = match *src {
+                                    SrcOp::Gpr(i) => ex.state.gpr[i as usize],
+                                    SrcOp::Spr(s) => ex.state.spr[s as usize],
+                                    SrcOp::Call(read, i) => read(ex.state, i),
+                                };
+                                ex.frame.stage(SRC_FIELDS[j], v);
+                            }
+                            ex.frame.mark_valid(e.src_mask);
+                        }
+                        for a in &e.chain[e.mid_lo as usize..e.mid_hi as usize] {
+                            r = a(&mut ex);
+                            if r.is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    if r.is_ok() && e.has_wb {
+                        // Generic writeback, likewise; the fast path runs
+                        // without an undo log by precondition, so the
+                        // write is unconditional once the value field
+                        // exists.
+                        for (j, dest) in e.dest_write[..e.ndest as usize].iter().enumerate() {
+                            if let Some(v) = ex.frame.try_get(DEST_FIELDS[j]) {
+                                match *dest {
+                                    DestOp::Gpr(i, m) => ex.state.gpr[i as usize] = v & m,
+                                    DestOp::Spr(s, m) => ex.state.spr[s as usize] = v & m,
+                                    DestOp::Call(write, i) => write(ex.state, i, v),
+                                }
+                            }
+                        }
+                    }
+                    r
+                };
+                pv += u64::from((ex.frame.valid().0 & vis).count_ones());
+                po += vis_ops;
+                match result {
+                    Ok(()) => {
+                        insts += 1;
+                        if ex.state.halted {
+                            break;
+                        }
+                        if ex.header.next_pc != ipc.wrapping_add(4) & mask {
+                            break; // taken control flow ends the block
+                        }
+                    }
+                    Err(f) => {
+                        // The architectural PC stays at the faulting
+                        // instruction, exactly as the per-instruction
+                        // drivers leave it.
+                        ex.state.pc = ipc;
+                        fault = Some(f);
+                        break;
+                    }
+                }
+            }
+            // The per-instruction PC store is deferred to the block exits:
+            // every non-fault path leaves the last executed instruction's
+            // successor in `header.next_pc`.
+            if fault.is_none() {
+                ex.state.pc = ex.header.next_pc;
+            }
+            if let Some(f) = fault {
+                compiled.last = idx;
+                stats.insts += insts;
+                stats.published_values += pv;
+                stats.published_opsets += po;
+                stats.calls += links;
+                stats.blocks += links;
+                stats.faults += 1;
+                return Err(SimStop::Fault(f));
+            }
+            if ex.state.halted || !may_chain || insts >= insts_left {
+                break 'chain;
+            }
+            if let Some((t0, limit)) = started_at {
+                // Same stride as the driver's deadline probe; a miss here
+                // just surfaces at the driver's own check.
+                if ticks & 0x3f == 0 && t0.elapsed() >= limit {
+                    break 'chain;
+                }
+                ticks = ticks.wrapping_add(1);
+            }
+            let next_pc = ex.state.pc & mask;
+            match compiled.follow_idx(idx, next_pc, mask) {
+                Some(nidx) => {
+                    idx = nidx;
+                    pc = next_pc;
+                    links += 1;
+                    cur = compiled.peek(nidx).expect("follow_idx returned a live index");
+                }
+                None => break 'chain,
+            }
+        }
+        // The driver's next lookup patches successor links from this block.
+        compiled.last = idx;
+        stats.insts += insts;
+        stats.published_values += pv;
+        stats.published_opsets += po;
+        stats.calls += links;
+        stats.blocks += links;
+        Ok(())
     }
 
     /// Like [`Simulator::run_to_halt`], but calls `sink` with every

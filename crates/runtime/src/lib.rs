@@ -25,13 +25,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compile;
 mod decode;
 mod engine;
 mod error;
 mod stats;
 pub mod toy;
 
-pub use decode::{DecodeTable, PcHashBuilder, PcMap};
+pub use decode::{DecodeTable, PcHashBuilder, PcHasher, PcMap};
 pub use engine::{Backend, CheckpointId, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP};
 pub use error::{BuildError, IfaceError, SimStop};
 // Chaos vocabulary, re-exported so harness code needs only this crate.

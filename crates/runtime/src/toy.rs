@@ -23,8 +23,8 @@
 
 use lis_core::{
     generic_operand_fetch, generic_writeback, ArchState, Exec, Fault, InstClass, InstDef, IsaSpec,
-    OperandDir, OperandSpec, RegClass, RegClassDef, F_ALU_OUT, F_DEST1, F_EFF_ADDR, F_IMM,
-    F_MEM_DATA, F_SRC1, F_SRC2, F_SRC3,
+    OperandDir, OperandSpec, RegBacking, RegClass, RegClassDef, F_ALU_OUT, F_DEST1, F_EFF_ADDR,
+    F_IMM, F_MEM_DATA, F_SRC1, F_SRC2, F_SRC3,
 };
 use lis_mem::Endian;
 
@@ -39,8 +39,13 @@ fn write_gpr(st: &mut ArchState, idx: u16, val: u64) {
     st.gpr[idx as usize] = val & 0xffff_ffff;
 }
 
-const REG_CLASSES: &[RegClassDef] =
-    &[RegClassDef { name: "gpr", count: 16, read: read_gpr, write: write_gpr }];
+const REG_CLASSES: &[RegClassDef] = &[RegClassDef {
+    name: "gpr",
+    count: 16,
+    read: read_gpr,
+    write: write_gpr,
+    backing: Some(RegBacking::Gpr { special: None, write_mask: 0xffff_ffff }),
+}];
 
 #[inline]
 fn rd(w: u32) -> u16 {

@@ -102,6 +102,81 @@ fn without_cache_verify_stale_blocks_keep_running() {
 }
 
 #[test]
+fn stale_compiled_superblock_falls_back_and_drops_the_cache() {
+    // Same scenario as the cached-backend test above, on the compiled
+    // backend: cache verification catches the changed word, the whole
+    // superblock cache is dropped (chain links may dangle into it), and a
+    // one-shot uncached rebuild runs the fresh code.
+    let prog = image(&[toy::addi(2, 2, 1), toy::jmp(-2)]);
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.set_cache_verify(true);
+    sim.load_program(&prog).unwrap();
+
+    let mut buf = Vec::new();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 1);
+    assert_eq!(sim.stats.fallback_blocks, 0);
+    assert!(sim.compiled_blocks() > 0, "the superblock is cached");
+
+    sim.poke_mem(0x1000, 4, toy::addi(2, 2, 100) as u64).unwrap();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 101, "the rebuilt superblock must run the new code");
+    assert_eq!(sim.stats.fallback_blocks, 1);
+    assert_eq!(sim.compiled_blocks(), 0, "stale translations are dropped, not patched");
+
+    // The one-shot rebuild was not cached; the next call re-translates the
+    // fresh text and caching resumes with no further fallbacks.
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.state.gpr[2], 201);
+    assert_eq!(sim.stats.fallback_blocks, 1);
+    assert!(sim.compiled_blocks() > 0);
+}
+
+#[test]
+fn chaos_page_unmap_drops_compiled_superblock_chains() {
+    // Drive the compiled backend block by block under an unmap-only plan.
+    // The moment an unmap fires, every superblock (and every chain link into
+    // the arena) must be gone: a surviving chain would keep executing a
+    // translation of a page that no longer exists.
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.set_cache_verify(true);
+    sim.load_program(&loop_program()).unwrap();
+    sim.set_chaos(ChaosPlan {
+        seed: 11,
+        flip_period: None,
+        data_fault_period: None,
+        unmap_period: Some(6),
+        start: 0,
+        max_events: 1,
+    });
+    let mut buf = Vec::new();
+    let mut units = 0;
+    let mut seen_unmap = false;
+    while !sim.state.halted && units < 300 {
+        let before = sim.chaos().map_or(0, |c| c.injected());
+        sim.next_block(&mut buf).expect("interface survives chaos");
+        let after = sim.chaos().map_or(0, |c| c.injected());
+        if after > before && !seen_unmap {
+            seen_unmap = true;
+            assert_eq!(
+                sim.compiled_blocks(),
+                0,
+                "the unmap must clear the superblock cache before the call returns"
+            );
+        }
+        if let Some(f) = buf.last().and_then(|d| d.fault) {
+            let _ = f;
+            let pc = buf.last().unwrap().header.pc;
+            sim.redirect(pc.wrapping_add(4));
+        }
+        units += 1;
+    }
+    assert!(seen_unmap, "a period of 6 must unmap within 300 blocks");
+}
+
+#[test]
 fn chaos_runs_are_deterministic_and_logged() {
     let run = |seed: u64| {
         let mut sim = Simulator::new(toy::spec(), ONE_ALL).unwrap();
