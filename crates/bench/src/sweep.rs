@@ -57,6 +57,15 @@ pub struct SweepConfig {
     /// elapsed) in the JSON. Off by default: timing is host noise and
     /// breaks the bit-identical-output guarantee.
     pub measure_time: bool,
+    /// Extra attempts for a cell whose run panics. Each retry runs one rung
+    /// down the backend demotion ladder after a deterministic backoff; a
+    /// cell that exhausts the budget is reported crashed, and the pool
+    /// survives either way.
+    pub retries: u32,
+    /// Test hook: an `isa/buildset/kernel/backend` label whose first attempt
+    /// deliberately panics, proving the isolation path end to end (the CI
+    /// smoke test sets this through `LIS_SWEEP_PANIC`).
+    pub panic_cell: Option<String>,
 }
 
 impl Default for SweepConfig {
@@ -68,6 +77,8 @@ impl Default for SweepConfig {
             max_insts: 50_000_000,
             deadline: Some(Duration::from_secs(120)),
             measure_time: false,
+            retries: 2,
+            panic_cell: None,
         }
     }
 }
@@ -112,6 +123,10 @@ pub struct CellResult {
     pub ratio: f64,
     /// Wall-clock seconds for the cell (reported only with `measure_time`).
     pub secs: f64,
+    /// Attempts that panicked before this result (0 for a clean cell).
+    pub crashes: u32,
+    /// Rendered crash messages, one per failed attempt.
+    pub crash: Option<String>,
 }
 
 /// One row of the aggregated ratio table: a (buildset, backend) pair with
@@ -194,16 +209,45 @@ pub fn sweep_cells(kernels: &[&'static str], backends: &[Backend]) -> Vec<SweepC
     cells
 }
 
+/// Canonical `isa/buildset/kernel/backend` label of a cell.
+fn cell_label(cell: &SweepCell) -> String {
+    format!("{}/{}/{}/{}", cell.isa, cell.buildset.name, cell.kernel, backend_name(cell.backend))
+}
+
+/// FNV-1a over the cell label: a stable backoff seed that depends only on
+/// the cell's identity, never on scheduling (std's `DefaultHasher` is not
+/// guaranteed stable across releases).
+fn cell_seed(label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Runs one isolated cell: fresh simulator, run to halt under the budget and
 /// the per-cell watchdog (the same [`Watchdog`] the chaos harness uses).
-fn run_cell(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
+/// `attempt` > 0 is a retry after a panic and runs that many rungs down the
+/// backend demotion ladder — a crash in backend machinery must not cost the
+/// cell when a simpler backend can still produce it.
+fn run_cell(cell: &SweepCell, cfg: &SweepConfig, attempt: u32) -> CellResult {
+    let label = cell_label(cell);
+    if attempt == 0 && cfg.panic_cell.as_deref() == Some(label.as_str()) {
+        panic!("deliberate panic in cell {label}");
+    }
+    let mut backend = cell.backend;
+    for _ in 0..attempt {
+        if let Some(b) = backend.demoted() {
+            backend = b;
+        }
+    }
     let image = lis_workloads::kernel(cell.isa, cell.kernel)
         .expect("kernel validated before dispatch")
         .assemble()
         .expect("suite kernels assemble");
     let mut sim =
         Simulator::new(spec_of(cell.isa), cell.buildset).expect("standard buildsets are valid");
-    sim.set_backend(cell.backend);
+    sim.set_backend(backend);
     sim.load_program(&image).expect("suite kernels load");
 
     let mut watchdog = Watchdog::new(cfg.deadline);
@@ -281,6 +325,45 @@ fn run_cell(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
         units_per_inst,
         ratio: 0.0,
         secs,
+        crashes: 0,
+        crash: None,
+    }
+}
+
+/// [`run_cell`] under panic isolation: up to `1 + retries` attempts with
+/// deterministic backoff, each retry one backend rung lower. A cell that
+/// exhausts the budget becomes a structured crashed result — the pool and
+/// the rest of the matrix are never at risk.
+fn run_cell_isolated(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
+    let label = cell_label(cell);
+    let (result, attempts) =
+        lis_harness::run_with_retry(cfg.retries, cell_seed(&label), |attempt| {
+            run_cell(cell, cfg, attempt)
+        });
+    let crashes = attempts.len() as u32;
+    let crash = if attempts.is_empty() { None } else { Some(attempts.join("; ")) };
+    match result {
+        Some(mut r) => {
+            r.crashes = crashes;
+            r.crash = crash;
+            r
+        }
+        None => CellResult {
+            isa: cell.isa,
+            buildset: cell.buildset.name,
+            kernel: cell.kernel,
+            backend: cell.backend,
+            stats: SimStats::default(),
+            halted: false,
+            exit_code: 0,
+            deadline_expired: false,
+            fault: None,
+            units_per_inst: 0.0,
+            ratio: 0.0,
+            secs: 0.0,
+            crashes,
+            crash,
+        },
     }
 }
 
@@ -324,7 +407,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
                 if i >= cells.len() {
                     break;
                 }
-                if tx.send((i, run_cell(&cells[i], cfg))).is_err() {
+                if tx.send((i, run_cell_isolated(&cells[i], cfg))).is_err() {
                     break;
                 }
             });
@@ -435,6 +518,12 @@ pub fn to_json(r: &SweepReport) -> String {
         if let Some(f) = &c.fault {
             co.str("fault", f);
         }
+        if c.crashes > 0 {
+            co.u64("crashes", u64::from(c.crashes));
+            if let Some(msg) = &c.crash {
+                co.str("crash", msg);
+            }
+        }
         if r.measure_time {
             co.f64("secs", c.secs);
             co.f64("mips", c.stats.insts as f64 / c.secs.max(1e-9) / 1e6);
@@ -527,6 +616,16 @@ pub fn render_markdown(r: &SweepReport) -> String {
         r.backends.len(),
         BASELINE_BUILDSET
     );
+
+    let crashed: Vec<&CellResult> = r.cells.iter().filter(|c| c.crashes > 0).collect();
+    if !crashed.is_empty() {
+        let _ = writeln!(
+            out,
+            "**{} cell(s) crashed and were retried** ({} never recovered).\n",
+            crashed.len(),
+            crashed.iter().filter(|c| !c.halted).count()
+        );
+    }
 
     let _ = writeln!(out, "## Table I analog: specification sizes\n");
     let _ = writeln!(out, "```\n{}```\n", crate::render_table1());
@@ -765,6 +864,66 @@ mod tests {
         let a = to_json(&run_sweep(&tiny(1)).expect("sweeps"));
         let b = to_json(&run_sweep(&tiny(4)).expect("sweeps"));
         assert_eq!(a, b, "jobs=1 and jobs=4 must produce identical bytes");
+    }
+
+    #[test]
+    fn panicked_cell_is_retried_and_the_sweep_stays_byte_identical() {
+        // One deliberately crashed cell: the pool survives, the cell is
+        // retried one backend rung lower and completes, the crash is
+        // reported, and the JSON is still a pure function of the
+        // configuration — identical bytes for jobs=1 and jobs=4.
+        let panicky = |jobs| SweepConfig {
+            panic_cell: Some("alpha/block-min/gcd/cached".into()),
+            ..tiny(jobs)
+        };
+        let a = run_sweep(&panicky(1)).expect("sweeps");
+        let b = run_sweep(&panicky(4)).expect("sweeps");
+        assert_eq!(to_json(&a), to_json(&b), "crash path must stay deterministic");
+
+        let cell = a
+            .cells
+            .iter()
+            .find(|c| c.isa == "alpha" && c.buildset == "block-min" && c.backend == Backend::Cached)
+            .expect("cell present");
+        assert_eq!(cell.crashes, 1, "first attempt panicked");
+        assert!(cell.crash.as_deref().unwrap().contains("deliberate panic"), "{:?}", cell.crash);
+        assert!(cell.halted, "the retry (demoted to interpreted) completes the cell");
+        assert_eq!(cell.exit_code, 0);
+        assert!(to_json(&a).contains("\"crashes\":1"));
+        for c in &a.cells {
+            if c.crashes == 0 {
+                assert!(c.crash.is_none());
+            }
+        }
+        // Every other cell is untouched by the neighbor's crash.
+        let clean = run_sweep(&tiny(1)).expect("sweeps");
+        for (x, y) in a.cells.iter().zip(clean.cells.iter()) {
+            if x.crashes == 0 {
+                assert_eq!(x.stats, y.stats, "{}/{}/{}", x.isa, x.buildset, x.kernel);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_a_crashed_cell_without_sinking_the_pool() {
+        // retries = 0 and a deliberate panic: the cell is reported crashed,
+        // everything else completes normally.
+        let cfg = SweepConfig {
+            panic_cell: Some("ppc/step-all/gcd/cached".into()),
+            retries: 0,
+            ..tiny(2)
+        };
+        let report = run_sweep(&cfg).expect("the pool must survive");
+        let crashed = report
+            .cells
+            .iter()
+            .find(|c| c.isa == "ppc" && c.buildset == "step-all")
+            .expect("cell present");
+        assert_eq!(crashed.crashes, 1);
+        assert!(!crashed.halted);
+        assert_eq!(crashed.stats.insts, 0, "no partial stats from a crashed cell");
+        let survivors = report.cells.iter().filter(|c| c.halted).count();
+        assert_eq!(survivors, report.cells.len() - 1, "exactly one casualty");
     }
 
     #[test]

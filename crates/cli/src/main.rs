@@ -24,7 +24,8 @@
 
 use lis_core::{BuildsetDef, DynInst, IsaSpec, Semantic, Step, Visibility, STANDARD_BUILDSETS};
 use lis_harness::{
-    chaos_run, verify_all, verify_isa, ChaosConfig, ChaosOutcome, HarnessError, VerifyConfig,
+    chaos_run, minimize_plan, supervised_run, verify_all, verify_isa, ChaosConfig, ChaosOutcome,
+    ChaosPlanFile, HarnessError, PlanExpect, SuperviseConfig, SuperviseOutcome, VerifyConfig,
 };
 use lis_runtime::{Backend, ChaosPlan, Simulator};
 use lis_timing::{
@@ -146,6 +147,8 @@ options for `sweep`:
                         forfeits bit-identical output)
   --max <n>             per-cell instruction budget
   --deadline <secs>     per-cell watchdog (default 120)
+  --retries <n>         retry a panicked cell up to n times, each one
+                        backend rung lower (default 2)
 
 options for `lint`:
   --isa <isa|all>       ISA(s) to analyze (default: all)
@@ -161,8 +164,20 @@ options for `verify` / `chaos`:
   --period <n>          chaos: mean insts between injections (default 500)
   --runs <n>            chaos: seeded runs in the campaign (default 4)
   --unmap               chaos: also unmap pages (persistent faults)
+  --translate           chaos: also poison superblock translations (silent;
+                        needs --backend compiled and --paranoid to be seen)
+  --paranoid            chaos: shadow each run with a lockstep reference and
+                        spot-check the full state every --spot-stride units
+  --spot-stride <n>     chaos: units between supervised spot checks (64)
+  --demote              recover from divergences by walking the backend
+                        demotion ladder instead of aborting (chaos, verify)
+  --minimize            chaos: delta-debug a divergence to a minimal
+                        .chaosplan repro (implies --paranoid)
+  --replay <file>       chaos: replay a committed .chaosplan and check its
+                        expect line (0 holds, 3 stale repro, 2 regression)
   --deadline <secs>     chaos: wall-clock limit per run
-  --snapshot <path>     crash-snapshot file (default lis-snapshot.txt)
+  --snapshot <path>     crash-snapshot file (default derived:
+                        lis-snapshot-<isa>-<buildset>-<seed>.txt)
 
 exit codes for `lint` / `verify` / `chaos` / `trace`:
   0  clean            2  divergence detected
@@ -517,6 +532,9 @@ fn cmd_verify(opts: &Opts) -> Result<u8, String> {
     }
     let mut cfg = if opts.full { VerifyConfig::full() } else { VerifyConfig::default() };
     cfg.lockstep.max_insts = opts.max;
+    // `--demote` additionally asserts that runs surviving a mid-run backend
+    // demotion still match the reference.
+    cfg.lockstep.demote = opts.demote;
     if opts.backend_explicit {
         cfg.backends = vec![opts.backend];
     }
@@ -534,15 +552,21 @@ fn cmd_verify(opts: &Opts) -> Result<u8, String> {
     for f in &report.failures {
         eprintln!("\nFAIL {}:\n{}", f.job, f.error);
     }
-    // Persist the first structured divergence for post-mortem analysis.
+    // Persist the first structured divergence for post-mortem analysis. The
+    // default snapshot name carries the failing cell's identity so parallel
+    // CI shards never clobber each other.
     let first = report.failures.iter().find_map(|f| match &f.error {
-        HarnessError::Divergence(r) => Some(r),
+        HarnessError::Divergence(r) => Some((&f.job, r)),
         _ => None,
     });
-    if let Some(r) = first {
-        std::fs::write(&opts.snapshot, r.snapshot())
-            .map_err(|e| format!("{}: {e}", opts.snapshot))?;
-        eprintln!("\ncrash snapshot written to {}", opts.snapshot);
+    if let Some((job, r)) = first {
+        let path = if opts.snapshot_explicit {
+            opts.snapshot.clone()
+        } else {
+            format!("lis-snapshot-{}.txt", job.replace('/', "-"))
+        };
+        std::fs::write(&path, r.snapshot()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("\ncrash snapshot written to {path}");
     }
     Ok(2)
 }
@@ -732,6 +756,10 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
         backends,
         max_insts: opts.max,
         measure_time: opts.time,
+        retries: opts.retries,
+        // CI's isolation smoke test injects a deliberate panic into one
+        // named cell; see SweepConfig::panic_cell.
+        panic_cell: std::env::var("LIS_SWEEP_PANIC").ok(),
         ..lis_bench::SweepConfig::default()
     };
     if let Some(secs) = opts.deadline {
@@ -758,7 +786,13 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
     let bad: Vec<&lis_bench::CellResult> = report
         .cells
         .iter()
-        .filter(|c| c.deadline_expired || c.fault.is_some() || !c.halted || c.exit_code != 0)
+        .filter(|c| {
+            c.deadline_expired
+                || c.fault.is_some()
+                || !c.halted
+                || c.exit_code != 0
+                || c.crashes > 0
+        })
         .collect();
     eprintln!(
         "sweep: {} cells ({} kernels x {} buildsets x {} ISAs x {} backend(s)) \
@@ -782,65 +816,221 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
             c.buildset,
             c.kernel,
             lis_harness::backend_name(c.backend),
-            match (&c.fault, c.deadline_expired) {
-                (Some(f), _) => f.clone(),
-                (None, true) => "deadline expired".into(),
-                (None, false) => format!("exit code {}", c.exit_code),
+            match (&c.crash, &c.fault, c.deadline_expired) {
+                (Some(msg), _, _) if c.halted && c.exit_code == 0 => {
+                    format!("crashed {} time(s), recovered on retry [{msg}]", c.crashes)
+                }
+                (Some(msg), _, _) => format!("crashed {} time(s) [{msg}]", c.crashes),
+                (None, Some(f), _) => f.clone(),
+                (None, None, true) => "deadline expired".into(),
+                (None, None, false) => format!("exit code {}", c.exit_code),
             }
         );
     }
     Ok(if bad.is_empty() { 0 } else { 3 })
 }
 
+/// Default crash-snapshot path: derived from the run's identity and seed so
+/// parallel campaigns never clobber each other's post-mortems. An explicit
+/// `--snapshot` always wins.
+fn snapshot_path(opts: &Opts, isa: &str, buildset: &str, seed: u64) -> String {
+    if opts.snapshot_explicit {
+        opts.snapshot.clone()
+    } else {
+        format!("lis-snapshot-{isa}-{buildset}-{seed:#x}.txt")
+    }
+}
+
+/// `lis chaos --replay <file>`: replay a committed `.chaosplan` repro and
+/// judge it against its `expect` line. Exit 0 on a matching replay; 3 when
+/// an expected divergence no longer reproduces (the repro went stale); 2
+/// when a survive-plan diverges (a regression).
+fn cmd_chaos_replay(path: &str) -> Result<u8, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let plan = ChaosPlanFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let replay = plan.replay().map_err(|e| format!("{path}: {e}"))?;
+    println!("{}", replay.report);
+    if replay.matched {
+        println!("replay: plan verdict holds");
+        return Ok(0);
+    }
+    match plan.expect {
+        PlanExpect::Diverge => {
+            eprintln!("replay: expected divergence did NOT reproduce");
+            Ok(3)
+        }
+        PlanExpect::Survive => {
+            eprintln!("replay: survive-plan diverged or failed verification");
+            Ok(2)
+        }
+    }
+}
+
 /// `lis chaos`: a campaign of seeded fault-injection runs. Each seed runs
 /// the workload under bit flips, transient data faults, and page unmaps,
 /// with cache verification (graceful degradation) enabled. Exit 0 when
 /// every run survives to halt or budget, 3 on a fault storm or deadline.
+///
+/// With `--paranoid` every run is supervised by a lockstep reference and the
+/// full state is spot-checked; a divergence exits 2 — unless `--demote` lets
+/// the engine walk down the backend ladder and finish the run anyway.
+/// `--minimize` (implies `--paranoid`) delta-debugs a found divergence into
+/// a minimal `.chaosplan` repro.
 fn cmd_chaos(opts: &Opts) -> Result<u8, String> {
+    if let Some(path) = &opts.replay {
+        return cmd_chaos_replay(path);
+    }
     let spec = spec_of(&opts.isa)?;
-    let image = match &opts.input {
-        Some(_) => {
+    let (image, workload) = match &opts.input {
+        Some(path) => {
             let src = read_source(opts)?;
-            assemble(&opts.isa, &src)?
+            (assemble(&opts.isa, &src)?, path.clone())
         }
-        None => lis_workloads::suite_of(&opts.isa)
-            .iter()
-            .find(|w| w.name == "hash31")
-            .expect("bundled kernel")
-            .assemble()
-            .map_err(|e| e.to_string())?,
+        None => (
+            lis_workloads::suite_of(&opts.isa)
+                .iter()
+                .find(|w| w.name == "hash31")
+                .expect("bundled kernel")
+                .assemble()
+                .map_err(|e| e.to_string())?,
+            "hash31".to_string(),
+        ),
     };
     let bs = *lis_core::find_buildset(&opts.buildset)
         .ok_or_else(|| format!("unknown buildset `{}` (see `lis buildsets`)", opts.buildset))?;
     if !opts.no_lint && lint_gate(&[(spec, bs)]) {
         return Ok(5);
     }
-    let cfg = ChaosConfig {
-        max_insts: opts.max,
-        deadline: opts.deadline.map(std::time::Duration::from_secs),
-        ..ChaosConfig::default()
-    };
-    let mut aborted = false;
+    let supervised = opts.paranoid || opts.minimize || opts.demote;
+    let mut worst = 0u8;
     for i in 0..opts.runs {
+        let seed = opts.chaos_seed.wrapping_add(u64::from(i));
         // Transient channels by default; page unmaps are persistent faults
-        // (the page stays gone), which usually storm, so they are opt-in.
+        // (the page stays gone), which usually storm, so they are opt-in —
+        // as is translate poisoning, which only the supervisor can catch.
         let plan = ChaosPlan {
-            seed: opts.chaos_seed.wrapping_add(i as u64),
+            seed,
             flip_period: Some(opts.period),
             data_fault_period: Some(opts.period),
             unmap_period: opts.unmap.then_some(opts.period),
+            translate_fault_period: opts.translate.then_some(opts.period),
             start: 0,
             max_events: 0,
         };
-        let report =
-            chaos_run(spec, &image, bs, opts.backend, plan, &cfg).map_err(|e| e.to_string())?;
-        println!("{report}");
-        if matches!(report.outcome, ChaosOutcome::Storm | ChaosOutcome::Deadline) {
-            std::fs::write(&opts.snapshot, report.snapshot())
-                .map_err(|e| format!("{}: {e}", opts.snapshot))?;
-            eprintln!("crash snapshot written to {}", opts.snapshot);
-            aborted = true;
-        }
+        let snapshot = snapshot_path(opts, &opts.isa, bs.name, seed);
+        let code = if supervised {
+            let cfg = SuperviseConfig {
+                max_insts: opts.max,
+                spot_stride: opts.spot_stride,
+                demote: opts.demote,
+                deadline: opts.deadline.map(std::time::Duration::from_secs),
+                ..SuperviseConfig::default()
+            };
+            let report = supervised_run(spec, &image, bs, opts.backend, plan, &cfg)
+                .map_err(|e| e.to_string())?;
+            println!("{report}");
+            for d in &report.demotions {
+                println!("  {d}");
+            }
+            match report.outcome {
+                SuperviseOutcome::Diverged => {
+                    std::fs::write(&snapshot, report.snapshot())
+                        .map_err(|e| format!("{snapshot}: {e}"))?;
+                    eprintln!("crash snapshot written to {snapshot}");
+                    if opts.minimize {
+                        minimize_to_file(opts, spec, &image, bs, &workload, seed, &report.events)?;
+                    }
+                    2
+                }
+                SuperviseOutcome::Storm | SuperviseOutcome::Deadline => {
+                    std::fs::write(&snapshot, report.snapshot())
+                        .map_err(|e| format!("{snapshot}: {e}"))?;
+                    eprintln!("crash snapshot written to {snapshot}");
+                    3
+                }
+                SuperviseOutcome::Halted { .. } | SuperviseOutcome::Budget => {
+                    if report.verified {
+                        0
+                    } else {
+                        eprintln!("run completed but final state failed verification");
+                        2
+                    }
+                }
+            }
+        } else {
+            let cfg = ChaosConfig {
+                max_insts: opts.max,
+                deadline: opts.deadline.map(std::time::Duration::from_secs),
+                ..ChaosConfig::default()
+            };
+            let report =
+                chaos_run(spec, &image, bs, opts.backend, plan, &cfg).map_err(|e| e.to_string())?;
+            println!("{report}");
+            if matches!(report.outcome, ChaosOutcome::Storm | ChaosOutcome::Deadline) {
+                std::fs::write(&snapshot, report.snapshot())
+                    .map_err(|e| format!("{snapshot}: {e}"))?;
+                eprintln!("crash snapshot written to {snapshot}");
+                3
+            } else {
+                0
+            }
+        };
+        worst = worst.max(code);
     }
-    Ok(if aborted { 3 } else { 0 })
+    Ok(worst)
+}
+
+/// Minimizes a diverging event log and writes the `.chaosplan` repro.
+fn minimize_to_file(
+    opts: &Opts,
+    spec: &'static IsaSpec,
+    image: &lis_mem::Image,
+    bs: BuildsetDef,
+    workload: &str,
+    seed: u64,
+    events: &[lis_runtime::ChaosEvent],
+) -> Result<(), String> {
+    if lis_workloads::kernel(&opts.isa, workload).is_none() {
+        eprintln!(
+            "minimize: repro plans reference bundled kernels; `{workload}` is not one — \
+             not writing a plan"
+        );
+        return Ok(());
+    }
+    let cfg = SuperviseConfig {
+        max_insts: opts.max,
+        spot_stride: opts.spot_stride,
+        ..SuperviseConfig::default()
+    };
+    let outcome = minimize_plan(spec, image, bs, opts.backend, seed, events, &cfg)
+        .map_err(|e| e.to_string())?;
+    let Some(min) = outcome else {
+        eprintln!(
+            "minimize: scripted replay of the event log does not reproduce; not writing a plan"
+        );
+        return Ok(());
+    };
+    let plan = ChaosPlanFile {
+        isa: opts.isa.clone(),
+        buildset: bs.name.to_string(),
+        backend: opts.backend,
+        kernel: workload.to_string(),
+        seed,
+        max_insts: opts.max,
+        spot_stride: opts.spot_stride,
+        expect: PlanExpect::Diverge,
+        events: min.minimal.clone(),
+    };
+    let path = opts
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("lis-repro-{}-{}-{seed:#x}.chaosplan", opts.isa, bs.name));
+    std::fs::write(&path, plan.to_text()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "minimize: {} events -> {} in {} probes; repro written to {path}",
+        min.initial,
+        min.minimal.len(),
+        min.probes
+    );
+    Ok(())
 }

@@ -36,8 +36,29 @@ pub struct Opts {
     pub full: bool,
     /// Enable the page-unmap chaos channel (persistent faults).
     pub unmap: bool,
+    /// Enable the translate-fault chaos channel (silent superblock
+    /// poisoning; only meaningful with the compiled backend).
+    pub translate: bool,
+    /// Supervised chaos: shadow every run with a lockstep reference and
+    /// spot-check the full architectural state.
+    pub paranoid: bool,
+    /// Interface units between supervised spot checks.
+    pub spot_stride: u64,
+    /// Recover from divergences via the backend demotion ladder instead of
+    /// aborting (`chaos --paranoid`, `verify`).
+    pub demote: bool,
+    /// Delta-debug a found divergence down to a minimal replayable plan.
+    pub minimize: bool,
+    /// Replay a committed `.chaosplan` file instead of running a campaign.
+    pub replay: Option<String>,
+    /// Extra attempts for a panicked sweep cell (each one backend rung
+    /// lower).
+    pub retries: u32,
     /// Where crash snapshots are written.
     pub snapshot: String,
+    /// True when `--snapshot` was given explicitly (the default is derived
+    /// from the run's identity and seed instead).
+    pub snapshot_explicit: bool,
     /// True when `--buildset` was given explicitly (subcommands have
     /// different defaults: `run` uses one-all, `trace record` block-all).
     pub buildset_explicit: bool,
@@ -92,7 +113,15 @@ impl Default for Opts {
             runs: 4,
             full: false,
             unmap: false,
+            translate: false,
+            paranoid: false,
+            spot_stride: 64,
+            demote: false,
+            minimize: false,
+            replay: None,
+            retries: 2,
             snapshot: "lis-snapshot.txt".into(),
+            snapshot_explicit: false,
             buildset_explicit: false,
             output: None,
             shards: 1,
@@ -161,7 +190,27 @@ impl Opts {
                 }
                 "--full" => o.full = true,
                 "--unmap" => o.unmap = true,
-                "--snapshot" => o.snapshot = value("--snapshot")?,
+                "--translate" => o.translate = true,
+                "--paranoid" => o.paranoid = true,
+                "--spot-stride" => {
+                    o.spot_stride = value("--spot-stride")?
+                        .parse()
+                        .map_err(|e| format!("--spot-stride: {e}"))?;
+                    if o.spot_stride == 0 {
+                        return Err("--spot-stride must be positive".into());
+                    }
+                }
+                "--demote" => o.demote = true,
+                "--minimize" => o.minimize = true,
+                "--replay" => o.replay = Some(value("--replay")?),
+                "--retries" => {
+                    o.retries =
+                        value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?;
+                }
+                "--snapshot" => {
+                    o.snapshot = value("--snapshot")?;
+                    o.snapshot_explicit = true;
+                }
                 "-o" | "--output" => o.output = Some(value("--output")?),
                 "--shards" => {
                     o.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
@@ -277,6 +326,38 @@ mod tests {
         assert!(o.full);
         assert!(!o.unmap);
         assert_eq!(o.snapshot, "crash.txt");
+        assert!(o.snapshot_explicit);
+    }
+
+    #[test]
+    fn supervised_flags() {
+        let o = parse(&[
+            "--translate",
+            "--paranoid",
+            "--spot-stride",
+            "16",
+            "--demote",
+            "--minimize",
+            "--replay",
+            "repro.chaosplan",
+            "--retries",
+            "1",
+        ])
+        .unwrap();
+        assert!(o.translate && o.paranoid && o.demote && o.minimize);
+        assert_eq!(o.spot_stride, 16);
+        assert_eq!(o.replay.as_deref(), Some("repro.chaosplan"));
+        assert_eq!(o.retries, 1);
+
+        let d = parse(&[]).unwrap();
+        assert!(!d.translate && !d.paranoid && !d.demote && !d.minimize);
+        assert_eq!(d.spot_stride, 64);
+        assert_eq!(d.replay, None);
+        assert_eq!(d.retries, 2);
+        assert!(!d.snapshot_explicit, "default snapshot name is derived, not explicit");
+        assert!(parse(&["--spot-stride", "0"]).is_err());
+        assert!(parse(&["--retries", "x"]).is_err());
+        assert!(parse(&["--replay"]).is_err());
     }
 
     #[test]

@@ -24,24 +24,42 @@
 //!   recorded [`lis_trace::Trace`] against the live reference and verify
 //!   every recorded instruction with the same per-instruction judgment
 //!   ([`compare_retired`]) the lockstep harness uses.
+//!
+//! * **Supervised execution** ([`supervised_run`], [`minimize_plan`],
+//!   [`ChaosPlanFile`]): drive a chaos campaign in lockstep with the
+//!   reference, recover from divergences by walking the backend demotion
+//!   ladder, delta-debug a diverging event log to a 1-minimal script, and
+//!   serialize it as a replayable `.chaosplan` repro. [`catch_cell`] and
+//!   [`run_with_retry`] give sweep/verify cells panic isolation with
+//!   deterministic, bounded retry.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod chaosplan;
 mod compare;
 mod driver;
+mod isolate;
 mod lockstep;
+mod minimize;
 mod report;
+mod supervise;
 mod verify;
 mod watchdog;
 
 pub use campaign::{chaos_run, ChaosConfig, ChaosOutcome, ChaosRunReport};
+pub use chaosplan::{ChaosPlanFile, PlanExpect, PlanReplay, CHAOSPLAN_MAGIC};
 pub use compare::{check_trace_against_reference, compare_retired, RetiredCmp};
+pub use isolate::{backoff_delay, catch_cell, run_with_retry};
 pub use lockstep::{
     job_label, lockstep, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome, PerturbHook,
 };
+pub use minimize::{minimize_plan, MinimizeOutcome};
 pub use report::{backend_name, DivergenceReport, RegDelta, RetiredInst, Ring, RING_LEN};
+pub use supervise::{
+    supervised_replay, supervised_run, SuperviseConfig, SuperviseOutcome, SuperviseReport,
+};
 pub use verify::{verify_all, verify_isa, VerifyConfig, VerifyFailure, VerifyReport, ALL_BACKENDS};
 pub use watchdog::{Watchdog, DEFAULT_STRIDE};
 

@@ -26,11 +26,20 @@ pub struct LockstepConfig {
     pub mem_check_stride: u64,
     /// Maximum memory deltas collected into a report.
     pub mem_delta_cap: usize,
+    /// Arm the subject's demotion ladder: cache verification on plus
+    /// automatic demotion, so a verify pass additionally asserts that a run
+    /// surviving a mid-run backend demotion still matches the reference.
+    pub demote: bool,
 }
 
 impl Default for LockstepConfig {
     fn default() -> LockstepConfig {
-        LockstepConfig { max_insts: 2_000_000, mem_check_stride: 1024, mem_delta_cap: 16 }
+        LockstepConfig {
+            max_insts: 2_000_000,
+            mem_check_stride: 1024,
+            mem_delta_cap: 16,
+            demote: false,
+        }
     }
 }
 
@@ -129,6 +138,10 @@ pub fn lockstep_with(
 ) -> Result<LockstepOutcome, HarnessError> {
     let mut subject = Simulator::new(spec, bs).map_err(HarnessError::Build)?;
     subject.set_backend(backend);
+    if cfg.demote {
+        subject.set_cache_verify(true);
+        subject.set_demote(true);
+    }
     subject.load_program(image).map_err(HarnessError::Load)?;
 
     let mut reference = Simulator::new(spec, ONE_MIN).map_err(HarnessError::Build)?;

@@ -1,0 +1,93 @@
+//! Delta-debugging for chaos plans.
+//!
+//! A procedural chaos campaign that finds a divergence typically logs dozens
+//! of injection events, only one or two of which actually matter. Because
+//! every event log replays deterministically ([`crate::supervised_replay`]
+//! in scripted mode), the log itself is a reducible test case: [`minimize_plan`]
+//! runs the classic ddmin complement-removal loop over the event list,
+//! re-probing after each candidate removal, and returns the smallest event
+//! subset that still reproduces the divergence. The result is what goes into
+//! a `.chaosplan` regression file — a minimal, replayable repro instead of a
+//! seed and a prayer.
+
+use crate::lockstep::HarnessError;
+use crate::supervise::{supervised_replay, SuperviseConfig, SuperviseOutcome};
+use lis_core::{BuildsetDef, IsaSpec};
+use lis_mem::Image;
+use lis_runtime::{Backend, ChaosEvent};
+
+/// Result of a successful minimization.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// Event count before minimization.
+    pub initial: usize,
+    /// The minimal event subset that still diverges (original order kept).
+    pub minimal: Vec<ChaosEvent>,
+    /// Replay probes spent (each one is a full supervised run).
+    pub probes: u32,
+}
+
+/// Minimizes `events` to the smallest subset whose scripted replay still
+/// diverges on `(bs, backend)`. Returns `None` when the full log does not
+/// reproduce a divergence in the first place — nothing to minimize, and a
+/// caller reporting success here would be lying about the repro.
+///
+/// Probes run with demotion off (a recovered divergence still counts as
+/// found, but [`SuperviseOutcome::Diverged`] is the unambiguous signal) and
+/// no deadline — minimization must be deterministic.
+///
+/// # Errors
+///
+/// Propagates construction/load/interface errors from the probe runs.
+pub fn minimize_plan(
+    spec: &'static IsaSpec,
+    image: &Image,
+    bs: BuildsetDef,
+    backend: Backend,
+    seed: u64,
+    events: &[ChaosEvent],
+    cfg: &SuperviseConfig,
+) -> Result<Option<MinimizeOutcome>, HarnessError> {
+    let probe_cfg = SuperviseConfig { demote: false, deadline: None, ..*cfg };
+    let mut probes = 0u32;
+    let mut diverges = |candidate: &[ChaosEvent]| -> Result<bool, HarnessError> {
+        probes += 1;
+        let report = supervised_replay(spec, image, bs, backend, seed, candidate, &probe_cfg)?;
+        Ok(report.outcome == SuperviseOutcome::Diverged)
+    };
+
+    if !diverges(events)? {
+        return Ok(None);
+    }
+
+    // ddmin, complement-removal form: split into n chunks, try dropping each
+    // chunk; keep any complement that still fails, else refine granularity.
+    let mut current: Vec<ChaosEvent> = events.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut complement = Vec::with_capacity(current.len() - (end - start));
+            complement.extend_from_slice(&current[..start]);
+            complement.extend_from_slice(&current[end..]);
+            if !complement.is_empty() && diverges(&complement)? {
+                current = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break; // single-event granularity exhausted: 1-minimal
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+
+    Ok(Some(MinimizeOutcome { initial: events.len(), minimal: current, probes }))
+}

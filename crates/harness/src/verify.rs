@@ -1,6 +1,7 @@
 //! The full verification matrix: every standard buildset on every backend,
 //! for every ISA, in lockstep against the reference.
 
+use crate::isolate::catch_cell;
 use crate::lockstep::{job_label, lockstep_with, HarnessError, LockstepConfig, LockstepOutcome};
 use lis_mem::Image;
 use lis_runtime::Backend;
@@ -128,7 +129,21 @@ pub fn verify_isa(isa: &str, cfg: &VerifyConfig) -> VerifyReport {
             for &backend in &cfg.backends {
                 report.jobs += 1;
                 let job = job_label(isa, &bs, backend, name);
-                match lockstep_with(spec, image, bs, backend, &cfg.lockstep, None) {
+                // One panicking cell must not take down the whole matrix —
+                // report it as its own failure and keep sweeping.
+                let outcome = match catch_cell(|| {
+                    lockstep_with(spec, image, bs, backend, &cfg.lockstep, None)
+                }) {
+                    Ok(outcome) => outcome,
+                    Err(msg) => {
+                        report.failures.push(VerifyFailure {
+                            job,
+                            error: HarnessError::Unexpected(format!("cell crashed: {msg}")),
+                        });
+                        continue;
+                    }
+                };
+                match outcome {
                     Ok(LockstepOutcome::Halted { exit_code, insts, stdout }) => {
                         report.insts += insts;
                         if let Some(want) = expected {

@@ -54,6 +54,16 @@ impl Watchdog {
         t0.elapsed() >= limit
     }
 
+    /// Whether at least `frac` of the limit has already elapsed — the
+    /// early-warning companion to [`Watchdog::expired`]. A supervisor polls
+    /// this at a coarse cadence and takes proactive action (demoting to a
+    /// cheaper backend, flushing partial results) *before* the deadline
+    /// actually fires. Always reads the clock; never true when disarmed.
+    pub fn near(&self, frac: f64) -> bool {
+        let Some((t0, limit)) = self.armed else { return false };
+        t0.elapsed().as_secs_f64() >= limit.as_secs_f64() * frac
+    }
+
     /// Wall-clock time since arming, `None` when disarmed.
     pub fn elapsed(&self) -> Option<Duration> {
         self.armed.map(|(t0, _)| t0.elapsed())
@@ -95,6 +105,18 @@ mod tests {
             assert!(!w.expired());
         }
         assert!(w.expired(), "next stride boundary re-reads the clock");
+    }
+
+    #[test]
+    fn near_warns_before_expiry() {
+        // A zero limit is "near" at any fraction; a generous one at none.
+        let w = Watchdog::new(Some(Duration::ZERO));
+        assert!(w.near(0.9));
+        let w = Watchdog::new(Some(Duration::from_secs(3600)));
+        assert!(!w.near(0.9));
+        assert!(w.near(0.0), "fraction zero is already reached at arming");
+        let w = Watchdog::new(None);
+        assert!(!w.near(0.0), "disarmed is never near");
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn chaos_campaign_matches_cached_backend() {
             flip_period: Some(200),
             data_fault_period: Some(300),
             unmap_period: Some(900),
+            translate_fault_period: None,
             start: 0,
             max_events: 12,
         };
@@ -155,6 +156,7 @@ fn poisoned_superblocks_are_never_cached() {
         flip_period: Some(16),
         data_fault_period: None,
         unmap_period: None,
+        translate_fault_period: None,
         start: 0,
         max_events: 0,
     });

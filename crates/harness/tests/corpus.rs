@@ -1,0 +1,40 @@
+//! Replays every committed `.chaosplan` in `tests/chaos-corpus/` — the
+//! regression corpus of minimized chaos repros. A `diverge` plan that stops
+//! reproducing means a detector regressed (or an engine change silently
+//! absorbed a real bug class); a `survive` plan that diverges means the
+//! demotion ladder broke.
+
+use lis_harness::ChaosPlanFile;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/chaos-corpus")
+}
+
+#[test]
+fn every_committed_chaosplan_still_holds() {
+    let dir = corpus_dir();
+    let mut plans: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "chaosplan")).then_some(path)
+        })
+        .collect();
+    plans.sort();
+    assert!(!plans.is_empty(), "the corpus must not silently vanish: {}", dir.display());
+
+    let mut failed = Vec::new();
+    for path in &plans {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("corpus plan readable");
+        let plan = ChaosPlanFile::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: committed plan must parse: {e}"));
+        match plan.replay() {
+            Ok(replay) if replay.matched => {}
+            Ok(replay) => failed.push(format!("{name}: verdict broken — {}", replay.report)),
+            Err(e) => failed.push(format!("{name}: replay error — {e}")),
+        }
+    }
+    assert!(failed.is_empty(), "stale corpus plans:\n  {}", failed.join("\n  "));
+}

@@ -56,6 +56,7 @@ proptest! {
             flip_period: Some(period),
             data_fault_period: Some(period),
             unmap_period: None,
+            translate_fault_period: None,
             start: 0,
             max_events: 0,
         });

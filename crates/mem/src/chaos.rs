@@ -8,12 +8,20 @@
 //! clock, allocation order, or `HashMap` iteration, so a run can be replayed
 //! exactly from `(seed, plan)`.
 //!
-//! The execution engine owns the state and calls the three `maybe_*` hooks;
+//! The execution engine owns the state and calls the `maybe_*` hooks;
 //! this crate only defines the mechanism so that both the engine and the
 //! test harness speak the same vocabulary. Injected data faults reuse
 //! [`MemFault::OutOfRange`] — provenance (real vs injected) lives in the
 //! event log, not the fault value, so architectural fault handling is
 //! exercised unchanged.
+//!
+//! Beyond the seeded (procedural) mode, a state can run in *scripted* mode
+//! ([`ChaosState::scripted`]): instead of drawing a schedule it replays an
+//! explicit event list, firing each event at the first matching site at or
+//! after its recorded instruction index. Scripted states are how a recorded
+//! campaign is replayed verbatim — the supervised harness feeds a reference
+//! simulator the subject's own event log, and plan minimization probes
+//! candidate sublists of a diverging log.
 
 use crate::{AccessKind, Mem, MemFault};
 use std::fmt;
@@ -68,6 +76,10 @@ pub struct ChaosPlan {
     pub data_fault_period: Option<u64>,
     /// Mean instructions between page unmaps.
     pub unmap_period: Option<u64>,
+    /// Mean instructions between translation poisonings (fires only when a
+    /// backend actually translates, i.e. the compiled backend's superblock
+    /// build; other backends never consult this channel).
+    pub translate_fault_period: Option<u64>,
     /// First retired-instruction index eligible for injection.
     pub start: u64,
     /// Upper bound on total injected events (0 = unlimited).
@@ -75,13 +87,16 @@ pub struct ChaosPlan {
 }
 
 impl ChaosPlan {
-    /// A plan with every channel enabled at `period`, starting immediately.
+    /// A plan with every architectural channel enabled at `period`,
+    /// starting immediately. The translate channel stays off: it targets
+    /// backend machinery rather than architecture, so it is opt-in.
     pub fn uniform(seed: u64, period: u64) -> ChaosPlan {
         ChaosPlan {
             seed,
             flip_period: Some(period),
             data_fault_period: Some(period),
             unmap_period: Some(period),
+            translate_fault_period: None,
             start: 0,
             max_events: 0,
         }
@@ -94,6 +109,7 @@ impl ChaosPlan {
             flip_period: None,
             data_fault_period: None,
             unmap_period: None,
+            translate_fault_period: None,
             start: 0,
             max_events: 0,
         }
@@ -133,6 +149,21 @@ pub enum ChaosEvent {
         /// Base address of the discarded page.
         base: u64,
     },
+    /// A superblock translation was poisoned as it was built: one captured
+    /// decode value corrupted and the link hints scrambled. `idx` and `bit`
+    /// are raw draws; the engine maps them onto the translation by a pure
+    /// function of the built superblock, so a replay with the same draws
+    /// poisons the same capture.
+    TranslateFault {
+        /// Retired-instruction index at injection (translation time).
+        inst: u64,
+        /// Entry PC of the poisoned superblock.
+        pc: u64,
+        /// Raw draw selecting the victim instruction within the superblock.
+        idx: u32,
+        /// Raw draw selecting the bit to corrupt in the captured value.
+        bit: u8,
+    },
 }
 
 impl ChaosEvent {
@@ -141,8 +172,25 @@ impl ChaosEvent {
         match *self {
             ChaosEvent::BitFlip { inst, .. }
             | ChaosEvent::DataFault { inst, .. }
-            | ChaosEvent::PageUnmap { inst, .. } => inst,
+            | ChaosEvent::PageUnmap { inst, .. }
+            | ChaosEvent::TranslateFault { inst, .. } => inst,
         }
+    }
+
+    /// True for events that corrupt the instruction-delivery path (fetch or
+    /// translation). A scripted replay must bypass decode/translation caches
+    /// while any such event is pending, otherwise a cache hit would swallow
+    /// the injection site.
+    pub fn affects_fetch(&self) -> bool {
+        matches!(self, ChaosEvent::BitFlip { .. } | ChaosEvent::TranslateFault { .. })
+    }
+
+    /// True for events visible in the architectural state (fetch corruption,
+    /// data faults, unmaps) as opposed to backend-machinery faults. Only
+    /// architectural events are meaningful to replay on a reference
+    /// simulator that performs no translation.
+    pub fn architectural(&self) -> bool {
+        !matches!(self, ChaosEvent::TranslateFault { .. })
     }
 }
 
@@ -159,6 +207,9 @@ impl fmt::Display for ChaosEvent {
             ChaosEvent::PageUnmap { inst, base } => {
                 write!(f, "inst {inst}: unmapped page {base:#x}")
             }
+            ChaosEvent::TranslateFault { inst, pc, idx, bit } => {
+                write!(f, "inst {inst}: poisoned translation at {pc:#x} (idx {idx}, bit {bit})")
+            }
         }
     }
 }
@@ -173,18 +224,85 @@ pub struct ChaosState {
     next_flip: Option<u64>,
     next_data: Option<u64>,
     next_unmap: Option<u64>,
+    next_translate: Option<u64>,
+    /// Pending scripted events, front first. Non-empty `script` or
+    /// `scripted == true` switches every hook from drawing to matching.
+    script: std::collections::VecDeque<ChaosEvent>,
+    scripted: bool,
     log: Vec<ChaosEvent>,
 }
 
 impl ChaosState {
     /// Creates the state for `plan`, drawing the initial schedule.
+    ///
+    /// Channel order is load-bearing: the initial dues are drawn flip,
+    /// data, unmap, translate, so plans that leave the (newer) translate
+    /// channel off consume exactly the draws they did before it existed and
+    /// replay byte-identically.
     pub fn new(plan: ChaosPlan) -> ChaosState {
         let mut rng = ChaosRng::new(plan.seed);
         let mut due = |period: Option<u64>| period.map(|p| plan.start + gap(&mut rng, p));
         let next_flip = due(plan.flip_period);
         let next_data = due(plan.data_fault_period);
         let next_unmap = due(plan.unmap_period);
-        ChaosState { plan, rng, cur_inst: 0, next_flip, next_data, next_unmap, log: Vec::new() }
+        let next_translate = due(plan.translate_fault_period);
+        ChaosState {
+            plan,
+            rng,
+            cur_inst: 0,
+            next_flip,
+            next_data,
+            next_unmap,
+            next_translate,
+            script: Default::default(),
+            scripted: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Creates a scripted state that injects exactly `events`, in order,
+    /// each at the first matching site at or after its recorded instruction
+    /// index. No schedule is drawn and `max_events` does not apply; the
+    /// plan is a quiet placeholder carrying `seed` for labeling only.
+    pub fn scripted(seed: u64, events: impl IntoIterator<Item = ChaosEvent>) -> ChaosState {
+        let mut st = ChaosState::new(ChaosPlan::quiet(seed));
+        st.scripted = true;
+        st.script.extend(events);
+        st
+    }
+
+    /// Appends one more event to a scripted state's pending queue (the
+    /// supervised harness feeds a reference simulator incrementally, as the
+    /// subject logs events).
+    pub fn push_event(&mut self, ev: ChaosEvent) {
+        debug_assert!(self.scripted, "push_event only applies to scripted states");
+        self.script.push_back(ev);
+    }
+
+    /// True when this state replays a script instead of drawing a schedule.
+    pub fn is_scripted(&self) -> bool {
+        self.scripted
+    }
+
+    /// Discards every pending (unfired) scripted event. The supervised
+    /// harness calls this when it resynchronizes a diverged subject: events
+    /// whose sites lived in the discarded execution tail must not fire later
+    /// at unrelated matching sites.
+    pub fn clear_pending(&mut self) {
+        self.script.clear();
+    }
+
+    /// Number of scripted events not yet fired.
+    pub fn pending(&self) -> usize {
+        self.script.len()
+    }
+
+    /// True while a pending scripted event targets the instruction-delivery
+    /// path (bit flip or translate fault) that is now due. The engine must
+    /// bypass its decode/translation caches while this holds, otherwise a
+    /// cache hit would skip the fetch hook at the injection site.
+    pub fn scripted_fetch_due(&self) -> bool {
+        self.script.front().is_some_and(|e| e.affects_fetch() && e.inst() <= self.cur_inst)
     }
 
     /// The plan this state executes.
@@ -216,6 +334,18 @@ impl ChaosState {
     /// deliver to decode (flipped in exactly one bit when the flip channel
     /// is due, unchanged otherwise).
     pub fn maybe_flip_fetch(&mut self, pc: u64, word: u32) -> u32 {
+        if self.scripted {
+            let Some(&ChaosEvent::BitFlip { inst, pc: epc, bit, .. }) = self.script.front() else {
+                return word;
+            };
+            if epc != pc || self.cur_inst < inst {
+                return word;
+            }
+            self.script.pop_front();
+            let after = word ^ (1 << bit);
+            self.log.push(ChaosEvent::BitFlip { inst, pc, bit, before: word, after });
+            return after;
+        }
         let Some(due) = self.next_flip else { return word };
         if self.cur_inst < due || !self.budget_left() {
             return word;
@@ -232,6 +362,18 @@ impl ChaosState {
     /// fault to report instead of performing the access, or `None` to let
     /// the access proceed.
     pub fn maybe_fault_data(&mut self, addr: u64, kind: AccessKind) -> Option<MemFault> {
+        if self.scripted {
+            let &ChaosEvent::DataFault { inst, addr: eaddr, kind: ekind } = self.script.front()?
+            else {
+                return None;
+            };
+            if eaddr != addr || ekind != kind || self.cur_inst < inst {
+                return None;
+            }
+            self.script.pop_front();
+            self.log.push(ChaosEvent::DataFault { inst, addr, kind });
+            return Some(MemFault::OutOfRange { addr, kind });
+        }
         let due = self.next_data?;
         if self.cur_inst < due || !self.budget_left() {
             return None;
@@ -247,6 +389,18 @@ impl ChaosState {
     /// function of memory contents and the RNG stream. Returns `true` when
     /// a page was discarded (the engine must invalidate predecoded state).
     pub fn maybe_unmap(&mut self, mem: &mut Mem) -> bool {
+        if self.scripted {
+            let Some(&ChaosEvent::PageUnmap { inst, base }) = self.script.front() else {
+                return false;
+            };
+            if self.cur_inst < inst {
+                return false;
+            }
+            self.script.pop_front();
+            mem.unmap_page(base);
+            self.log.push(ChaosEvent::PageUnmap { inst, base });
+            return true;
+        }
         let Some(due) = self.next_unmap else { return false };
         if self.cur_inst < due || !self.budget_left() {
             return false;
@@ -261,6 +415,36 @@ impl ChaosState {
         mem.unmap_page(base);
         self.log.push(ChaosEvent::PageUnmap { inst: self.cur_inst, base });
         true
+    }
+
+    /// Possibly poisons a superblock translation being built for `pc`.
+    /// Returns the raw `(idx, bit)` draws for the engine to map onto the
+    /// translation (a pure function of the draws and the built superblock,
+    /// so a scripted replay poisons the same capture), or `None` to leave
+    /// the translation honest. Only the translating backend calls this.
+    pub fn maybe_translate_fault(&mut self, pc: u64) -> Option<(u32, u8)> {
+        if self.scripted {
+            let &ChaosEvent::TranslateFault { inst, pc: epc, idx, bit } = self.script.front()?
+            else {
+                return None;
+            };
+            if epc != pc || self.cur_inst < inst {
+                return None;
+            }
+            self.script.pop_front();
+            self.log.push(ChaosEvent::TranslateFault { inst, pc, idx, bit });
+            return Some((idx, bit));
+        }
+        let due = self.next_translate?;
+        if self.cur_inst < due || !self.budget_left() {
+            return None;
+        }
+        let idx = self.rng.below(1 << 16) as u32;
+        let bit = self.rng.below(64) as u8;
+        self.log.push(ChaosEvent::TranslateFault { inst: self.cur_inst, pc, idx, bit });
+        let p = self.plan.translate_fault_period.unwrap_or(1);
+        self.next_translate = Some(self.cur_inst + gap(&mut self.rng, p));
+        Some((idx, bit))
     }
 }
 
@@ -326,6 +510,7 @@ mod tests {
             flip_period: Some(1),
             data_fault_period: None,
             unmap_period: None,
+            translate_fault_period: None,
             start: 0,
             max_events: 0,
         });
@@ -348,6 +533,7 @@ mod tests {
             flip_period: Some(1),
             data_fault_period: None,
             unmap_period: None,
+            translate_fault_period: None,
             start: 100,
             max_events: 2,
         };
@@ -367,6 +553,7 @@ mod tests {
             flip_period: None,
             data_fault_period: None,
             unmap_period: Some(1),
+            translate_fault_period: None,
             start: 0,
             max_events: 0,
         });
@@ -380,5 +567,121 @@ mod tests {
         st.begin_inst(50);
         assert!(!st.maybe_unmap(&mut mem));
         assert_eq!(st.injected(), 1);
+    }
+
+    #[test]
+    fn translate_channel_draws_after_the_architectural_ones() {
+        // A plan without the translate channel must consume exactly the
+        // draws it did before the channel existed: the first flip below
+        // fires at the same instruction whether or not translate is
+        // enabled, because the translate channel's initial due is drawn
+        // last (the flipped bit itself comes from a later stream position,
+        // so only the schedule is compared).
+        let base = ChaosPlan {
+            seed: 77,
+            flip_period: Some(4),
+            data_fault_period: Some(4),
+            unmap_period: Some(4),
+            translate_fault_period: None,
+            start: 0,
+            max_events: 0,
+        };
+        let with = ChaosPlan { translate_fault_period: Some(4), ..base };
+        let first_flip = |plan: ChaosPlan| {
+            let mut st = ChaosState::new(plan);
+            for i in 0..64u64 {
+                st.begin_inst(i);
+                if st.maybe_flip_fetch(0x1000, 0) != 0 {
+                    return i;
+                }
+            }
+            panic!("period-4 flip channel must fire within 64 insts");
+        };
+        assert_eq!(first_flip(base), first_flip(with));
+    }
+
+    #[test]
+    fn translate_channel_fires_and_replays() {
+        let plan = ChaosPlan {
+            seed: 5,
+            flip_period: None,
+            data_fault_period: None,
+            unmap_period: None,
+            translate_fault_period: Some(2),
+            start: 0,
+            max_events: 0,
+        };
+        let run = |plan: ChaosPlan| {
+            let mut st = ChaosState::new(plan);
+            let mut hits = Vec::new();
+            for i in 0..40u64 {
+                st.begin_inst(i);
+                if let Some(draw) = st.maybe_translate_fault(0x2000 + 16 * i) {
+                    hits.push((i, draw));
+                }
+            }
+            (hits, st.events().to_vec())
+        };
+        let (h1, e1) = run(plan);
+        let (h2, e2) = run(plan);
+        assert_eq!(h1, h2);
+        assert_eq!(e1, e2);
+        assert!(!h1.is_empty(), "a period-2 translate channel must fire within 40 insts");
+        assert!(e1.iter().all(|e| !e.architectural() && e.affects_fetch()));
+    }
+
+    #[test]
+    fn scripted_state_replays_events_verbatim() {
+        let mut st = ChaosState::scripted(
+            1,
+            [
+                ChaosEvent::BitFlip { inst: 3, pc: 0x100c, bit: 7, before: 0, after: 0 },
+                ChaosEvent::DataFault { inst: 5, addr: 0x2000, kind: AccessKind::Store },
+                ChaosEvent::PageUnmap { inst: 8, base: 0x1000 },
+            ],
+        );
+        assert!(st.is_scripted());
+        let mut mem = Mem::new();
+        mem.write_u32(0x1000, 7, Endian::Little).unwrap();
+
+        // Wrong pc, too early: nothing fires.
+        st.begin_inst(2);
+        assert_eq!(st.maybe_flip_fetch(0x100c, 0xff), 0xff);
+        st.begin_inst(3);
+        assert_eq!(st.maybe_flip_fetch(0x1000, 0xff), 0xff);
+        assert!(!st.scripted_fetch_due() || st.pending() == 3); // flip still queued
+                                                                // Matching site: exactly the recorded bit flips.
+        assert_eq!(st.maybe_flip_fetch(0x100c, 0xff), 0xff ^ (1 << 7));
+        // Head-of-queue discipline: the data fault blocks until its site.
+        assert_eq!(st.maybe_fault_data(0x2000, AccessKind::Load), None, "kind must match");
+        st.begin_inst(6);
+        match st.maybe_fault_data(0x2000, AccessKind::Store) {
+            Some(MemFault::OutOfRange { addr: 0x2000, kind: AccessKind::Store }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The unmap names its page instead of drawing one.
+        st.begin_inst(9);
+        assert!(st.maybe_unmap(&mut mem));
+        assert_eq!(mem.resident_pages(), 0);
+        assert_eq!(st.pending(), 0);
+        assert_eq!(st.injected(), 3);
+    }
+
+    #[test]
+    fn scripted_fetch_due_tracks_the_queue_head() {
+        let mut st = ChaosState::scripted(
+            0,
+            [
+                ChaosEvent::DataFault { inst: 1, addr: 0x2000, kind: AccessKind::Load },
+                ChaosEvent::TranslateFault { inst: 4, pc: 0x1000, idx: 9, bit: 3 },
+            ],
+        );
+        st.begin_inst(4);
+        assert!(!st.scripted_fetch_due(), "head is a data fault, caches may stay hot");
+        assert!(st.maybe_fault_data(0x2000, AccessKind::Load).is_some());
+        assert!(st.scripted_fetch_due(), "pending translate fault forces cache bypass");
+        assert_eq!(st.maybe_translate_fault(0x2000), None, "pc must match");
+        assert_eq!(st.maybe_translate_fault(0x1000), Some((9, 3)));
+        assert!(!st.scripted_fetch_due());
     }
 }

@@ -275,6 +275,44 @@ impl Superblock {
     pub(crate) fn fallthrough_pc(&self, pc_mask: u64) -> u64 {
         self.entry.wrapping_add(4 * self.insts.len() as u64) & pc_mask
     }
+
+    /// Corrupts this translation from the raw chaos draws — the
+    /// translate-fault channel's payload, modeling a silent translator bug.
+    ///
+    /// Two halves. The successor link hints are scrambled, which is
+    /// *provably harmless*: link following re-validates the target's entry
+    /// PC on every hop, so the worst case is a wasted probe (this half
+    /// documents that hints are never trusted). One captured decode value
+    /// is then bit-flipped, which is the dangerous half: the replayed
+    /// decode state no longer matches the stored instruction bits, and
+    /// since the stored bits are what every first-word freshness probe
+    /// compares, no cache-verification pass can see it — only lockstep
+    /// against a reference can. The victim selection is a pure function of
+    /// `(idx, bit)` and the translation, so a scripted replay with the same
+    /// draws poisons the same capture.
+    pub(crate) fn poison(&mut self, idx: u32, bit: u8) {
+        self.fallthrough.set(idx ^ 0x5a5a);
+        self.taken.set(idx ^ 0xa5a5);
+        self.taken_pc.set(self.entry ^ (u64::from(bit) << 2));
+        let n = self.insts.len();
+        if n == 0 {
+            return;
+        }
+        // Prefer a real decode capture (an immediate, a shift amount — the
+        // slots before the appended opcode); settle for the opcode capture
+        // when the block holds nothing richer.
+        for wants_decode in [true, false] {
+            for off in 0..n {
+                let e = &mut self.insts[(idx as usize + off) % n];
+                if e.fallback || e.nfields == 0 || (wants_decode && e.nfields < 2) {
+                    continue;
+                }
+                let slot = if wants_decode { (bit as usize) % (e.nfields as usize - 1) } else { 0 };
+                e.fields[slot].1 ^= 1u64 << (bit % 64);
+                return;
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Superblock {

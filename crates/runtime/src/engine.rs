@@ -58,6 +58,72 @@ pub enum Backend {
     Compiled,
 }
 
+impl Backend {
+    /// The next rung down the supervision ladder: each step trades
+    /// translation aggressiveness for trust (Compiled → Cached →
+    /// Interpreted). `None` at the bottom — the interpreted backend
+    /// re-fetches and re-decodes everything and keeps no state a fault
+    /// could poison, so there is nothing safer to demote to.
+    pub fn demoted(self) -> Option<Backend> {
+        match self {
+            Backend::Compiled => Some(Backend::Cached),
+            Backend::Cached => Some(Backend::Interpreted),
+            Backend::Interpreted => None,
+        }
+    }
+}
+
+/// Why the supervision ladder demoted the backend mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// A cache-verification freshness probe found a stale cached block or
+    /// superblock (stale code after an unmap, self-modifying text, or a
+    /// corrupted cache).
+    CacheVerify,
+    /// A block build was observed to be chaos-corrupted (transient fetch
+    /// poisoning) — the backend's predecoded state is under attack.
+    PoisonedBuild,
+    /// A supervised (paranoid) lockstep spot-check caught the backend
+    /// diverging from the reference.
+    SpotCheck,
+    /// Wall-clock pressure: the supervisor chose a cheaper-to-trust backend
+    /// before the watchdog expired.
+    Deadline,
+    /// Explicitly requested by the host (tests, `lis verify --demote`).
+    Requested,
+}
+
+impl std::fmt::Display for DemotionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DemotionReason::CacheVerify => "cache-verify",
+            DemotionReason::PoisonedBuild => "poisoned-build",
+            DemotionReason::SpotCheck => "spot-check",
+            DemotionReason::Deadline => "deadline",
+            DemotionReason::Requested => "requested",
+        })
+    }
+}
+
+/// One structured record of a mid-run backend demotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemotionEvent {
+    /// Retired-instruction index when the demotion was taken.
+    pub inst: u64,
+    /// Backend before the demotion.
+    pub from: Backend,
+    /// Backend after the demotion.
+    pub to: Backend,
+    /// What forced the downgrade.
+    pub reason: DemotionReason,
+}
+
+impl std::fmt::Display for DemotionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst {}: demoted {:?} -> {:?} ({})", self.inst, self.from, self.to, self.reason)
+    }
+}
+
 /// One predecoded instruction inside a cached block.
 ///
 /// Decode actions are, by contract, pure functions of the instruction bits
@@ -174,6 +240,11 @@ pub struct Simulator {
     /// is transient by contract).
     inst_flipped: bool,
     verify_cache: bool,
+    /// Whether trust violations demote the backend mid-run instead of
+    /// merely falling back block-by-block.
+    demote: bool,
+    /// Structured log of every demotion taken (see [`DemotionEvent`]).
+    demotion_log: Vec<DemotionEvent>,
     deadline: Option<Duration>,
     /// Published-field mask, resolved from the buildset once at synthesis
     /// time so the publication loop reads one word instead of chasing the
@@ -253,6 +324,8 @@ impl Simulator {
             chaos: None,
             inst_flipped: false,
             verify_cache: false,
+            demote: false,
+            demotion_log: Vec::new(),
             deadline: None,
             vis_fields: buildset.visibility.fields,
             vis_ops: buildset.visibility.operand_ids,
@@ -290,6 +363,18 @@ impl Simulator {
         self
     }
 
+    /// Arms a prepared chaos state directly — the scripted-replay entry
+    /// point: a [`ChaosState::scripted`] built from a recorded event log
+    /// replays that campaign verbatim (the minimizer probes sublists this
+    /// way, and the supervised reference executes the subject's log).
+    /// Procedural states work too and behave exactly like
+    /// [`Simulator::set_chaos`].
+    pub fn set_chaos_state(&mut self, state: ChaosState) -> &mut Self {
+        self.chaos = Some(state);
+        self.clear_caches();
+        self
+    }
+
     /// Disarms fault injection and returns the final chaos state (its event
     /// log records everything injected), if a campaign was armed.
     pub fn take_chaos(&mut self) -> Option<ChaosState> {
@@ -301,6 +386,13 @@ impl Simulator {
         self.chaos.as_ref()
     }
 
+    /// Mutable access to the running chaos campaign — the supervised
+    /// harness uses this to feed a scripted reference additional events as
+    /// its subject logs them.
+    pub fn chaos_mut(&mut self) -> Option<&mut ChaosState> {
+        self.chaos.as_mut()
+    }
+
     /// Enables cached-backend self-verification: on every block-cache hit
     /// the first instruction word is refetched and compared against the
     /// cached copy. A mismatch (stale code after an unmap, self-modifying
@@ -310,6 +402,62 @@ impl Simulator {
     pub fn set_cache_verify(&mut self, on: bool) -> &mut Self {
         self.verify_cache = on;
         self
+    }
+
+    /// Enables the backend demotion ladder: when a trust violation is
+    /// detected mid-run — a cache-verification freshness failure or a
+    /// chaos-poisoned build — the engine demotes itself one rung
+    /// (Compiled → Cached → Interpreted) and *continues* instead of only
+    /// degrading block-by-block. Each demotion is recorded in
+    /// [`Simulator::demotion_events`] and counted in
+    /// [`SimStats::demotions`]. External supervisors (spot-check lockstep,
+    /// watchdog pressure) can force a rung down at any time with
+    /// [`Simulator::demote_now`], which works whether or not this flag is
+    /// set.
+    pub fn set_demote(&mut self, on: bool) -> &mut Self {
+        self.demote = on;
+        self
+    }
+
+    /// Whether the automatic demotion ladder is enabled.
+    pub fn demote_enabled(&self) -> bool {
+        self.demote
+    }
+
+    /// Every backend demotion taken so far, in order.
+    pub fn demotion_events(&self) -> &[DemotionEvent] {
+        &self.demotion_log
+    }
+
+    /// Demotes the backend one rung down the ladder right now, recording a
+    /// structured [`DemotionEvent`] and dropping all predecoded/compiled
+    /// state (the demotion exists precisely because that state is no longer
+    /// trusted). Returns the new backend, or `None` when already at the
+    /// bottom (Interpreted), in which case nothing changes.
+    pub fn demote_now(&mut self, reason: DemotionReason) -> Option<Backend> {
+        let from = self.backend;
+        let to = from.demoted()?;
+        self.demotion_log.push(DemotionEvent { inst: self.stats.insts, from, to, reason });
+        self.stats.demotions += 1;
+        self.backend = to;
+        self.clear_caches();
+        Some(to)
+    }
+
+    /// Adopts `state`/`os` as this simulator's architectural truth — the
+    /// supervised-recovery path: after a spot-check divergence the subject
+    /// resynchronizes from the reference simulator and continues on a
+    /// demoted backend. All speculative state (undo log, checkpoints) and
+    /// predecoded state is discarded; statistics are kept (they describe
+    /// work actually performed).
+    pub fn adopt_state(&mut self, state: &ArchState, os: &OsState) {
+        self.state = state.clone();
+        self.os = os.clone();
+        self.undo.clear();
+        self.checkpoints.clear();
+        self.expected = Step::Fetch;
+        self.opcode = ILLEGAL;
+        self.clear_caches();
     }
 
     /// Sets a wall-clock deadline for [`Simulator::run_to_halt`]; when
@@ -951,8 +1099,16 @@ impl Simulator {
         Ok(count)
     }
 
+    /// Whether a scripted chaos replay has a fetch-corrupting event due:
+    /// block and decode caches must be bypassed so the injection hooks see
+    /// the fetch at the recorded site instead of a cache hit swallowing it.
+    #[inline]
+    fn scripted_bypass(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.scripted_fetch_due())
+    }
+
     fn lookup_block(&mut self, pc: u64) -> Result<Rc<Block>, Fault> {
-        if self.backend == Backend::Cached {
+        if self.backend == Backend::Cached && !self.scripted_bypass() {
             if let Some(b) = self.blocks.get(&pc) {
                 let block = Rc::clone(b);
                 if !self.verify_cache || self.block_is_fresh(pc, &block) {
@@ -961,9 +1117,14 @@ impl Simulator {
                 // Graceful degradation: the cached block no longer matches
                 // memory (stale after an unmap, self-modifying text, or a
                 // corrupted cache). Drop it and fall back to a one-shot
-                // interpreted rebuild instead of executing stale code.
+                // interpreted rebuild instead of executing stale code —
+                // and, on the demotion ladder, stop trusting this backend
+                // altogether.
                 self.blocks.remove(&pc);
                 self.stats.fallback_blocks += 1;
+                if self.demote {
+                    self.demote_now(DemotionReason::CacheVerify);
+                }
                 let (block, _) = self.build_block(pc)?;
                 self.stats.blocks_built += 1;
                 return Ok(Rc::new(block));
@@ -972,6 +1133,9 @@ impl Simulator {
         let (block, poisoned) = self.build_block(pc)?;
         let block = Rc::new(block);
         self.stats.blocks_built += 1;
+        if poisoned && self.demote {
+            self.demote_now(DemotionReason::PoisonedBuild);
+        }
         // A chaos-corrupted build must stay transient: caching it would turn
         // a single injected bit flip into a permanent code change.
         if self.backend == Backend::Cached && !poisoned {
@@ -998,8 +1162,11 @@ impl Simulator {
     /// chaos-poisoned builds), which are never cached and never linkable.
     fn lookup_compiled(&mut self, pc: u64) -> Result<(Rc<Superblock>, u32), Fault> {
         let prev = self.compiled.last;
-        let hit =
-            self.compiled.follow(prev, pc, self.isa.pc_mask).or_else(|| self.compiled.lookup(pc));
+        let hit = if self.scripted_bypass() {
+            None
+        } else {
+            self.compiled.follow(prev, pc, self.isa.pc_mask).or_else(|| self.compiled.lookup(pc))
+        };
         if let Some((sb, idx)) = hit {
             if !self.verify_cache || self.superblock_is_fresh(pc, &sb) {
                 self.compiled.patch(prev, idx, pc, self.isa.pc_mask);
@@ -1011,18 +1178,24 @@ impl Simulator {
             // compiled cache is dropped, not just this entry.
             self.compiled.clear();
             self.stats.fallback_blocks += 1;
+            if self.demote {
+                self.demote_now(DemotionReason::CacheVerify);
+            }
             let (block, _) = self.build_block(pc)?;
             self.stats.blocks_built += 1;
-            return Ok((Rc::new(Superblock::compile(pc, &block, self.isa)), NO_LINK));
+            return Ok((Rc::new(self.translate(pc, &block)), NO_LINK));
         }
         let (block, poisoned) = self.build_block(pc)?;
         self.stats.blocks_built += 1;
-        let sb = Rc::new(Superblock::compile(pc, &block, self.isa));
+        let sb = Rc::new(self.translate(pc, &block));
         if poisoned {
             // A chaos-corrupted build stays transient: not cached, not
             // linkable, and the chain cursor is dropped so no later block
             // links back through it.
             self.compiled.last = NO_LINK;
+            if self.demote {
+                self.demote_now(DemotionReason::PoisonedBuild);
+            }
             return Ok((sb, NO_LINK));
         }
         let idx = self.compiled.insert(pc, Rc::clone(&sb));
@@ -1031,6 +1204,24 @@ impl Simulator {
         }
         self.compiled.last = idx;
         Ok((sb, idx))
+    }
+
+    /// Compiles a superblock, routing the build through the chaos
+    /// translate-fault channel: when the channel fires, one captured decode
+    /// value is corrupted and the link hints scrambled
+    /// ([`Superblock::poison`]). Unlike fetch flips, a translation fault is
+    /// *not* flagged as poisoned — it models a silent translator bug, so
+    /// the corrupt superblock is cached and chained like an honest one.
+    /// First-word freshness probes cannot see it (the stored bits are
+    /// correct); only supervised lockstep can.
+    fn translate(&mut self, pc: u64, block: &Block) -> Superblock {
+        let mut sb = Superblock::compile(pc, block, self.isa);
+        if let Some(chaos) = self.chaos.as_mut() {
+            if let Some((idx, bit)) = chaos.maybe_translate_fault(pc) {
+                sb.poison(idx, bit);
+            }
+        }
+        sb
     }
 
     /// [`Simulator::block_is_fresh`] for superblocks: same first-word
@@ -1314,10 +1505,28 @@ impl Simulator {
     /// [`SimStop::Deadline`] when a wall-clock deadline set with
     /// [`Simulator::set_deadline`] expires.
     pub fn run_to_halt(&mut self, max_insts: u64) -> Result<RunSummary, SimStop> {
-        if self.backend == Backend::Compiled && self.bs.semantic == Semantic::Block {
-            return self.run_compiled(max_insts);
+        let start = self.stats.insts;
+        // Dispatch loop, not a single dispatch: a mid-run demotion makes the
+        // compiled driver hand back cleanly (halted = false), and the rest
+        // of the budget continues on whatever backend the ladder left
+        // active. The generic driver re-dispatches per call on its own, so
+        // only the compiled fast driver ever returns here early.
+        loop {
+            let left = max_insts - (self.stats.insts - start);
+            let summary =
+                if self.backend == Backend::Compiled && self.bs.semantic == Semantic::Block {
+                    self.run_compiled(left)?
+                } else {
+                    self.run_with_sink(left, |_| {})?
+                };
+            if summary.halted {
+                return Ok(RunSummary {
+                    insts: self.stats.insts - start,
+                    halted: true,
+                    exit_code: summary.exit_code,
+                });
+            }
         }
-        self.run_with_sink(max_insts, |_| {})
     }
 
     /// The compiled backend's unobserved block driver: chains superblocks
@@ -1337,6 +1546,12 @@ impl Simulator {
         // (not per instruction) over split field borrows.
         let fast = self.chaos.is_none() && !self.bs.speculation;
         while !self.state.halted {
+            if self.backend != Backend::Compiled {
+                // The demotion ladder fired inside a lookup: this driver's
+                // translations are no longer trusted, so hand the rest of
+                // the run back to `run_to_halt` for re-dispatch.
+                break;
+            }
             if self.stats.insts - start >= max_insts {
                 return Err(SimStop::MaxInsts);
             }

@@ -33,8 +33,10 @@ mod stats;
 pub mod toy;
 
 pub use decode::{DecodeTable, PcHashBuilder, PcHasher, PcMap};
-pub use engine::{Backend, CheckpointId, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP};
+pub use engine::{
+    Backend, CheckpointId, DemotionEvent, DemotionReason, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP,
+};
 pub use error::{BuildError, IfaceError, SimStop};
 // Chaos vocabulary, re-exported so harness code needs only this crate.
-pub use lis_mem::{ChaosEvent, ChaosPlan, ChaosState};
+pub use lis_mem::{ChaosEvent, ChaosPlan, ChaosRng, ChaosState};
 pub use stats::{RunSummary, SimStats};

@@ -32,6 +32,12 @@ pub struct SimStats {
     /// Undo records retired (speculation bookkeeping work). Zero on
     /// non-speculative buildsets.
     pub undo_records: u64,
+    /// Backend demotions taken mid-run by the supervision ladder
+    /// (Compiled → Cached → Interpreted). Zero unless demotion is enabled
+    /// and a trust violation or deadline pressure forced a downgrade.
+    /// Excluded from [`detail_units`](Self::detail_units): a demotion is a
+    /// supervision action, not interface work.
+    pub demotions: u64,
 }
 
 impl SimStats {
@@ -80,6 +86,7 @@ impl SimStats {
             .u64("published_values", self.published_values)
             .u64("published_opsets", self.published_opsets)
             .u64("undo_records", self.undo_records)
+            .u64("demotions", self.demotions)
             .f64("calls_per_inst", self.calls_per_inst())
             .f64("mean_block_len", self.mean_block_len());
         o.finish()
@@ -135,6 +142,7 @@ mod tests {
         assert!(j.contains("\"published_values\":9"));
         assert!(j.contains("\"published_opsets\":0"));
         assert!(j.contains("\"undo_records\":0"));
+        assert!(j.contains("\"demotions\":0"));
         assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
@@ -145,9 +153,10 @@ mod tests {
             published_values: 20,
             published_opsets: 5,
             undo_records: 7,
+            demotions: 3,
             ..Default::default()
         };
-        assert_eq!(s.detail_units(), 42);
+        assert_eq!(s.detail_units(), 42, "demotions are supervision, not interface work");
         assert_eq!(SimStats::default().detail_units(), 0);
     }
 }

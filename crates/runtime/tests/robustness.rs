@@ -4,7 +4,9 @@
 
 use lis_core::{nr, DynInst, Step, BLOCK_MIN, ONE_ALL, STEP_ALL};
 use lis_mem::{Image, Section};
-use lis_runtime::{toy, Backend, ChaosPlan, IfaceError, SimStop, Simulator};
+use lis_runtime::{
+    toy, Backend, ChaosPlan, ChaosState, DemotionReason, IfaceError, SimStop, Simulator,
+};
 use std::time::Duration;
 
 fn image(words: &[u32]) -> Image {
@@ -148,6 +150,7 @@ fn chaos_page_unmap_drops_compiled_superblock_chains() {
         flip_period: None,
         data_fault_period: None,
         unmap_period: Some(6),
+        translate_fault_period: None,
         start: 0,
         max_events: 1,
     });
@@ -223,6 +226,7 @@ fn chaos_bit_flips_never_poison_the_cache() {
         flip_period: Some(4),
         data_fault_period: None,
         unmap_period: None,
+        translate_fault_period: None,
         start: 0,
         max_events: 0,
     });
@@ -300,6 +304,7 @@ fn chaos_page_unmap_is_survivable_with_cache_verify() {
         flip_period: None,
         data_fault_period: None,
         unmap_period: Some(6),
+        translate_fault_period: None,
         start: 0,
         max_events: 4,
     });
@@ -319,4 +324,160 @@ fn chaos_page_unmap_is_survivable_with_cache_verify() {
     }
     let chaos = sim.take_chaos().unwrap();
     assert!(chaos.injected() <= 4, "event budget respected");
+}
+
+#[test]
+fn demotion_ladder_walks_compiled_to_cached_to_interpreted() {
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.load_program(&loop_program()).unwrap();
+    assert_eq!(sim.demote_now(DemotionReason::Requested), Some(Backend::Cached));
+    assert_eq!(sim.demote_now(DemotionReason::Requested), Some(Backend::Interpreted));
+    assert_eq!(
+        sim.demote_now(DemotionReason::Requested),
+        None,
+        "the ladder ends at the reference interpreter"
+    );
+    assert_eq!(sim.backend(), Backend::Interpreted);
+    assert_eq!(sim.stats.demotions, 2);
+    let log = sim.demotion_events();
+    assert_eq!(log.len(), 2);
+    assert_eq!((log[0].from, log[0].to), (Backend::Compiled, Backend::Cached));
+    assert_eq!((log[1].from, log[1].to), (Backend::Cached, Backend::Interpreted));
+    assert!(log.iter().all(|e| matches!(e.reason, DemotionReason::Requested)));
+    // The program still completes on the fully demoted backend.
+    let summary = sim.run_to_halt(10_000).unwrap();
+    assert_eq!(summary.exit_code, 7);
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "55\n");
+}
+
+#[test]
+fn run_to_halt_re_dispatches_after_a_cache_verify_demotion() {
+    // Enter the hot loop on the compiled backend, then change the loop body
+    // underneath the superblock cache — to a different encoding of the same
+    // computation, so the program's meaning is preserved. With the ladder
+    // armed, the freshness probe must demote Compiled -> Cached *mid-run*
+    // and `run_to_halt` must finish the program on the demoted backend.
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.set_cache_verify(true);
+    sim.set_demote(true);
+    sim.load_program(&loop_program()).unwrap();
+
+    let mut buf = Vec::new();
+    sim.next_block(&mut buf).unwrap(); // 0x1000..: falls into the loop
+    sim.next_block(&mut buf).unwrap(); // 0x100c..: one loop iteration, cached
+    assert!(sim.compiled_blocks() > 0);
+
+    // add r2, r2, r3 becomes add r2, r3, r2: same sum, different bits.
+    sim.poke_mem(0x100c, 4, toy::add(2, 3, 2) as u64).unwrap();
+    let summary = sim.run_to_halt(100_000).unwrap();
+    assert_eq!(summary.exit_code, 7);
+    assert_eq!(String::from_utf8_lossy(sim.stdout()), "55\n");
+    assert_eq!(sim.backend(), Backend::Cached, "one rung down, not a full abort");
+    assert_eq!(sim.stats.demotions, 1);
+    let log = sim.demotion_events();
+    assert_eq!(log.len(), 1);
+    assert!(matches!(log[0].reason, DemotionReason::CacheVerify));
+    assert_eq!((log[0].from, log[0].to), (Backend::Compiled, Backend::Cached));
+}
+
+#[test]
+fn demotion_is_opt_in_for_automatic_triggers() {
+    // Without `set_demote(true)` the stale-cache probe falls back one block
+    // at a time (the pre-ladder behavior) and never changes the backend.
+    let prog = image(&[toy::addi(2, 2, 1), toy::jmp(-2)]);
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.set_cache_verify(true);
+    sim.load_program(&prog).unwrap();
+    let mut buf = Vec::new();
+    sim.next_block(&mut buf).unwrap();
+    sim.poke_mem(0x1000, 4, toy::addi(2, 2, 100) as u64).unwrap();
+    sim.next_block(&mut buf).unwrap();
+    assert_eq!(sim.stats.fallback_blocks, 1);
+    assert_eq!(sim.backend(), Backend::Compiled, "no ladder without opt-in");
+    assert_eq!(sim.stats.demotions, 0);
+    assert!(sim.demotion_events().is_empty());
+}
+
+#[test]
+fn translate_faults_are_silent_and_survive_the_freshness_probe() {
+    // A translation fault models a silent translator bug: the corrupted
+    // superblock is cached like an honest one, the stored first word still
+    // matches memory (so cache verification cannot see it), and no demotion
+    // fires even with the ladder armed. Only lockstep against a reference
+    // can catch the divergence — which is exactly the supervised harness's
+    // job.
+    let mut reference = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    reference.load_program(&loop_program()).unwrap();
+    reference.run_to_halt(10_000).unwrap();
+    let ref_stdout = reference.stdout().to_vec();
+
+    let mut sim = Simulator::new(toy::spec(), BLOCK_MIN).unwrap();
+    sim.set_backend(Backend::Compiled);
+    sim.set_cache_verify(true);
+    sim.set_demote(true);
+    sim.load_program(&loop_program()).unwrap();
+    sim.set_chaos(ChaosPlan {
+        seed: 5,
+        flip_period: None,
+        data_fault_period: None,
+        unmap_period: None,
+        translate_fault_period: Some(2),
+        start: 0,
+        max_events: 1,
+    });
+    let mut buf = Vec::new();
+    let mut units = 0;
+    while !sim.state.halted && units < 500 {
+        sim.next_block(&mut buf).expect("interface survives a translate fault");
+        if let Some(d) = buf.last().filter(|d| d.fault.is_some()) {
+            let pc = d.header.pc;
+            sim.redirect(pc.wrapping_add(4));
+        }
+        units += 1;
+    }
+    assert!(sim.chaos().unwrap().injected() > 0, "the translate channel must fire");
+    assert_eq!(sim.stats.demotions, 0, "no probe can see a silent translation bug");
+    assert_eq!(sim.stats.fallback_blocks, 0, "the stored bits are correct: probes pass");
+    assert!(sim.compiled_blocks() > 0, "the poisoned superblock is cached");
+    let diverged =
+        !sim.state.halted || sim.state.exit_code != 7 || sim.stdout() != ref_stdout.as_slice();
+    assert!(diverged, "a poisoned decode capture must change the program's behavior");
+}
+
+#[test]
+fn scripted_replay_reproduces_a_procedural_chaos_run() {
+    // Record the events of a procedural chaos run, then replay them verbatim
+    // through a scripted state on a fresh simulator: every observable must
+    // match. This is the engine half of the supervised-reference contract.
+    let drive = |mut sim: Simulator| {
+        let mut di = DynInst::new();
+        let mut units = 0;
+        while !sim.state.halted && units < 500 {
+            sim.next_inst(&mut di).unwrap();
+            if di.fault.is_some() {
+                sim.redirect(di.header.pc.wrapping_add(4));
+            }
+            units += 1;
+        }
+        sim
+    };
+    let mut subject = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    subject.load_program(&loop_program()).unwrap();
+    subject.set_chaos(ChaosPlan::uniform(0xFEED, 8));
+    let subject = drive(subject);
+    let events = subject.chaos().unwrap().events().to_vec();
+    assert!(!events.is_empty(), "the recording run must inject something");
+
+    let mut replay = Simulator::new(toy::spec(), ONE_ALL).unwrap();
+    replay.load_program(&loop_program()).unwrap();
+    replay.set_chaos_state(ChaosState::scripted(0xFEED, events.iter().cloned()));
+    let replay = drive(replay);
+    assert_eq!(replay.state.gpr, subject.state.gpr);
+    assert_eq!(replay.state.pc, subject.state.pc);
+    assert_eq!(replay.stats.faults, subject.stats.faults);
+    assert_eq!(replay.chaos().unwrap().events(), events.as_slice());
+    assert_eq!(replay.chaos().unwrap().pending(), 0, "every scripted event replayed");
 }
