@@ -20,10 +20,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod sweep;
+pub mod warm;
 
 pub use sweep::{
     run_sweep, CellResult, RatioRow, SweepCell, SweepConfig, SweepReport, BASELINE_BUILDSET,
 };
+pub use warm::{run_warm, WarmCell, WarmConfig, WarmReport};
 
 use lis_core::{BuildsetDef, Semantic, STANDARD_BUILDSETS};
 use lis_runtime::{Backend, Simulator};

@@ -165,12 +165,12 @@ pub struct SweepReport {
 }
 
 /// Resolves a requested job count against the cell count: 0 means one per
-/// available core, and the result is always within `[1, cells]` — a pool
-/// can neither be empty nor larger than its work list.
+/// available core, and the result is always within `[1, cells]`. The policy
+/// lives in [`lis_harness::resolve_jobs`] so the sweep pool and the service
+/// scheduler share one derivation; this thin alias keeps the historical
+/// bench-crate entry point.
 pub fn resolve_jobs(requested: usize, cells: usize) -> usize {
-    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let j = if requested == 0 { auto } else { requested };
-    j.clamp(1, cells.max(1))
+    lis_harness::resolve_jobs(requested, cells)
 }
 
 /// Validates a kernel subset against the suite (which is identical across

@@ -14,13 +14,17 @@
 //! lis trace record <file.s> --isa alpha -o prog.lst
 //! lis trace info <prog.lst>
 //! lis trace replay <prog.lst> [--shards N] [--stats-json]
+//! lis serve --listen 127.0.0.1:4915 [--jobs N] [--drain-deadline S]
+//! lis serve --bench-warm [-o BENCH_serve.json] [--time]
+//! lis connect <addr>
 //! ```
 //!
 //! `verify` and `chaos` use exit codes 0 (clean), 2 (divergence detected),
 //! and 3 (fault-storm or deadline abort); `trace info` and `trace replay`
 //! use 4 for a corrupt or unreadable trace; `lint` — and the analyzer
 //! pre-flight gate in `verify`/`chaos`/`sweep` — uses 5 for error-level
-//! findings; all commands use 1 for ordinary errors and 2 for usage errors.
+//! findings; `serve` uses 6 when a shutdown drain abandoned in-flight work;
+//! all commands use 1 for ordinary errors and 2 for usage errors.
 
 use lis_core::{BuildsetDef, DynInst, IsaSpec, Semantic, Step, Visibility, STANDARD_BUILDSETS};
 use lis_harness::{
@@ -72,6 +76,8 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&opts),
         "sweep" => cmd_sweep(&opts),
         "trace" => cmd_trace(trace_sub.as_deref().unwrap_or(""), &opts),
+        "serve" => cmd_serve(&opts),
+        "connect" => cmd_connect(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(0)
@@ -108,6 +114,12 @@ usage:
   lis trace record <file.s> --isa <isa> [-o <out>]   record a max-detail trace
   lis trace info <trace>                             header, footer, integrity check
   lis trace replay <trace> [--shards <n>]            trace-driven ooo timing replay
+  lis serve --listen <addr>                          multi-session simulation daemon
+                                                     with a shared translation cache
+  lis serve --bench-warm                             cold-vs-warm cache scoreboard,
+                                                     to BENCH_serve.json
+  lis connect <addr>                                 send request frames from stdin
+                                                     to a daemon, print responses
 
 options for `run`:
   --buildset <name>     interface to synthesize (default one-all)
@@ -179,12 +191,33 @@ options for `verify` / `chaos`:
   --snapshot <path>     crash-snapshot file (default derived:
                         lis-snapshot-<isa>-<buildset>-<seed>.txt)
 
-exit codes for `lint` / `verify` / `chaos` / `trace`:
-  0  clean            2  divergence detected
-  3  fault-storm or deadline abort                   1  other errors
+options for `serve` / `connect`:
+  --listen <addr>       address to bind, e.g. 127.0.0.1:4915 (port 0 picks
+                        an ephemeral port, printed on startup)
+  --jobs <n>            scheduler workers (default: one per core, the same
+                        policy as sweep)
+  --drain-deadline <s>  seconds a shutdown waits for in-flight sessions
+                        before abandoning them (default 10)
+  --deadline <secs>     per-request wall-clock watchdog
+  --bench-warm          run the cold-vs-warm artifact-store benchmark and
+                        write BENCH_serve.json instead of serving
+  --time                bench-warm: include wall-clock speedups
+  -o, --output <path>   bench-warm: where to write the JSON
+  (connect takes the daemon address as its positional argument, reads one
+   request frame per stdin line, prints one response line each, and exits
+   with the highest status it saw)
+
+exit codes (shared vocabulary: CLI exits, and per-request `status` fields
+in serve responses):
+  0  clean
+  1  other errors (including a crashed, isolated serve request)
+  2  usage errors, divergence detected, malformed protocol frames
+  3  fault-storm or deadline abort
   4  corrupt or unreadable trace file
   5  lint failure (error-level diagnostics, or warnings under
-     --deny-warnings)"
+     --deny-warnings)
+  6  serve only: shutdown drain abandoned queued or in-flight work
+     (each abandoned job leaves a lis-serve-abandoned-*.txt snapshot)"
     );
 }
 
@@ -1033,4 +1066,64 @@ fn minimize_to_file(
         min.probes
     );
     Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<u8, String> {
+    if opts.bench_warm {
+        let cfg = lis_bench::warm::WarmConfig {
+            max_insts: opts.max,
+            measure_time: opts.time,
+            ..lis_bench::warm::WarmConfig::default()
+        };
+        let report = lis_bench::run_warm(&cfg)?;
+        let out = opts.output.clone().unwrap_or_else(|| "BENCH_serve.json".to_string());
+        std::fs::write(&out, format!("{}\n", lis_bench::warm::to_json(&report)))
+            .map_err(|e| format!("{out}: {e}"))?;
+        print!("{}", lis_bench::warm::render(&report));
+        println!("wrote {out}");
+        return Ok(u8::from(!report.ok()));
+    }
+    let listen = opts.listen.clone().ok_or("serve needs --listen <addr> (or --bench-warm)")?;
+    let cfg = lis_serve::ServeConfig {
+        listen,
+        jobs: opts.jobs,
+        drain_deadline: std::time::Duration::from_secs(opts.drain_deadline),
+        deadline: opts.deadline.map(std::time::Duration::from_secs),
+    };
+    let server = lis_serve::Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", cfg.listen))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("lis-serve listening on {addr} (protocol v{})", lis_serve::PROTOCOL_VERSION);
+    Ok(server.run())
+}
+
+fn cmd_connect(opts: &Opts) -> Result<u8, String> {
+    use std::io::{BufRead, Write};
+    let addr = opts.input.clone().ok_or("connect needs a daemon address argument")?;
+    let stream = std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut out = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut worst = 0u8;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        out.write_all(b"\n").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        let mut resp = String::new();
+        let n = reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        print!("{resp}");
+        // Exit with the worst per-request status the session saw, mirroring
+        // what running the same commands directly would have returned.
+        let status = lis_serve::json::parse(resp.trim_end())
+            .ok()
+            .and_then(|v| v.get("status").and_then(lis_serve::json::Value::as_u64))
+            .ok_or("malformed response from server")?;
+        worst = worst.max(u8::try_from(status).unwrap_or(1));
+    }
+    Ok(worst)
 }

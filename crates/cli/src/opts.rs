@@ -93,6 +93,13 @@ pub struct Opts {
     pub deny_warnings: bool,
     /// Skip the analyzer pre-flight gate in `verify` / `chaos` / `sweep`.
     pub no_lint: bool,
+    /// Listen address for `serve` (required unless `--bench-warm`).
+    pub listen: Option<String>,
+    /// Seconds a `serve` shutdown waits for in-flight work before
+    /// abandoning it.
+    pub drain_deadline: u64,
+    /// Run the cold-vs-warm artifact-store benchmark instead of serving.
+    pub bench_warm: bool,
 }
 
 impl Default for Opts {
@@ -137,6 +144,9 @@ impl Default for Opts {
             format: None,
             deny_warnings: false,
             no_lint: false,
+            listen: None,
+            drain_deadline: 10,
+            bench_warm: false,
         }
     }
 }
@@ -245,6 +255,13 @@ impl Opts {
                 "--format" => o.format = Some(value("--format")?),
                 "--deny-warnings" => o.deny_warnings = true,
                 "--no-lint" => o.no_lint = true,
+                "--listen" => o.listen = Some(value("--listen")?),
+                "--drain-deadline" => {
+                    o.drain_deadline = value("--drain-deadline")?
+                        .parse()
+                        .map_err(|e| format!("--drain-deadline: {e}"))?;
+                }
+                "--bench-warm" => o.bench_warm = true,
                 "--project" => o.project = Some(value("--project")?),
                 "--label" => o.label = Some(value("--label")?),
                 "--stats-json" => o.stats_json = true,
@@ -430,6 +447,21 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d.format, None);
         assert!(!d.deny_warnings && !d.no_lint);
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o =
+            parse(&["--listen", "127.0.0.1:4915", "--drain-deadline", "3", "--jobs", "2"]).unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:4915"));
+        assert_eq!(o.drain_deadline, 3);
+        assert!(!o.bench_warm);
+        assert!(parse(&["--bench-warm"]).unwrap().bench_warm);
+        assert!(parse(&["--drain-deadline", "soon"]).is_err());
+        assert!(parse(&["--listen"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.listen, None);
+        assert_eq!(d.drain_deadline, 10);
     }
 
     #[test]

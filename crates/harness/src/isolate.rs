@@ -43,6 +43,19 @@ pub fn backoff_delay(seed: u64, attempt: u32) -> Duration {
     Duration::from_millis(base_ms + jitter)
 }
 
+/// Resolves a requested worker count against the amount of work available:
+/// `0` means one worker per available core
+/// ([`std::thread::available_parallelism`], falling back to a single worker
+/// when the host will not say), and the result is always within
+/// `[1, cells]` — a pool can neither be empty nor larger than its work
+/// list. The one job-count policy shared by every fan-out in the toolkit:
+/// the sweep worker pool and the service scheduler.
+pub fn resolve_jobs(requested: usize, cells: usize) -> usize {
+    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let j = if requested == 0 { auto } else { requested };
+    j.clamp(1, cells.max(1))
+}
+
 /// Runs `f(attempt)` under [`catch_cell`] up to `1 + retries` times, sleeping
 /// [`backoff_delay`] between attempts. The attempt index is passed to the
 /// closure so the caller can degrade per attempt (e.g. retry a crashed sweep
@@ -89,6 +102,17 @@ mod tests {
             assert!((5..=300).contains(&d), "attempt {attempt}: {d} ms out of bounds");
         }
         assert!(backoff_delay(1, 6).as_millis() >= backoff_delay(1, 1).as_millis());
+    }
+
+    #[test]
+    fn job_resolution_clamps() {
+        assert_eq!(resolve_jobs(3, 100), 3);
+        assert_eq!(resolve_jobs(64, 4), 4, "jobs beyond the work count clamp down");
+        assert_eq!(resolve_jobs(7, 0), 1, "an empty work list still gets one worker");
+        let auto = resolve_jobs(0, 1000);
+        assert!((1..=1000).contains(&auto), "auto is within [1, cells]");
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(auto, host.min(1000), "auto derives from available_parallelism");
     }
 
     #[test]

@@ -76,6 +76,25 @@ impl Image {
     pub fn high_water(&self) -> u64 {
         self.sections.iter().map(Section::end).max().unwrap_or(0)
     }
+
+    /// Deterministic content hash over everything the loader consumes: the
+    /// entry point plus each section's name, base address, and bytes.
+    /// Symbols are debug metadata and deliberately excluded, so two images
+    /// that load identically hash identically. Used as the image component
+    /// of shared-artifact cache keys.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::fx::FxHasher::default();
+        h.write_u64(self.entry);
+        h.write_usize(self.sections.len());
+        for s in &self.sections {
+            h.write(s.name.as_bytes());
+            h.write_u64(s.addr);
+            h.write_usize(s.bytes.len());
+            h.write(&s.bytes);
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for Image {
@@ -128,5 +147,27 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!sample().to_string().is_empty());
+    }
+
+    #[test]
+    fn content_hash_sees_loadable_bytes_not_symbols() {
+        let img = sample();
+        assert_eq!(img.content_hash(), sample().content_hash());
+
+        let mut stripped = sample();
+        stripped.symbols.clear();
+        assert_eq!(img.content_hash(), stripped.content_hash(), "symbols are excluded");
+
+        let mut flipped = sample();
+        flipped.sections[0].bytes[3] ^= 1;
+        assert_ne!(img.content_hash(), flipped.content_hash(), "bytes are included");
+
+        let mut moved = sample();
+        moved.sections[1].addr += 8;
+        assert_ne!(img.content_hash(), moved.content_hash(), "addresses are included");
+
+        let mut rebased = sample();
+        rebased.entry += 4;
+        assert_ne!(img.content_hash(), rebased.content_hash(), "entry is included");
     }
 }

@@ -269,6 +269,19 @@ impl Superblock {
         }
     }
 
+    /// Rebuilds a superblock from exported snapshot parts. Successor links
+    /// start cold ([`NO_LINK`]) — they are per-simulator observations of
+    /// control flow, never part of the shareable translation.
+    pub(crate) fn from_parts(entry: u64, insts: Box<[CompiledInst]>) -> Superblock {
+        Superblock {
+            entry,
+            insts,
+            fallthrough: Cell::new(NO_LINK),
+            taken: Cell::new(NO_LINK),
+            taken_pc: Cell::new(0),
+        }
+    }
+
     /// PC of the instruction after this block (the sequential successor's
     /// entry).
     #[inline]
@@ -356,6 +369,20 @@ impl CompiledCache {
     /// Number of cached superblocks.
     pub(crate) fn len(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Snapshots every indexed superblock as plain `(entry PC, instructions)`
+    /// data, sorted by PC. Link hints are deliberately not exported (they
+    /// are per-simulator flow observations); one-shot blocks were never
+    /// indexed and so never escape.
+    pub(crate) fn export(&self) -> Vec<(u64, Box<[CompiledInst]>)> {
+        let mut out: Vec<(u64, Box<[CompiledInst]>)> = self
+            .index
+            .iter()
+            .map(|(&pc, &idx)| (pc, self.arena[idx as usize].insts.clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(pc, _)| pc);
+        out
     }
 
     /// Index lookup by entry PC.

@@ -44,7 +44,7 @@ pub const DEFAULT_MAX_BLOCK: usize = 64;
 pub const STACK_TOP: u64 = 0x00f0_0000;
 
 /// Execution backend (the binary-translation analog).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// Predecode basic blocks once and cache them (default).
     #[default]
@@ -235,6 +235,11 @@ pub struct Simulator {
     pub stats: SimStats,
     max_block: usize,
     chaos: Option<ChaosState>,
+    /// Sticky: set the moment fault injection is armed, never cleared. A
+    /// tainted simulator refuses to export its caches — a translate-fault
+    /// superblock is cached poisoned by design, and no probe short of
+    /// lockstep can prove a chaos-era cache clean.
+    tainted: bool,
     /// Whether the word delivered by the latest fetch was chaos-corrupted
     /// (such words must never enter the predecode caches — the corruption
     /// is transient by contract).
@@ -322,6 +327,7 @@ impl Simulator {
             stats: SimStats::default(),
             max_block: DEFAULT_MAX_BLOCK,
             chaos: None,
+            tainted: false,
             inst_flipped: false,
             verify_cache: false,
             demote: false,
@@ -359,6 +365,7 @@ impl Simulator {
     /// what an earlier run left in the caches.
     pub fn set_chaos(&mut self, plan: ChaosPlan) -> &mut Self {
         self.chaos = Some(ChaosState::new(plan));
+        self.tainted = true;
         self.clear_caches();
         self
     }
@@ -371,6 +378,7 @@ impl Simulator {
     /// [`Simulator::set_chaos`].
     pub fn set_chaos_state(&mut self, state: ChaosState) -> &mut Self {
         self.chaos = Some(state);
+        self.tainted = true;
         self.clear_caches();
         self
     }
@@ -501,6 +509,90 @@ impl Simulator {
     /// diagnostics hook; zero unless the backend is [`Backend::Compiled`]).
     pub fn compiled_blocks(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// Whether fault injection was ever armed on this simulator. Sticky:
+    /// disarming ([`Simulator::take_chaos`]) does not clear it, because
+    /// artifacts built during the campaign may still be cached (a
+    /// translate-fault superblock is cached poisoned by design).
+    pub fn tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Snapshots the translation caches as shareable plain data: predecoded
+    /// blocks, decode-cache entries, and compiled superblocks, each sorted
+    /// by PC. Returns `None` for a [tainted](Simulator::tainted) simulator —
+    /// nothing a chaos run built may escape into a shared store.
+    pub fn export_artifacts(&self) -> Option<crate::Artifacts> {
+        if self.tainted {
+            return None;
+        }
+        let mut blocks: Vec<(u64, Box<[PredecInst]>)> =
+            self.blocks.iter().map(|(&pc, b)| (pc, b.insts.clone().into_boxed_slice())).collect();
+        blocks.sort_unstable_by_key(|&(pc, _)| pc);
+        let mut insts: Vec<(u64, (u16, u32))> =
+            self.inst_cache.iter().map(|(&pc, &e)| (pc, e)).collect();
+        insts.sort_unstable_by_key(|&(pc, _)| pc);
+        Some(crate::Artifacts {
+            isa: self.isa.name,
+            buildset: self.bs.name,
+            backend: self.backend,
+            max_block: self.max_block,
+            blocks,
+            insts,
+            compiled: self.compiled.export(),
+        })
+    }
+
+    /// Seeds the translation caches from a snapshot, so this simulator
+    /// starts warm with blocks another simulator already built. Must be
+    /// called after [`Simulator::load_program`] and
+    /// [`Simulator::set_backend`] (both clear the caches). Counts every
+    /// adopted block in [`SimStats::seeded_blocks`] and returns the count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::SeedError`] when the snapshot does not describe
+    /// this simulator (different ISA, buildset, backend, or block cap) or
+    /// when this simulator is [tainted](Simulator::tainted) — a chaos
+    /// session's caches follow per-session invalidation rules and must stay
+    /// private.
+    pub fn seed_artifacts(&mut self, art: &crate::Artifacts) -> Result<usize, crate::SeedError> {
+        use crate::SeedError;
+        if self.tainted {
+            return Err(SeedError::Tainted);
+        }
+        if art.isa != self.isa.name {
+            return Err(SeedError::IsaMismatch);
+        }
+        if art.buildset != self.bs.name {
+            return Err(SeedError::BuildsetMismatch);
+        }
+        if art.backend != self.backend {
+            return Err(SeedError::BackendMismatch);
+        }
+        if art.max_block != self.max_block {
+            return Err(SeedError::MaxBlockMismatch);
+        }
+        let mut seeded = 0usize;
+        if self.backend == Backend::Cached {
+            for (pc, insts) in &art.blocks {
+                self.blocks.insert(*pc, Rc::new(Block { insts: insts.to_vec() }));
+                seeded += 1;
+            }
+        }
+        if self.backend == Backend::Compiled {
+            for (pc, insts) in &art.compiled {
+                let sb = Rc::new(Superblock::from_parts(*pc, insts.clone()));
+                self.compiled.insert(*pc, sb);
+                seeded += 1;
+            }
+        }
+        for &(pc, entry) in &art.insts {
+            self.inst_cache.insert(pc, entry);
+        }
+        self.stats.seeded_blocks += seeded as u64;
+        Ok(seeded)
     }
 
     /// Loads a program image, points the PC at its entry, sets up the stack

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod artifact;
 mod compile;
 mod decode;
 mod engine;
@@ -32,6 +33,7 @@ mod error;
 mod stats;
 pub mod toy;
 
+pub use artifact::{ArtifactKey, ArtifactStore, Artifacts, SeedError, StoreStats};
 pub use decode::{DecodeTable, PcHashBuilder, PcHasher, PcMap};
 pub use engine::{
     Backend, CheckpointId, DemotionEvent, DemotionReason, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP,

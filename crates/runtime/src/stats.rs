@@ -38,6 +38,11 @@ pub struct SimStats {
     /// Excluded from [`detail_units`](Self::detail_units): a demotion is a
     /// supervision action, not interface work.
     pub demotions: u64,
+    /// Predecoded blocks and compiled superblocks seeded from a shared
+    /// artifact store instead of being built by this simulator (warm start).
+    /// Excluded from [`detail_units`](Self::detail_units): seeding amortizes
+    /// build work, it is not interface work.
+    pub seeded_blocks: u64,
 }
 
 impl SimStats {
@@ -87,6 +92,7 @@ impl SimStats {
             .u64("published_opsets", self.published_opsets)
             .u64("undo_records", self.undo_records)
             .u64("demotions", self.demotions)
+            .u64("seeded_blocks", self.seeded_blocks)
             .f64("calls_per_inst", self.calls_per_inst())
             .f64("mean_block_len", self.mean_block_len());
         o.finish()
@@ -143,6 +149,7 @@ mod tests {
         assert!(j.contains("\"published_opsets\":0"));
         assert!(j.contains("\"undo_records\":0"));
         assert!(j.contains("\"demotions\":0"));
+        assert!(j.contains("\"seeded_blocks\":0"));
         assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
@@ -154,9 +161,10 @@ mod tests {
             published_opsets: 5,
             undo_records: 7,
             demotions: 3,
+            seeded_blocks: 4,
             ..Default::default()
         };
-        assert_eq!(s.detail_units(), 42, "demotions are supervision, not interface work");
+        assert_eq!(s.detail_units(), 42, "demotions/seeding are not interface work");
         assert_eq!(SimStats::default().detail_units(), 0);
     }
 }

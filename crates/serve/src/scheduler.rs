@@ -1,0 +1,305 @@
+//! A bounded job scheduler for session requests: the sweep worker-pool
+//! pattern (fixed workers, shared queue) generalized to a long-running
+//! service. Every job runs under [`lis_harness::catch_cell`] panic
+//! isolation, so one misbehaving request crashes alone — the worker thread,
+//! the queue, and every other session survive.
+
+use lis_harness::catch_cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound on queued (not yet running) jobs; submissions beyond it are
+/// rejected so a flooding client cannot grow the daemon without bound.
+pub const QUEUE_LIMIT: usize = 256;
+
+type Work = Box<dyn FnOnce() + Send + 'static>;
+
+struct Job {
+    label: String,
+    work: Work,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Labels of jobs currently executing on a worker.
+    running: Vec<String>,
+    accepting: bool,
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    executed: AtomicU64,
+    crashed: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The scheduler is draining for shutdown.
+    Draining,
+    /// The queue is at [`QUEUE_LIMIT`].
+    Full,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Draining => write!(f, "scheduler is draining"),
+            SubmitError::Full => write!(f, "scheduler queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Point-in-time scheduler counters for `status` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs executed to completion (including crashed ones).
+    pub executed: u64,
+    /// Jobs whose closure panicked (isolated; the worker survived).
+    pub crashed: u64,
+    /// Jobs queued but not yet started.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+}
+
+/// What a drain left behind: labels of jobs that never ran (queued) and
+/// jobs abandoned mid-flight when the deadline expired.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Every queued-but-never-started job label.
+    pub abandoned_queued: Vec<String>,
+    /// Every still-running job label at deadline expiry.
+    pub abandoned_running: Vec<String>,
+}
+
+impl DrainReport {
+    /// Whether the drain completed with nothing abandoned.
+    pub fn clean(&self) -> bool {
+        self.abandoned_queued.is_empty() && self.abandoned_running.is_empty()
+    }
+}
+
+/// The bounded scheduler. Dropping it without [`Scheduler::drain`] detaches
+/// the workers (they exit once the queue empties).
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler").field("stats", &self.stats()).finish()
+    }
+}
+
+impl Scheduler {
+    /// Spawns `workers` pool threads (callers resolve the count with
+    /// [`lis_harness::resolve_jobs`], the shared `--jobs` policy).
+    pub fn new(workers: usize) -> Scheduler {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                running: Vec::new(),
+                accepting: true,
+            }),
+            cv: Condvar::new(),
+            executed: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lis-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler { inner, workers: handles }
+    }
+
+    /// Enqueues a job. The closure must do its own result delivery (e.g.
+    /// over a channel) and is additionally wrapped in panic isolation here.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] after [`Scheduler::drain`] began, or
+    /// [`SubmitError::Full`] at [`QUEUE_LIMIT`].
+    pub fn submit(
+        &self,
+        label: impl Into<String>,
+        work: impl FnOnce() + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        let mut q = self.inner.queue.lock().expect("scheduler poisoned");
+        if !q.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if q.jobs.len() >= QUEUE_LIMIT {
+            return Err(SubmitError::Full);
+        }
+        q.jobs.push_back(Job { label: label.into(), work: Box::new(work) });
+        drop(q);
+        self.inner.cv.notify_one();
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let q = self.inner.queue.lock().expect("scheduler poisoned");
+        SchedulerStats {
+            workers: self.workers.len(),
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            crashed: self.inner.crashed.load(Ordering::Relaxed),
+            queued: q.jobs.len(),
+            active: self.inner.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting work and waits up to `deadline` for the queue and
+    /// all in-flight jobs to finish. Takes `&self` so sessions can keep a
+    /// shared handle while the server drains; once draining begins the
+    /// workers exit on their own as the queue empties (their join handles
+    /// detach when the scheduler drops — jobs are never killed mid-cell).
+    /// Anything still queued or running at deadline expiry is reported.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        {
+            let mut q = self.inner.queue.lock().expect("scheduler poisoned");
+            q.accepting = false;
+        }
+        self.inner.cv.notify_all();
+        let t0 = Instant::now();
+        loop {
+            let (queued, active) = {
+                let q = self.inner.queue.lock().expect("scheduler poisoned");
+                (q.jobs.len(), self.inner.active.load(Ordering::Relaxed))
+            };
+            if queued == 0 && active == 0 {
+                return DrainReport::default();
+            }
+            if t0.elapsed() >= deadline {
+                let mut q = self.inner.queue.lock().expect("scheduler poisoned");
+                return DrainReport {
+                    abandoned_queued: q.jobs.drain(..).map(|j| j.label).collect(),
+                    abandoned_running: q.running.clone(),
+                };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("scheduler poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    // Mark active while still holding the lock, so a drain
+                    // probe never observes "queue empty, nothing active"
+                    // between pop and execution.
+                    inner.active.fetch_add(1, Ordering::SeqCst);
+                    q.running.push(job.label.clone());
+                    break job;
+                }
+                if !q.accepting {
+                    return;
+                }
+                q = inner.cv.wait(q).expect("scheduler poisoned");
+            }
+        };
+        // The job closure delivers its own result; a panic inside is
+        // isolated here (belt) in addition to the handler's own catch_cell
+        // (suspenders), so the worker thread always survives.
+        if catch_cell(job.work).is_err() {
+            inner.crashed.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.executed.fetch_add(1, Ordering::Relaxed);
+        let mut q = inner.queue.lock().expect("scheduler poisoned");
+        if let Some(i) = q.running.iter().position(|l| l == &job.label) {
+            q.running.swap_remove(i);
+        }
+        drop(q);
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_jobs_and_reports_results_through_channels() {
+        let sched = Scheduler::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            sched.submit(format!("job-{i}"), move || tx.send(i * i).expect("recv alive")).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        let report = sched.drain(Duration::from_secs(5));
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn a_panicking_job_crashes_alone() {
+        let sched = Scheduler::new(2);
+        let (tx, rx) = mpsc::channel();
+        sched.submit("bomb", || panic!("job panic")).unwrap();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            sched.submit("ok", move || tx.send(1).expect("recv alive")).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().sum::<u64>(), 8, "survivors all ran");
+        // Drain first: counters settle only once every job (including the
+        // bomb, which spends a while printing its backtrace) has finished.
+        assert!(sched.drain(Duration::from_secs(5)).clean());
+        let stats = sched.stats();
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.executed, 9);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_reports_abandoned_jobs() {
+        let sched = Scheduler::new(1);
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        // One job wedges the only worker...
+        sched
+            .submit("wedged", move || {
+                let _ = hold_rx.recv_timeout(Duration::from_secs(10));
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // ...and one waits behind it, never to run.
+        sched.submit("starved", || {}).unwrap();
+        let report = sched.drain(Duration::from_millis(100));
+        assert_eq!(report.abandoned_running, vec!["wedged".to_string()]);
+        assert_eq!(report.abandoned_queued, vec!["starved".to_string()]);
+        assert!(!report.clean());
+        hold_tx.send(()).ok();
+    }
+
+    #[test]
+    fn submissions_after_drain_are_rejected() {
+        let sched = Scheduler::new(1);
+        assert!(sched.drain(Duration::from_secs(1)).clean());
+        // The queue is closed for good: late submissions are refused.
+        assert_eq!(sched.submit("late", || {}), Err(SubmitError::Draining));
+        assert_eq!(sched.stats().executed, 0);
+    }
+}

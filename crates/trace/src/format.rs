@@ -205,9 +205,11 @@ impl TraceFooter {
             published_values: c.uv()?,
             published_opsets: c.uv()?,
             undo_records: c.uv()?,
-            // Not on the wire: recording runs are never supervised, so the
-            // counter is always zero and format v2 stays unchanged.
+            // Not on the wire: recording runs are never supervised and never
+            // seeded from a shared store, so both counters are always zero
+            // and format v2 stays unchanged.
             demotions: 0,
+            seeded_blocks: 0,
         };
         let exit_code = c.iv()?;
         let halted = match c.u8()? {

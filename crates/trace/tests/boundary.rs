@@ -134,9 +134,10 @@ fn footer_with_saturated_counters_round_trips() {
             published_values: u64::MAX,
             published_opsets: u64::MAX,
             undo_records: u64::MAX,
-            // Never serialized: a recording run is unsupervised, so the
-            // round trip only holds with the counter at zero.
+            // Never serialized: a recording run is unsupervised and unseeded,
+            // so the round trip only holds with these counters at zero.
             demotions: 0,
+            seeded_blocks: 0,
         },
         exit_code: i64::MIN,
         halted: false,
