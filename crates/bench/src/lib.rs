@@ -23,7 +23,8 @@ pub mod sweep;
 pub mod warm;
 
 pub use sweep::{
-    run_sweep, CellResult, RatioRow, SweepCell, SweepConfig, SweepReport, BASELINE_BUILDSET,
+    resolve_timings, run_sweep, CellResult, RatioRow, SweepCell, SweepConfig, SweepReport,
+    BASELINE_BUILDSET,
 };
 pub use warm::{run_warm, WarmCell, WarmConfig, WarmReport};
 

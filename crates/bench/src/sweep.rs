@@ -25,6 +25,7 @@ use crate::semantic_rank;
 use lis_core::{BuildsetDef, JsonObj, STANDARD_BUILDSETS};
 use lis_harness::{backend_name, Watchdog};
 use lis_runtime::{Backend, SimStats, SimStop, Simulator};
+use lis_timing::{run_functional_first_ooo, CoreConfig, OooConfig, TimingConfig, TimingReport};
 use lis_workloads::{spec_of, suite_of, ISAS};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,8 +65,13 @@ pub struct SweepConfig {
     pub retries: u32,
     /// Test hook: an `isa/buildset/kernel/backend` label whose first attempt
     /// deliberately panics, proving the isolation path end to end (the CI
-    /// smoke test sets this through `LIS_SWEEP_PANIC`).
+    /// smoke test sets this through `LIS_SWEEP_PANIC`). With several timing
+    /// presets the label matches one cell per preset.
     pub panic_cell: Option<String>,
+    /// Timing presets to cross with the matrix (default: `classic` only).
+    /// Every cell re-times its kernel under its preset's out-of-order model;
+    /// the functional counters are preset-independent by construction.
+    pub timings: Vec<TimingConfig>,
 }
 
 impl Default for SweepConfig {
@@ -79,6 +85,7 @@ impl Default for SweepConfig {
             measure_time: false,
             retries: 2,
             panic_cell: None,
+            timings: vec![TimingConfig::CLASSIC],
         }
     }
 }
@@ -94,6 +101,8 @@ pub struct SweepCell {
     pub kernel: &'static str,
     /// Execution backend.
     pub backend: Backend,
+    /// Timing preset for the cell's out-of-order re-timing.
+    pub timing: TimingConfig,
 }
 
 /// One executed cell.
@@ -121,6 +130,11 @@ pub struct CellResult {
     pub units_per_inst: f64,
     /// `units_per_inst` normalized to this block's `block-min` cell.
     pub ratio: f64,
+    /// Timing preset the cell was re-timed under.
+    pub timing: TimingConfig,
+    /// Out-of-order model report under `timing` (absent when the functional
+    /// pass faulted, wedged, or crashed).
+    pub timing_report: Option<TimingReport>,
     /// Wall-clock seconds for the cell (reported only with `measure_time`).
     pub secs: f64,
     /// Attempts that panicked before this result (0 for a clean cell).
@@ -154,6 +168,8 @@ pub struct SweepReport {
     pub kernels: Vec<&'static str>,
     /// Backends actually swept.
     pub backends: Vec<Backend>,
+    /// Timing presets actually swept.
+    pub timings: Vec<TimingConfig>,
     /// Instruction budget per cell.
     pub max_insts: u64,
     /// Worker threads used.
@@ -194,14 +210,48 @@ pub fn resolve_kernels(requested: &[String]) -> Result<Vec<&'static str>, String
     Ok(out)
 }
 
-/// Builds the full cell list in canonical matrix order.
-pub fn sweep_cells(kernels: &[&'static str], backends: &[Backend]) -> Vec<SweepCell> {
-    let mut cells = Vec::with_capacity(backends.len() * ISAS.len() * STANDARD_BUILDSETS.len());
-    for &backend in backends {
-        for isa in ISAS {
-            for &buildset in &STANDARD_BUILDSETS {
-                for &kernel in kernels {
-                    cells.push(SweepCell { isa, buildset, kernel, backend });
+/// Parses a comma-separated timing-preset list against the catalog. Empty
+/// means `classic` only.
+///
+/// # Errors
+///
+/// A human-readable message naming the unknown preset and the valid names.
+pub fn resolve_timings(requested: &[String]) -> Result<Vec<TimingConfig>, String> {
+    if requested.is_empty() {
+        return Ok(vec![TimingConfig::CLASSIC]);
+    }
+    let mut out = Vec::with_capacity(requested.len());
+    for name in requested {
+        match TimingConfig::named(name) {
+            Some(t) => out.push(t),
+            None => {
+                return Err(format!(
+                    "unknown timing preset '{name}' (valid: {})",
+                    TimingConfig::preset_names()
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the full cell list in canonical matrix order: the timing preset is
+/// the outermost axis, so a one-preset sweep keeps the historical order.
+pub fn sweep_cells(
+    kernels: &[&'static str],
+    backends: &[Backend],
+    timings: &[TimingConfig],
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(
+        timings.len() * backends.len() * ISAS.len() * STANDARD_BUILDSETS.len() * kernels.len(),
+    );
+    for &timing in timings {
+        for &backend in backends {
+            for isa in ISAS {
+                for &buildset in &STANDARD_BUILDSETS {
+                    for &kernel in kernels {
+                        cells.push(SweepCell { isa, buildset, kernel, backend, timing });
+                    }
                 }
             }
         }
@@ -312,6 +362,16 @@ fn run_cell(cell: &SweepCell, cfg: &SweepConfig, attempt: u32) -> CellResult {
     }
     let units_per_inst =
         if stats.insts == 0 { 0.0 } else { stats.detail_units() as f64 / stats.insts as f64 };
+    // Re-time the kernel under the cell's preset: a separate functional-first
+    // out-of-order pass whose component selection is the only variable. A
+    // pure function of (ISA, kernel, preset) — deterministic across jobs and
+    // hosts like every other counter in the cell.
+    let timing_report = if halted && fault.is_none() && !deadline_expired {
+        let core = CoreConfig { timing: cell.timing, ..CoreConfig::default() };
+        run_functional_first_ooo(spec_of(cell.isa), &image, &core, &OooConfig::default()).ok()
+    } else {
+        None
+    };
     CellResult {
         isa: cell.isa,
         buildset: cell.buildset.name,
@@ -324,6 +384,8 @@ fn run_cell(cell: &SweepCell, cfg: &SweepConfig, attempt: u32) -> CellResult {
         fault,
         units_per_inst,
         ratio: 0.0,
+        timing: cell.timing,
+        timing_report,
         secs,
         crashes: 0,
         crash: None,
@@ -360,6 +422,8 @@ fn run_cell_isolated(cell: &SweepCell, cfg: &SweepConfig) -> CellResult {
             fault: None,
             units_per_inst: 0.0,
             ratio: 0.0,
+            timing: cell.timing,
+            timing_report: None,
             secs: 0.0,
             crashes,
             crash,
@@ -386,8 +450,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
     if cfg.backends.is_empty() {
         return Err("no backends selected".into());
     }
+    if cfg.timings.is_empty() {
+        return Err("no timing presets selected".into());
+    }
     let kernels = resolve_kernels(&cfg.kernels)?;
-    let cells = sweep_cells(&kernels, &cfg.backends);
+    let cells = sweep_cells(&kernels, &cfg.backends, &cfg.timings);
     let jobs = resolve_jobs(cfg.jobs, cells.len());
     let t0 = Instant::now();
 
@@ -418,17 +485,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
     indexed.sort_by_key(|(i, _)| *i);
     let mut results: Vec<CellResult> = indexed.into_iter().map(|(_, r)| r).collect();
 
-    // Normalize: each (ISA, kernel, backend) block against its own
-    // block-min cell — the paper's 1.0 baseline.
-    let mut baseline: HashMap<(&str, &str, &str), f64> = HashMap::new();
+    // Normalize: each (ISA, kernel, backend, timing) block against its own
+    // block-min cell — the paper's 1.0 baseline. (The functional counters
+    // are preset-independent; keying on the preset keeps each slice
+    // self-contained anyway.)
+    let mut baseline: HashMap<(&str, &str, &str, &str), f64> = HashMap::new();
     for c in &results {
         if c.buildset == BASELINE_BUILDSET {
-            baseline.insert((c.isa, c.kernel, backend_name(c.backend)), c.units_per_inst);
+            baseline.insert(
+                (c.isa, c.kernel, backend_name(c.backend), c.timing.name),
+                c.units_per_inst,
+            );
         }
     }
     for c in &mut results {
-        let base =
-            baseline.get(&(c.isa, c.kernel, backend_name(c.backend))).copied().unwrap_or_default();
+        let base = baseline
+            .get(&(c.isa, c.kernel, backend_name(c.backend), c.timing.name))
+            .copied()
+            .unwrap_or_default();
         c.ratio = if base > 0.0 { c.units_per_inst / base } else { 0.0 };
     }
 
@@ -455,6 +529,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, String> {
         table,
         kernels,
         backends: cfg.backends.clone(),
+        timings: cfg.timings.clone(),
         max_insts: cfg.max_insts,
         jobs,
         elapsed_secs: t0.elapsed().as_secs_f64(),
@@ -490,6 +565,7 @@ pub fn to_json(r: &SweepReport) -> String {
         "backends",
         &json_str_array(&r.backends.iter().map(|b| backend_name(*b)).collect::<Vec<_>>()),
     );
+    o.raw("timings", &json_str_array(&r.timings.iter().map(|t| t.name).collect::<Vec<_>>()));
     o.u64("max_insts", r.max_insts);
     if r.measure_time {
         o.u64("jobs", r.jobs as u64);
@@ -512,6 +588,22 @@ pub fn to_json(r: &SweepReport) -> String {
             .f64("units_per_inst", c.units_per_inst)
             .f64("ratio", c.ratio)
             .raw("stats", &c.stats.to_json());
+        {
+            let mut tim = JsonObj::new();
+            tim.str("preset", c.timing.name)
+                .str("predictor", c.timing.predictor.name())
+                .str("replacement", c.timing.replacement.name())
+                .str("prefetcher", c.timing.prefetcher.name());
+            if let Some(tr) = &c.timing_report {
+                tim.u64("cycles", tr.cycles)
+                    .u64("insts", tr.insts)
+                    .f64("ipc", tr.ipc())
+                    .u64("icache_misses", tr.icache_misses)
+                    .u64("dcache_misses", tr.dcache_misses)
+                    .u64("mispredicts", tr.mispredicts);
+            }
+            co.raw("timing", &tim.finish());
+        }
         if c.deadline_expired {
             co.bool("deadline_expired", true);
         }
@@ -607,13 +699,14 @@ pub fn render_markdown(r: &SweepReport) -> String {
     let _ = writeln!(out, "# LIS full-matrix sweep\n");
     let _ = writeln!(
         out,
-        "{} cells ({} buildsets x {} ISAs x {} kernels x {} backend(s)), \
-         normalized to `{}` = 1.0.\n",
+        "{} cells ({} buildsets x {} ISAs x {} kernels x {} backend(s) x {} timing \
+         preset(s)), normalized to `{}` = 1.0.\n",
         r.cells.len(),
         STANDARD_BUILDSETS.len(),
         ISAS.len(),
         r.kernels.len(),
         r.backends.len(),
+        r.timings.len(),
         BASELINE_BUILDSET
     );
 
@@ -710,6 +803,50 @@ pub fn render_markdown(r: &SweepReport) -> String {
         let _ = writeln!(out, "|---|---|---|---|");
         for (label, ns) in decomp {
             let _ = writeln!(out, "| {label} | {:.2} | {:.2} | {:.2} |", ns[0], ns[1], ns[2]);
+        }
+        out.push('\n');
+    }
+
+    if !r.timings.is_empty() {
+        let _ = writeln!(out, "## Timing-preset ablation\n");
+        let _ = writeln!(
+            out,
+            "Each cell re-times its kernel under an out-of-order model whose branch \
+             predictor, cache replacement policy, and prefetcher are selected by the \
+             preset; the functional specification — and every unit table above — is \
+             preset-independent. Geomean IPC over kernels, `{}` buildset, `{}` \
+             backend.\n",
+            BASELINE_BUILDSET,
+            backend_name(r.backends[0])
+        );
+        let _ = writeln!(
+            out,
+            "| preset | predictor | replacement | prefetcher | alpha IPC | arm IPC | ppc IPC |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for t in &r.timings {
+            let mut line = format!(
+                "| {} | {} | {} | {} |",
+                t.name,
+                t.predictor.name(),
+                t.replacement.name(),
+                t.prefetcher.name()
+            );
+            for isa in ISAS {
+                let ipcs: Vec<f64> = r
+                    .cells
+                    .iter()
+                    .filter(|c| {
+                        c.timing.name == t.name
+                            && c.isa == isa
+                            && c.buildset == BASELINE_BUILDSET
+                            && c.backend == r.backends[0]
+                    })
+                    .filter_map(|c| c.timing_report.as_ref().map(|tr| tr.ipc()))
+                    .collect();
+                line.push_str(&format!(" {:.3} |", geomean(&ipcs)));
+            }
+            let _ = writeln!(out, "{line}");
         }
         out.push('\n');
     }
@@ -844,7 +981,7 @@ mod tests {
 
     #[test]
     fn matrix_covers_every_standard_buildset_and_isa() {
-        let cells = sweep_cells(&["gcd"], &[Backend::Cached]);
+        let cells = sweep_cells(&["gcd"], &[Backend::Cached], &[TimingConfig::CLASSIC]);
         assert_eq!(cells.len(), 12 * 3);
         for isa in ISAS {
             for bs in &STANDARD_BUILDSETS {
@@ -864,6 +1001,54 @@ mod tests {
         let a = to_json(&run_sweep(&tiny(1)).expect("sweeps"));
         let b = to_json(&run_sweep(&tiny(4)).expect("sweeps"));
         assert_eq!(a, b, "jobs=1 and jobs=4 must produce identical bytes");
+    }
+
+    #[test]
+    fn unknown_timing_preset_is_a_usage_error() {
+        let err = resolve_timings(&["nope".into()]).expect_err("must reject");
+        assert!(err.contains("unknown timing preset 'nope'"), "{err}");
+        assert!(err.contains("classic"), "error names the valid presets: {err}");
+        assert_eq!(resolve_timings(&[]).unwrap(), vec![TimingConfig::CLASSIC]);
+    }
+
+    #[test]
+    fn multi_preset_sweep_is_bit_identical_across_job_counts() {
+        // The tentpole acceptance criterion: a timing axis crossing all
+        // three component dimensions, and the JSON still a pure function of
+        // the configuration.
+        let multi = |jobs| SweepConfig {
+            timings: resolve_timings(&["classic".into(), "aggressive".into()]).unwrap(),
+            ..tiny(jobs)
+        };
+        let a = run_sweep(&multi(1)).expect("sweeps");
+        let b = run_sweep(&multi(4)).expect("sweeps");
+        assert_eq!(to_json(&a), to_json(&b), "jobs=1 and jobs=4 must produce identical bytes");
+
+        assert_eq!(a.cells.len(), 2 * 12 * 3, "preset axis doubles the matrix");
+        let json = to_json(&a);
+        assert!(json.contains("\"timings\":[\"classic\",\"aggressive\"]"));
+        assert!(json.contains("\"preset\":\"aggressive\""));
+        // The presets genuinely differ: same kernel, same functional
+        // counters, different cycle counts somewhere in the matrix.
+        let classic: Vec<&CellResult> =
+            a.cells.iter().filter(|c| c.timing.name == "classic").collect();
+        let aggressive: Vec<&CellResult> =
+            a.cells.iter().filter(|c| c.timing.name == "aggressive").collect();
+        assert_eq!(classic.len(), aggressive.len());
+        let mut cycles_differ = false;
+        for (x, y) in classic.iter().zip(aggressive.iter()) {
+            assert_eq!(x.stats, y.stats, "functional counters are preset-independent");
+            if let (Some(tx), Some(ty)) = (&x.timing_report, &y.timing_report) {
+                assert_eq!(tx.insts, ty.insts, "retired instructions are preset-independent");
+                if tx.cycles != ty.cycles {
+                    cycles_differ = true;
+                }
+            }
+        }
+        assert!(cycles_differ, "presets must change the timing somewhere");
+        let md = render_markdown(&a);
+        assert!(md.contains("Timing-preset ablation"));
+        assert!(md.contains("| aggressive | gshare | lru | next-line |"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use lis_runtime::{Backend, ChaosPlan, Simulator};
 use lis_timing::{
     run_functional_first, run_functional_first_ooo, run_integrated,
     run_speculative_functional_first, run_timing_directed, run_timing_first, CoreConfig, OooConfig,
+    TimingConfig,
 };
 use std::process::ExitCode;
 
@@ -131,6 +132,10 @@ options for `run`:
   --timing <org>        drive a timing model instead:
                         integrated | functional-first | timing-directed |
                         timing-first | sff | ooo
+  --preset <name>       timing-component preset for the model: classic |
+                        aggressive | stream | minimal (selects the branch
+                        predictor, replacement policy, and prefetcher;
+                        default classic)
   --stats-json          print machine-readable run statistics as one JSON
                         object on stdout instead of the human summary
 
@@ -145,7 +150,11 @@ options for `trace`:
   --warmup <n>          replay: warm-up chunks per shard (default 4)
   --project <vis>       replay: visibility projection min|decode|all
                         (default decode)
+  --timing <p1,p2,..>   replay: re-time the one recording under each named
+                        component preset (classic | aggressive | stream |
+                        minimal; default classic)
   --stats-json          replay: print the merged TimingReport as JSON
+                        (one object per preset when several are named)
 
 options for `sweep`:
   --jobs <n>            worker threads (default: one per core; clamped to
@@ -153,6 +162,8 @@ options for `sweep`:
   --kernels <a,b,..>    kernel subset (default: the full suite)
   --backends <set>      cached | interpreted | compiled | both | all
                         (default cached)
+  --timing <p1,p2,..>   timing presets to cross with the matrix: classic |
+                        aggressive | stream | minimal (default classic)
   -o, --output <path>   where to write the JSON (default BENCH_sweep.json)
   --report <path>       also render the Tables I-III markdown report
   --time                include wall-clock MIPS per cell (host-dependent;
@@ -288,7 +299,12 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let image = assemble(&opts.isa, &src)?;
 
     if let Some(org) = &opts.timing {
-        let cfg = CoreConfig::default();
+        let mut cfg = CoreConfig::default();
+        if let Some(name) = &opts.preset {
+            cfg.timing = TimingConfig::named(name).ok_or_else(|| {
+                format!("unknown --preset `{name}` (valid: {})", TimingConfig::preset_names())
+            })?;
+        }
         let report = match org.as_str() {
             "integrated" => run_integrated(spec, &image, &cfg),
             "functional-first" => run_functional_first(spec, &image, &cfg),
@@ -310,6 +326,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             eprintln!("{report}");
         }
         return Ok(());
+    }
+    if opts.preset.is_some() {
+        return Err("--preset selects timing components and needs --timing <org>".into());
     }
 
     let bs = *lis_core::find_buildset(&opts.buildset)
@@ -724,32 +743,72 @@ fn cmd_trace_replay(opts: &Opts) -> Result<u8, String> {
              effective address); instructions are counted but contribute no latency"
         );
     }
-    let cfg = lis_trace::ReplayConfig {
-        shards: opts.shards,
-        warmup_chunks: opts.warmup,
-        projection,
-        ..Default::default()
-    };
-    let t0 = std::time::Instant::now();
-    let report = match lis_trace::replay_ooo(spec, &trace, &cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("trace integrity failure: {e}");
-            return Ok(4);
+    // `--timing p1,p2` re-times the one recording under several component
+    // presets in a single invocation — the trace is read once, the timing
+    // side varies, the functional specification never does.
+    let presets = match opts.timing.as_deref() {
+        None => vec![TimingConfig::CLASSIC],
+        Some(list) => {
+            let mut out = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                out.push(TimingConfig::named(name).ok_or_else(|| {
+                    format!(
+                        "unknown timing preset `{name}` (valid: {})",
+                        TimingConfig::preset_names()
+                    )
+                })?);
+            }
+            if out.is_empty() {
+                return Err("--timing needs at least one preset name".into());
+            }
+            out
         }
     };
-    let dt = t0.elapsed().as_secs_f64();
-    if opts.stats_json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{}", String::from_utf8_lossy(&report.stdout));
-        eprintln!("{report}");
-        eprintln!(
-            "replayed {} insts on {} shard(s) in {dt:.3}s ({:.2} M insts/s)",
-            report.insts,
-            opts.shards,
-            report.insts as f64 / dt / 1e6
-        );
+    for (pi, preset) in presets.iter().enumerate() {
+        let cfg = lis_trace::ReplayConfig {
+            shards: opts.shards,
+            warmup_chunks: opts.warmup,
+            core: CoreConfig { timing: *preset, ..CoreConfig::default() },
+            projection,
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let report = match lis_trace::replay_ooo(spec, &trace, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace integrity failure: {e}");
+                return Ok(4);
+            }
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        if opts.stats_json {
+            // One JSON object per preset, each tagged with the preset name
+            // (a single-preset replay stays the bare TimingReport object for
+            // existing consumers).
+            if presets.len() == 1 {
+                println!("{}", report.to_json());
+            } else {
+                let mut o = lis_core::JsonObj::new();
+                o.str("timing", preset.name).raw("report", &report.to_json());
+                println!("{}", o.finish());
+            }
+        } else {
+            if pi == 0 {
+                // The program output is a preset-independent functional
+                // fact; print it once, not once per preset.
+                print!("{}", String::from_utf8_lossy(&report.stdout));
+            }
+            if presets.len() > 1 {
+                eprintln!("[timing {}]", preset.name);
+            }
+            eprintln!("{report}");
+            eprintln!(
+                "replayed {} insts on {} shard(s) in {dt:.3}s ({:.2} M insts/s)",
+                report.insts,
+                opts.shards,
+                report.insts as f64 / dt / 1e6
+            );
+        }
     }
     Ok(0)
 }
@@ -783,10 +842,20 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
             return Ok(5);
         }
     }
+    let timing_names: Vec<String> = opts
+        .timing
+        .as_deref()
+        .unwrap_or("")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let timings = lis_bench::resolve_timings(&timing_names)?;
     let mut cfg = lis_bench::SweepConfig {
         jobs: opts.jobs,
         kernels: opts.kernels.clone(),
         backends,
+        timings,
         max_insts: opts.max,
         measure_time: opts.time,
         retries: opts.retries,
@@ -828,13 +897,14 @@ fn cmd_sweep(opts: &Opts) -> Result<u8, String> {
         })
         .collect();
     eprintln!(
-        "sweep: {} cells ({} kernels x {} buildsets x {} ISAs x {} backend(s)) \
-         on {} worker(s) in {:.2}s -> {json_path}{}",
+        "sweep: {} cells ({} kernels x {} buildsets x {} ISAs x {} backend(s) x \
+         {} preset(s)) on {} worker(s) in {:.2}s -> {json_path}{}",
         report.cells.len(),
         report.kernels.len(),
         lis_core::STANDARD_BUILDSETS.len(),
         lis_workloads::ISAS.len(),
         report.backends.len(),
+        report.timings.len(),
         report.jobs,
         report.elapsed_secs,
         match &opts.report {

@@ -22,8 +22,12 @@ pub struct Opts {
     pub mix: bool,
     /// Instruction budget.
     pub max: u64,
-    /// Timing organization, when driving a timing model.
+    /// Timing organization, when driving a timing model (`run`); a
+    /// comma-separated timing-preset list for `sweep` and `trace replay`.
     pub timing: Option<String>,
+    /// Timing-component preset (predictor/replacement/prefetcher) for the
+    /// `run` timing models.
+    pub preset: Option<String>,
     /// Wall-clock watchdog in seconds (`run`, `chaos`).
     pub deadline: Option<u64>,
     /// First seed of a chaos campaign.
@@ -114,6 +118,7 @@ impl Default for Opts {
             mix: false,
             max: 100_000_000,
             timing: None,
+            preset: None,
             deadline: None,
             chaos_seed: 1,
             period: 500,
@@ -181,6 +186,16 @@ impl Opts {
                     o.max = value("--max")?.parse().map_err(|e| format!("--max: {e}"))?;
                 }
                 "--timing" => o.timing = Some(value("--timing")?),
+                "--preset" => {
+                    let name = value("--preset")?;
+                    if lis_timing::TimingConfig::named(&name).is_none() {
+                        return Err(format!(
+                            "unknown --preset `{name}` (valid: {})",
+                            lis_timing::TimingConfig::preset_names()
+                        ));
+                    }
+                    o.preset = Some(name);
+                }
                 "--deadline" => {
                     o.deadline =
                         Some(value("--deadline")?.parse().map_err(|e| format!("--deadline: {e}"))?);
@@ -299,10 +314,17 @@ mod tests {
 
     #[test]
     fn backend_and_timing() {
-        let o = parse(&["--backend", "interpreted", "--timing", "sff"]).unwrap();
+        let o =
+            parse(&["--backend", "interpreted", "--timing", "sff", "--preset", "stream"]).unwrap();
         assert_eq!(o.backend, Backend::Interpreted);
         assert!(o.backend_explicit);
         assert_eq!(o.timing.as_deref(), Some("sff"));
+        assert_eq!(o.preset.as_deref(), Some("stream"));
+        assert_eq!(parse(&[]).unwrap().preset, None);
+        assert!(parse(&["--preset"]).is_err());
+        let err = parse(&["--preset", "nosuch"]).unwrap_err();
+        assert!(err.contains("unknown --preset"), "{err}");
+        assert!(err.contains("classic"), "{err}");
         let o = parse(&["--backend", "compiled"]).unwrap();
         assert_eq!(o.backend, Backend::Compiled);
         assert!(!parse(&[]).unwrap().backend_explicit);

@@ -62,8 +62,10 @@ pub fn execute(req: &Request, ctx: &Ctx) -> Outcome {
         Request::Chaos { isa, kernel, buildset, backend, seed, period, runs, unmap, translate } => {
             exec_chaos(isa, kernel, buildset, backend, *seed, *period, *runs, *unmap, *translate)
         }
-        Request::SweepCell { kernels, backends, max } => exec_sweep_cell(kernels, backends, *max),
-        Request::TraceReplay { path, shards } => exec_trace_replay(path, *shards),
+        Request::SweepCell { kernels, backends, timings, max } => {
+            exec_sweep_cell(kernels, backends, timings, *max)
+        }
+        Request::TraceReplay { path, shards, timings } => exec_trace_replay(path, *shards, timings),
         // Handled at the session layer; reaching here is a daemon bug.
         Request::Status | Request::Shutdown => Outcome::fail(1, "internal: unroutable request"),
     }
@@ -281,7 +283,7 @@ fn exec_chaos(
     }
 }
 
-fn exec_sweep_cell(kernels: &[String], backends: &str, max: u64) -> Outcome {
+fn exec_sweep_cell(kernels: &[String], backends: &str, timings: &[String], max: u64) -> Outcome {
     let backends = match backends {
         "cached" => vec![Backend::Cached],
         "interpreted" => vec![Backend::Interpreted],
@@ -295,6 +297,10 @@ fn exec_sweep_cell(kernels: &[String], backends: &str, max: u64) -> Outcome {
             )
         }
     };
+    let timings = match lis_bench::resolve_timings(timings) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(2, e),
+    };
     // One worker: the scheduler already provides request-level parallelism,
     // and the sweep JSON is jobs-invariant (that is the point of the
     // byte-identity check the CI job runs against `lis sweep`).
@@ -302,6 +308,7 @@ fn exec_sweep_cell(kernels: &[String], backends: &str, max: u64) -> Outcome {
         jobs: 1,
         kernels: kernels.to_vec(),
         backends,
+        timings,
         max_insts: max,
         ..lis_bench::SweepConfig::default()
     };
@@ -334,7 +341,11 @@ fn exec_sweep_cell(kernels: &[String], backends: &str, max: u64) -> Outcome {
     }
 }
 
-fn exec_trace_replay(path: &str, shards: usize) -> Outcome {
+fn exec_trace_replay(path: &str, shards: usize, timings: &[String]) -> Outcome {
+    let presets = match lis_bench::resolve_timings(timings) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(2, e),
+    };
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(e) => return Outcome::fail(1, format!("{path}: {e}")),
@@ -347,17 +358,40 @@ fn exec_trace_replay(path: &str, shards: usize) -> Outcome {
         Ok(s) => s,
         Err(o) => return o,
     };
-    let cfg = lis_trace::ReplayConfig { shards, ..Default::default() };
-    match lis_trace::replay_ooo(spec, &trace, &cfg) {
-        Ok(report) => {
-            let mut o = JsonObj::new();
-            o.u64("insts", report.insts)
-                .u64("shards", shards as u64)
-                .raw("report", &report.to_json());
-            Outcome::ok(o.finish())
+    // The trace is read once; each preset is a separate re-timing pass over
+    // the same recording. `report` stays the first preset's report so
+    // single-preset clients keep their shape; `reports` carries the whole
+    // set tagged by preset name.
+    let mut reports = Vec::with_capacity(presets.len());
+    for preset in &presets {
+        let cfg = lis_trace::ReplayConfig {
+            shards,
+            core: lis_timing::CoreConfig { timing: *preset, ..Default::default() },
+            ..Default::default()
+        };
+        match lis_trace::replay_ooo(spec, &trace, &cfg) {
+            Ok(report) => reports.push((preset.name, report)),
+            Err(e) => return Outcome::fail(4, format!("trace integrity failure: {e}")),
         }
-        Err(e) => Outcome::fail(4, format!("trace integrity failure: {e}")),
     }
+    let mut o = JsonObj::new();
+    o.u64("insts", reports[0].1.insts)
+        .u64("shards", shards as u64)
+        .raw("report", &reports[0].1.to_json());
+    if reports.len() > 1 {
+        let mut arr = String::from("[");
+        for (i, (name, report)) in reports.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut ro = JsonObj::new();
+            ro.str("timing", name).raw("report", &report.to_json());
+            arr.push_str(&ro.finish());
+        }
+        arr.push(']');
+        o.raw("reports", &arr);
+    }
+    Outcome::ok(o.finish())
 }
 
 #[cfg(test)]
@@ -462,9 +496,54 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("tmpdir");
         let path = dir.join("garbage.lst");
         std::fs::write(&path, b"not a trace at all").expect("write");
-        let out = exec_trace_replay(path.to_str().expect("utf8 path"), 1);
+        let out = exec_trace_replay(path.to_str().expect("utf8 path"), 1, &[]);
         assert_eq!(out.status, 4);
-        let missing = exec_trace_replay("/nonexistent/trace.lst", 1);
+        let missing = exec_trace_replay("/nonexistent/trace.lst", 1, &[]);
         assert_eq!(missing.status, 1);
+        let bad_preset = exec_trace_replay("/nonexistent/trace.lst", 1, &["nope".into()]);
+        assert_eq!(bad_preset.status, 2, "unknown preset is usage, checked first");
+    }
+
+    #[test]
+    fn trace_replay_retimes_one_recording_under_several_presets() {
+        let dir = std::env::temp_dir().join("lis-serve-exec-test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("retimed.lst");
+        let image = lis_workloads::kernel("alpha", "gcd")
+            .expect("bundled kernel")
+            .assemble()
+            .expect("assembles");
+        let file = std::fs::File::create(&path).expect("create");
+        lis_trace::record(
+            lis_workloads::spec_of("alpha"),
+            &image,
+            std::io::BufWriter::new(file),
+            &lis_trace::RecordOptions::default(),
+        )
+        .expect("records");
+
+        let out = exec_trace_replay(
+            path.to_str().expect("utf8 path"),
+            1,
+            &["classic".into(), "minimal".into()],
+        );
+        assert_eq!(out.status, 0, "{:?}", out.error);
+        assert!(out.payload.contains(r#""timing":"classic""#), "{}", out.payload);
+        assert!(out.payload.contains(r#""timing":"minimal""#), "{}", out.payload);
+        let v = crate::json::parse(&out.payload).expect("payload parses");
+        let reports = v.get("reports").and_then(crate::json::Value::as_arr).expect("reports");
+        assert_eq!(reports.len(), 2);
+        let cycles = |r: &crate::json::Value| {
+            r.get("report").and_then(|p| p.get("cycles")).and_then(crate::json::Value::as_u64)
+        };
+        let insts = |r: &crate::json::Value| {
+            r.get("report").and_then(|p| p.get("insts")).and_then(crate::json::Value::as_u64)
+        };
+        assert_eq!(insts(&reports[0]), insts(&reports[1]), "same functional recording");
+        assert_ne!(
+            cycles(&reports[0]),
+            cycles(&reports[1]),
+            "presets must change the cycle count on gcd"
+        );
     }
 }

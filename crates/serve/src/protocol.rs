@@ -83,6 +83,9 @@ pub enum Request {
         kernels: Vec<String>,
         /// Backend set name (`cached|interpreted|compiled|both|all`).
         backends: String,
+        /// Timing-preset names to cross with the matrix; empty means
+        /// `classic` only.
+        timings: Vec<String>,
         /// Per-cell instruction budget (default 100M, the CLI default).
         max: u64,
     },
@@ -92,6 +95,9 @@ pub enum Request {
         path: String,
         /// Worker shards.
         shards: usize,
+        /// Timing-preset names to re-time the recording under; empty means
+        /// `classic` only.
+        timings: Vec<String>,
     },
     /// Daemon status: scheduler, sessions, shared-store counters.
     Status,
@@ -174,6 +180,22 @@ fn bool_field(v: &Value, key: &str) -> Result<bool, ProtocolError> {
     }
 }
 
+/// An optional JSON array of strings; absent means empty.
+fn str_list_field(v: &Value, key: &str) -> Result<Vec<String>, ProtocolError> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(arr) => {
+            let items = arr.as_arr().ok_or(ProtocolError::BadField(leak_key(key)))?;
+            items
+                .iter()
+                .map(|k| {
+                    k.as_str().map(str::to_string).ok_or(ProtocolError::BadField(leak_key(key)))
+                })
+                .collect()
+        }
+    }
+}
+
 /// Maps a field name to its `&'static` twin for error payloads. The
 /// protocol's field vocabulary is closed, so this never actually leaks.
 fn leak_key(key: &str) -> &'static str {
@@ -197,6 +219,7 @@ fn leak_key(key: &str) -> &'static str {
         "translate",
         "path",
         "shards",
+        "timings",
     ];
     KEYS.iter().find(|k| **k == key).copied().unwrap_or("?")
 }
@@ -268,25 +291,12 @@ pub fn parse_frame(line: &str) -> Result<Frame, ProtocolError> {
             unmap: bool_field(&v, "unmap")?,
             translate: bool_field(&v, "translate")?,
         },
-        "sweep-cell" => {
-            let kernels = match v.get("kernels") {
-                None => Vec::new(),
-                Some(arr) => {
-                    let items = arr.as_arr().ok_or(ProtocolError::BadField("kernels"))?;
-                    items
-                        .iter()
-                        .map(|k| {
-                            k.as_str().map(str::to_string).ok_or(ProtocolError::BadField("kernels"))
-                        })
-                        .collect::<Result<Vec<_>, _>>()?
-                }
-            };
-            Request::SweepCell {
-                kernels,
-                backends: str_field(&v, "backends", "cached")?,
-                max: u64_field(&v, "max", 100_000_000)?,
-            }
-        }
+        "sweep-cell" => Request::SweepCell {
+            kernels: str_list_field(&v, "kernels")?,
+            backends: str_field(&v, "backends", "cached")?,
+            timings: str_list_field(&v, "timings")?,
+            max: u64_field(&v, "max", 100_000_000)?,
+        },
         "trace-replay" => Request::TraceReplay {
             path: v
                 .get("path")
@@ -294,6 +304,7 @@ pub fn parse_frame(line: &str) -> Result<Frame, ProtocolError> {
                 .ok_or(ProtocolError::BadField("path"))?
                 .to_string(),
             shards: u64_field(&v, "shards", 1)?.clamp(1, 64) as usize,
+            timings: str_list_field(&v, "timings")?,
         },
         "status" => Request::Status,
         "shutdown" => Request::Shutdown,
@@ -362,6 +373,38 @@ mod tests {
         )
         .is_err());
         assert!(parse_frame(r#"{"lis":1,"id":1,"cmd":"run","isa":"arm","src":".text"}"#).is_ok());
+    }
+
+    #[test]
+    fn timing_presets_parse_as_string_arrays() {
+        let f = parse_frame(
+            r#"{"lis":1,"id":1,"cmd":"sweep-cell","kernels":["gcd"],"timings":["classic","stream"]}"#,
+        )
+        .expect("parses");
+        let Request::SweepCell { kernels, timings, .. } = f.req else { panic!("wrong request") };
+        assert_eq!(kernels, vec!["gcd"]);
+        assert_eq!(timings, vec!["classic", "stream"]);
+
+        let f = parse_frame(
+            r#"{"lis":1,"id":2,"cmd":"trace-replay","path":"t.lst","timings":["minimal"]}"#,
+        )
+        .expect("parses");
+        let Request::TraceReplay { timings, .. } = f.req else { panic!("wrong request") };
+        assert_eq!(timings, vec!["minimal"]);
+
+        // Absent means empty (the executor defaults to classic); mistyped is
+        // a typed field error naming the key.
+        let f = parse_frame(r#"{"lis":1,"id":3,"cmd":"sweep-cell"}"#).expect("parses");
+        let Request::SweepCell { timings, .. } = f.req else { panic!("wrong request") };
+        assert!(timings.is_empty());
+        assert_eq!(
+            parse_frame(r#"{"lis":1,"id":4,"cmd":"sweep-cell","timings":"classic"}"#),
+            Err(ProtocolError::BadField("timings")),
+        );
+        assert_eq!(
+            parse_frame(r#"{"lis":1,"id":5,"cmd":"trace-replay","path":"t","timings":[7]}"#),
+            Err(ProtocolError::BadField("timings")),
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! recovery mechanics.
 
 use crate::cache::Cache;
-use crate::predict::Predictor;
+use crate::components::BranchPredictor;
 use crate::report::{CoreConfig, TimingReport};
 use lis_core::{DynInst, InstClass, IsaSpec, F_BR_TAKEN, F_BR_TARGET, F_EFF_ADDR, F_OPCODE};
 
@@ -19,19 +19,21 @@ pub struct CoreModel {
     /// Data cache.
     pub dcache: Cache,
     /// Branch predictor.
-    pub pred: Predictor,
+    pub pred: Box<dyn BranchPredictor>,
     /// Accumulated cycles.
     pub cycles: u64,
     mispredict_penalty: u64,
 }
 
 impl CoreModel {
-    /// Builds the model from a configuration.
+    /// Builds the model from a configuration; `cfg.timing` selects the
+    /// predictor, replacement policy, and prefetcher implementations.
     pub fn new(cfg: &CoreConfig) -> CoreModel {
+        let t = cfg.timing;
         CoreModel {
-            icache: Cache::new(cfg.icache),
-            dcache: Cache::new(cfg.dcache),
-            pred: Predictor::new(cfg.predictor_entries),
+            icache: Cache::with_components(cfg.icache, t.replacement, t.prefetcher),
+            dcache: Cache::with_components(cfg.dcache, t.replacement, t.prefetcher),
+            pred: t.predictor.build(cfg.predictor_entries),
             cycles: 0,
             mispredict_penalty: cfg.mispredict_penalty,
         }
@@ -67,6 +69,6 @@ impl CoreModel {
         report.cycles = self.cycles;
         report.icache_misses = self.icache.misses;
         report.dcache_misses = self.dcache.misses;
-        report.mispredicts = self.pred.mispredicts;
+        report.mispredicts = self.pred.mispredicts();
     }
 }

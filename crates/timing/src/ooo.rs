@@ -20,7 +20,7 @@
 //! — which is what makes record-once/replay-anywhere verifiable.
 
 use crate::cache::Cache;
-use crate::predict::Predictor;
+use crate::components::BranchPredictor;
 use crate::report::{CoreConfig, TimingReport};
 use lis_core::{DynInst, InstClass, IsaSpec, F_BR_TAKEN, F_BR_TARGET, F_EFF_ADDR, F_OPCODE};
 use lis_mem::Image;
@@ -54,14 +54,20 @@ fn latency(isa: &IsaSpec, op: u16) -> u64 {
 }
 
 /// Baseline counters captured by [`OooCore::mark_measurement_start`] so a
-/// warmed-up core reports only the measured region.
+/// warmed-up core reports only the measured region. Hits and correct
+/// predictions are baselined alongside misses and mispredicts: a rate over
+/// the measured region needs both sides of each ratio, or warm-up hits
+/// dilute every post-warm-up rate.
 #[derive(Debug, Clone, Copy, Default)]
 struct Baseline {
     cycles: u64,
     insts: u64,
     icache_misses: u64,
+    icache_hits: u64,
     dcache_misses: u64,
+    dcache_hits: u64,
     mispredicts: u64,
+    correct: u64,
 }
 
 /// The out-of-order timing consumer, decoupled from any instruction source.
@@ -78,7 +84,7 @@ pub struct OooCore {
     mispredict_penalty: u64,
     icache: Cache,
     dcache: Cache,
-    pred: Predictor,
+    pred: Box<dyn BranchPredictor>,
     /// Cycle at which each architectural register's value becomes available.
     reg_ready: HashMap<(u8, u16), u64>,
     /// Completion cycles of the last `rob` instructions, oldest first.
@@ -91,19 +97,29 @@ pub struct OooCore {
     base: Baseline,
 }
 
+fn rate(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
 impl OooCore {
     /// Builds a cold core. Degenerate structural parameters are clamped to
     /// their minimum legal values (a 1-wide front end, a 1-entry ROB) so a
     /// hostile or fuzzed configuration can model a tiny machine but never a
-    /// crashing one.
+    /// crashing one. `cfg.timing` selects the predictor, replacement
+    /// policy, and prefetcher implementations.
     pub fn new(isa: &'static IsaSpec, cfg: &CoreConfig, ooo: &OooConfig) -> OooCore {
+        let t = cfg.timing;
         OooCore {
             isa,
             ooo: OooConfig { width: ooo.width.max(1), rob: ooo.rob.max(1) },
             mispredict_penalty: cfg.mispredict_penalty,
-            icache: Cache::new(cfg.icache),
-            dcache: Cache::new(cfg.dcache),
-            pred: Predictor::new(cfg.predictor_entries),
+            icache: Cache::with_components(cfg.icache, t.replacement, t.prefetcher),
+            dcache: Cache::with_components(cfg.dcache, t.replacement, t.prefetcher),
+            pred: t.predictor.build(cfg.predictor_entries),
             reg_ready: HashMap::new(),
             window: VecDeque::new(),
             fetch_cycle: 0,
@@ -121,16 +137,41 @@ impl OooCore {
 
     /// Marks the end of a warm-up region: everything fed so far keeps its
     /// microarchitectural effect (cache contents, predictor state, register
-    /// readiness) but is excluded from the reported instruction, cycle, and
-    /// miss counts. Sharded replay uses this for overlap warm-up.
+    /// readiness) but is excluded from the reported instruction, cycle,
+    /// miss, and rate accounting. Sharded replay uses this for overlap
+    /// warm-up.
     pub fn mark_measurement_start(&mut self) {
         self.base = Baseline {
             cycles: self.cycles_now(),
             insts: self.fed,
             icache_misses: self.icache.misses,
+            icache_hits: self.icache.hits,
             dcache_misses: self.dcache.misses,
-            mispredicts: self.pred.mispredicts,
+            dcache_hits: self.dcache.hits,
+            mispredicts: self.pred.mispredicts(),
+            correct: self.pred.correct(),
         };
+    }
+
+    /// Instruction-cache miss rate over the measured region only.
+    pub fn icache_miss_rate(&self) -> f64 {
+        let misses = self.icache.misses - self.base.icache_misses;
+        let hits = self.icache.hits - self.base.icache_hits;
+        rate(misses, misses + hits)
+    }
+
+    /// Data-cache miss rate over the measured region only.
+    pub fn dcache_miss_rate(&self) -> f64 {
+        let misses = self.dcache.misses - self.base.dcache_misses;
+        let hits = self.dcache.hits - self.base.dcache_hits;
+        rate(misses, misses + hits)
+    }
+
+    /// Branch misprediction rate over the measured region only.
+    pub fn mispredict_rate(&self) -> f64 {
+        let mis = self.pred.mispredicts() - self.base.mispredicts;
+        let ok = self.pred.correct() - self.base.correct;
+        rate(mis, mis + ok)
     }
 
     /// Feeds one published record.
@@ -187,19 +228,22 @@ impl OooCore {
             }
         }
         self.window.push_back(done);
-        // In-order commit, width per cycle.
-        if done > self.last_commit {
-            self.last_commit = done;
+        // In-order commit, at most `width` per cycle: an instruction
+        // retires at its completion cycle, pushed one cycle later when this
+        // commit cycle's bandwidth is already spent.
+        let earliest = if self.committed_in_cycle < self.ooo.width {
+            self.last_commit
+        } else {
+            self.last_commit + 1
+        };
+        let commit = done.max(earliest);
+        if commit > self.last_commit {
+            self.last_commit = commit;
             self.committed_in_cycle = 1;
         } else {
             self.committed_in_cycle += 1;
-            if self.committed_in_cycle >= self.ooo.width {
-                self.last_commit += 1;
-                self.committed_in_cycle = 0;
-            }
         }
         // Fetch bandwidth.
-        self.committed_in_cycle = self.committed_in_cycle.min(self.ooo.width);
         if self.fed.is_multiple_of(self.ooo.width) {
             self.fetch_cycle += 1;
         }
@@ -217,7 +261,7 @@ impl OooCore {
             insts: self.fed - self.base.insts,
             icache_misses: self.icache.misses - self.base.icache_misses,
             dcache_misses: self.dcache.misses - self.base.dcache_misses,
-            mispredicts: self.pred.mispredicts - self.base.mispredicts,
+            mispredicts: self.pred.mispredicts() - self.base.mispredicts,
             ..Default::default()
         }
     }
@@ -259,6 +303,39 @@ pub fn run_functional_first_ooo(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lis_core::{FieldSet, Frame, Operands, RegClass};
+
+    /// An ALU opcode with unit latency in the toy ISA.
+    fn alu_op(isa: &IsaSpec) -> u16 {
+        (0..isa.num_insts() as u16)
+            .find(|&op| {
+                let def = isa.inst(op);
+                matches!(def.class, InstClass::Alu)
+                    && !def.name.contains("mul")
+                    && !def.name.contains("div")
+            })
+            .expect("toy ISA has a simple ALU instruction")
+    }
+
+    /// A published record at `pc` carrying only an opcode (and optionally
+    /// one source and one destination register).
+    fn rec(op: u16, pc: u64, src: Option<u16>, dest: Option<u16>) -> DynInst {
+        let mut frame = Frame::new();
+        frame.set(F_OPCODE, u64::from(op));
+        let mut ops = Operands::new();
+        if let Some(s) = src {
+            ops.push_src(RegClass(0), s);
+        }
+        if let Some(d) = dest {
+            ops.push_dest(RegClass(0), d);
+        }
+        let mut di = DynInst::new();
+        di.header.pc = pc;
+        di.header.phys_pc = pc;
+        di.header.next_pc = pc + 4;
+        di.publish(&frame, FieldSet::of(&[F_OPCODE]), &ops, true);
+        di
+    }
 
     #[test]
     fn default_config_is_sane() {
@@ -287,6 +364,122 @@ mod tests {
     }
 
     #[test]
+    fn commit_width_is_enforced() {
+        // Regression: the seed accounting reset `committed_in_cycle` to 1
+        // whenever `done > last_commit`, so completion times that keep
+        // increasing were never bandwidth-limited, and the width-th commit
+        // in a cycle pushed `last_commit` forward by an extra cycle even
+        // when nothing else retired. Discriminator: a burst of exactly
+        // `width` independent unit-latency instructions must cost the same
+        // cycles on a width-4 core as on a width-8 core (the burst fits one
+        // commit cycle either way); the seed reported one extra cycle on
+        // the width-4 core.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let op = alu_op(isa);
+        let burst: Vec<DynInst> = (0..4).map(|i| rec(op, 0x1000 + i * 4, None, None)).collect();
+        let mut narrow = OooCore::new(isa, &cfg, &OooConfig { width: 4, rob: 64 });
+        let mut wide = OooCore::new(isa, &cfg, &OooConfig { width: 8, rob: 64 });
+        for di in &burst {
+            narrow.feed(di).unwrap();
+            wide.feed(di).unwrap();
+        }
+        assert_eq!(
+            narrow.report("t").cycles,
+            wide.report("t").cycles,
+            "a width-sized burst fits one commit cycle on both cores"
+        );
+    }
+
+    #[test]
+    fn narrow_commit_costs_cycles_on_ilp_heavy_streams() {
+        // With abundant ILP (independent unit-latency instructions), commit
+        // and fetch bandwidth are the only limits: a width-1 core must
+        // report strictly more cycles than a width-4 core.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let op = alu_op(isa);
+        let mut w1 = OooCore::new(isa, &cfg, &OooConfig { width: 1, rob: 64 });
+        let mut w4 = OooCore::new(isa, &cfg, &OooConfig { width: 4, rob: 64 });
+        for i in 0..256u64 {
+            let di = rec(op, 0x1000 + i * 4, None, None);
+            w1.feed(&di).unwrap();
+            w4.feed(&di).unwrap();
+        }
+        let (r1, r4) = (w1.report("t"), w4.report("t"));
+        assert!(
+            r1.cycles > r4.cycles,
+            "width-1 ({} cycles) must be slower than width-4 ({} cycles)",
+            r1.cycles,
+            r4.cycles
+        );
+    }
+
+    #[test]
+    fn dependent_chain_is_not_width_limited() {
+        // A serial dependence chain commits one instruction per completion
+        // cycle regardless of width; widening must not change the total.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let op = alu_op(isa);
+        let mut w1 = OooCore::new(isa, &cfg, &OooConfig { width: 1, rob: 64 });
+        let mut w4 = OooCore::new(isa, &cfg, &OooConfig { width: 4, rob: 64 });
+        for i in 0..64u64 {
+            // Each instruction reads and writes r7: a pure serial chain.
+            let di = rec(op, 0x1000 + i * 4, Some(7), Some(7));
+            w1.feed(&di).unwrap();
+            w4.feed(&di).unwrap();
+        }
+        // The chain's dataflow limit dominates; the width-4 core can only
+        // be faster through fetch bandwidth, never slower.
+        assert!(w4.report("t").cycles <= w1.report("t").cycles);
+    }
+
+    #[test]
+    fn warmed_rates_equal_cold_rates() {
+        // Regression: `mark_measurement_start` baselined misses and
+        // mispredicts but not hits and correct predictions, so rates on a
+        // warmed core mixed warm-up hits into the measured denominator.
+        // Warm one core with hit-heavy traffic in a disjoint tag range
+        // (same sets, different tags — the measured stream's cache outcomes
+        // are identical warm or cold), then measure both cores over the
+        // same stream and require identical rates.
+        let isa = lis_runtime::toy::spec();
+        let cfg = CoreConfig::default();
+        let op = alu_op(isa);
+        let mut warmed = OooCore::new(isa, &cfg, &OooConfig::default());
+        let mut cold = OooCore::new(isa, &cfg, &OooConfig::default());
+        // Warm-up: 64 re-touches of 4 lines at 0x10000 — mostly icache
+        // hits, no branches.
+        for i in 0..64u64 {
+            warmed.feed(&rec(op, 0x10000 + (i % 4) * 32, None, None)).unwrap();
+        }
+        warmed.mark_measurement_start();
+        cold.mark_measurement_start();
+        // Measured stream: tags in 0x20000-space never collide with the
+        // warm-up's 0x10000-space tags, so both cores miss identically.
+        for i in 0..32u64 {
+            let di = rec(op, 0x20000 + i * 4, None, None);
+            warmed.feed(&di).unwrap();
+            cold.feed(&di).unwrap();
+        }
+        assert_eq!(
+            warmed.report("t").icache_misses,
+            cold.report("t").icache_misses,
+            "disjoint tag ranges: measured misses are identical"
+        );
+        assert!(
+            (warmed.icache_miss_rate() - cold.icache_miss_rate()).abs() < 1e-12,
+            "warmed {} vs cold {}",
+            warmed.icache_miss_rate(),
+            cold.icache_miss_rate()
+        );
+        assert!((warmed.dcache_miss_rate() - cold.dcache_miss_rate()).abs() < 1e-12);
+        assert!((warmed.mispredict_rate() - cold.mispredict_rate()).abs() < 1e-12);
+        assert!(cold.icache_miss_rate() > 0.0, "the measured stream does miss");
+    }
+
+    #[test]
     fn zero_sized_rob_cannot_panic() {
         // Regression: the retire path used `pop_front().expect()`, which a
         // rob=0 configuration turned into a panic on the first fed record.
@@ -312,6 +505,8 @@ mod tests {
         let cfg = CoreConfig::default();
         let core = OooCore::new(isa, &cfg, &OooConfig::default());
         assert_eq!(core.report("t").insts, 0);
+        assert_eq!(core.mispredict_rate(), 0.0);
+        assert_eq!(core.icache_miss_rate(), 0.0);
         let mut core = OooCore::new(isa, &cfg, &OooConfig { width: 1, rob: 1 });
         let bare = DynInst::new(); // no opcode, no operands, no fields
         for _ in 0..3 {
@@ -329,5 +524,29 @@ mod tests {
         di.fault = Some(lis_core::Fault::ArithOverflow);
         assert!(core.feed(&di).is_err());
         assert_eq!(core.report("t").insts, 0);
+    }
+
+    #[test]
+    fn presets_change_the_numbers_but_stay_deterministic() {
+        // Feeding the same stream to two cores built from the same preset
+        // must produce identical reports; distinct presets are allowed (and
+        // here arranged) to differ.
+        let isa = lis_runtime::toy::spec();
+        let op = alu_op(isa);
+        let stream: Vec<DynInst> =
+            (0..128u64).map(|i| rec(op, 0x1000 + (i % 64) * 64, None, None)).collect();
+        let run = |t: crate::components::TimingConfig| {
+            let cfg = CoreConfig { timing: t, ..CoreConfig::default() };
+            let mut core = OooCore::new(isa, &cfg, &OooConfig::default());
+            for di in &stream {
+                core.feed(di).unwrap();
+            }
+            core.report("t")
+        };
+        for preset in crate::components::TimingConfig::PRESETS {
+            let (a, b) = (run(preset), run(preset));
+            assert_eq!(a.cycles, b.cycles, "{}", preset.name);
+            assert_eq!(a.icache_misses, b.icache_misses, "{}", preset.name);
+        }
     }
 }

@@ -15,13 +15,45 @@
 use crate::model::CoreModel;
 use crate::report::{CoreConfig, TimingReport};
 use lis_core::{
-    DynInst, InstClass, IsaSpec, Step, BLOCK_DECODE, BLOCK_DECODE_SPEC, F_OPCODE, ONE_ALL, ONE_MIN,
+    DynInst, InstClass, IsaSpec, OperandRef, Step, BLOCK_DECODE, BLOCK_DECODE_SPEC, F_OPCODE,
+    ONE_ALL, ONE_MIN,
 };
 use lis_mem::Image;
 use lis_runtime::{SimStop, Simulator};
+use std::collections::HashMap;
 
 /// Ceiling on simulated instructions for every driver in this module.
 const DEFAULT_BUDGET: u64 = 200_000_000;
+
+/// How many operand positions the timing-directed bypass network covers.
+const BYPASS_WINDOW: usize = 4;
+
+/// Scans a record's source operands against the scoreboard. Returns the
+/// issue cycle (stalled until every source is ready — *all* sources count,
+/// however many the record carries) and which positions inside the bypass
+/// window must be re-fetched at issue time. Positions beyond the window
+/// degrade to no re-fetch instead of indexing out of bounds: a hostile or
+/// projected record with extra sources must never abort the run (the
+/// crate's degrade-don't-abort rule, cf. the rob=0 regression test).
+fn scan_sources(
+    srcs: &[OperandRef],
+    ready: &HashMap<(u8, u16), u64>,
+    decode_done: u64,
+) -> (u64, [bool; BYPASS_WINDOW]) {
+    let mut issue = decode_done + 1;
+    let mut late_srcs = [false; BYPASS_WINDOW];
+    for (i, s) in srcs.iter().enumerate() {
+        if let Some(&t) = ready.get(&(s.class, s.index)) {
+            issue = issue.max(t);
+            if t > decode_done + 1 {
+                if let Some(slot) = late_srcs.get_mut(i) {
+                    *slot = true;
+                }
+            }
+        }
+    }
+    (issue, late_srcs)
+}
 
 fn finish_report(
     mut report: TimingReport,
@@ -152,24 +184,17 @@ pub fn run_timing_directed(
         let decode_done = fetch_done + 1;
         // Operand fetch stalls until every source register is ready.
         sim.step_inst(Step::OperandFetch, &mut di)?;
-        let mut issue = decode_done + 1;
-        let mut late_srcs: [bool; 4] = [false; 4];
-        if let Some(ops) = di.operands() {
-            for (i, s) in ops.srcs().iter().enumerate() {
-                if let Some(&t) = ready.get(&(s.class, s.index)) {
-                    issue = issue.max(t);
-                    if t > decode_done + 1 {
-                        late_srcs[i] = true;
-                    }
-                }
-            }
-        }
+        let (issue, late_srcs) = match di.operands() {
+            Some(ops) => scan_sources(ops.srcs(), &ready, decode_done),
+            None => (decode_done + 1, [false; BYPASS_WINDOW]),
+        };
         // Sources produced by still-in-flight instructions arrive by bypass:
         // the timing model re-fetches exactly those operands at issue time —
-        // the paper's individual operand-read control.
+        // the paper's individual operand-read control. A failed re-fetch
+        // degrades (the operand-fetch value stands) rather than aborting.
         for (i, late) in late_srcs.into_iter().enumerate() {
-            if late {
-                sim.fetch_src_operand(&mut di, i).expect("within the operand window");
+            if late && sim.fetch_src_operand(&mut di, i).is_err() {
+                break;
             }
         }
         // Execute.
@@ -358,4 +383,40 @@ pub fn run_speculative_functional_first(
     report.exit_code = sim.state.exit_code;
     report.stdout = sim.stdout().to_vec();
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostile_source_count_degrades_instead_of_panicking() {
+        // Regression: the scoreboard scan indexed a fixed `[bool; 4]` by
+        // operand position, so a record carrying more sources than the
+        // bypass window panicked instead of degrading. A hostile/projected
+        // record may declare any number of sources; every one must stall
+        // issue, and only in-window positions get bypass re-fetches.
+        let mut ready = HashMap::new();
+        for r in 0..6u16 {
+            ready.insert((0u8, r), 100 + u64::from(r));
+        }
+        let srcs: Vec<OperandRef> = (0..6).map(|r| OperandRef { class: 0, index: r }).collect();
+        let (issue, late) = scan_sources(&srcs, &ready, 1);
+        assert_eq!(issue, 105, "the out-of-window source still stalls issue");
+        assert_eq!(late, [true; BYPASS_WINDOW], "in-window sources are late");
+    }
+
+    #[test]
+    fn ready_sources_need_no_bypass() {
+        let mut ready = HashMap::new();
+        ready.insert((0u8, 1u16), 3); // ready by decode_done + 1
+        ready.insert((0u8, 2u16), 9); // still in flight
+        let srcs = [OperandRef { class: 0, index: 1 }, OperandRef { class: 0, index: 2 }];
+        let (issue, late) = scan_sources(&srcs, &ready, 2);
+        assert_eq!(issue, 9);
+        assert_eq!(late, [false, true, false, false]);
+        let (issue, late) = scan_sources(&[], &ready, 2);
+        assert_eq!(issue, 3, "no sources: issue right after decode");
+        assert_eq!(late, [false; BYPASS_WINDOW]);
+    }
 }

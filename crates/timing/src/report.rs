@@ -1,6 +1,7 @@
 //! Timing-simulation configuration and reporting.
 
 use crate::cache::CacheConfig;
+use crate::components::TimingConfig;
 
 /// Pipeline/memory parameters shared by the timing models.
 #[derive(Debug, Clone, Copy)]
@@ -13,6 +14,8 @@ pub struct CoreConfig {
     pub mispredict_penalty: u64,
     /// Branch predictor entries.
     pub predictor_entries: usize,
+    /// Component selection: predictor, replacement policy, prefetcher.
+    pub timing: TimingConfig,
 }
 
 impl Default for CoreConfig {
@@ -22,6 +25,7 @@ impl Default for CoreConfig {
             dcache: CacheConfig::L1D,
             mispredict_penalty: 8,
             predictor_entries: 1024,
+            timing: TimingConfig::CLASSIC,
         }
     }
 }

@@ -4,9 +4,10 @@
 //! kernel on every ISA. Sharded replay preserves the exact instruction
 //! counts and whole-run facts, and is deterministic.
 
-use lis_timing::{run_functional_first_ooo, CoreConfig, OooConfig, TimingReport};
+use lis_timing::{run_functional_first_ooo, CoreConfig, OooConfig, TimingConfig, TimingReport};
 use lis_trace::{record, replay_ooo, RecordOptions, ReplayConfig, Trace};
 use lis_workloads::{spec_of, suite_of, ISAS};
+use proptest::prelude::*;
 
 /// Records a kernel at maximum detail with small chunks (so sharding has
 /// boundaries to split at) and loads the trace back.
@@ -23,14 +24,18 @@ fn trace_of(isa: &str, kernel: &str) -> Trace {
     Trace::read_from(bytes.as_slice()).expect("trace reads back")
 }
 
-fn execute_driven(isa: &str, kernel: &str) -> TimingReport {
+fn execute_driven_with(isa: &str, kernel: &str, timing: TimingConfig) -> TimingReport {
     let spec = spec_of(isa);
     let image = lis_workloads::kernel(isa, kernel)
         .expect("kernel exists")
         .assemble()
         .expect("kernel assembles");
-    run_functional_first_ooo(spec, &image, &CoreConfig::default(), &OooConfig::default())
-        .expect("kernel halts")
+    let core = CoreConfig { timing, ..CoreConfig::default() };
+    run_functional_first_ooo(spec, &image, &core, &OooConfig::default()).expect("kernel halts")
+}
+
+fn execute_driven(isa: &str, kernel: &str) -> TimingReport {
+    execute_driven_with(isa, kernel, TimingConfig::CLASSIC)
 }
 
 fn assert_reports_equal(live: &TimingReport, replayed: &TimingReport, label: &str) {
@@ -95,6 +100,38 @@ fn sharded_replay_preserves_counts_and_is_deterministic() {
             a.cycles,
             live.cycles
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The golden property holds on every *component preset*, not just the
+    /// default: for any (preset, ISA, kernel), the execute-driven
+    /// functional-first ooo run and a single-shard replay of one max-detail
+    /// recording produce bit-identical reports. The recording itself is
+    /// preset-independent — only the replay-side core config varies — which
+    /// is exactly the single-specification claim for the timing seams.
+    #[test]
+    fn replay_is_bit_identical_under_every_preset(
+        preset_idx in 0usize..TimingConfig::PRESETS.len(),
+        isa_idx in 0usize..ISAS.len(),
+        kernel_seed in 0u64..1_000_000,
+    ) {
+        let preset = TimingConfig::PRESETS[preset_idx];
+        let isa = ISAS[isa_idx];
+        let suite = suite_of(isa);
+        let kernel = suite[(kernel_seed % suite.len() as u64) as usize].name;
+        let label = format!("{}/{isa}/{kernel}", preset.name);
+
+        let live = execute_driven_with(isa, kernel, preset);
+        let trace = trace_of(isa, kernel);
+        let cfg = ReplayConfig {
+            core: CoreConfig { timing: preset, ..CoreConfig::default() },
+            ..ReplayConfig::default()
+        };
+        let replayed = replay_ooo(spec_of(isa), &trace, &cfg).expect("replay succeeds");
+        assert_reports_equal(&live, &replayed, &label);
     }
 }
 
