@@ -34,6 +34,21 @@ pub const LIS004: Code = Code(4);
 /// ISA self-check: the single specification itself is inconsistent
 /// (encodings, operands vs. flows, dead steps, missing exception handling).
 pub const LIS005: Code = Code(5);
+/// Elision soundness: the compiled backend statically elides a publish the
+/// buildset's visibility mask still observes.
+pub const LIS006: Code = Code(6);
+/// Reg-backing consistency: a lowered direct register access is not covered
+/// by a `RegBacking` declaration that matches the accessor functions.
+pub const LIS007: Code = Code(7);
+/// Specialized undo coverage: a speculative cell's translation loses an
+/// undo capture, or a non-speculative cell still carries undo plumbing.
+pub const LIS008: Code = Code(8);
+/// Chain-link validity: superblock successor hints are trusted without
+/// entry-PC validation, or a deferred PC store escapes a chain boundary.
+pub const LIS009: Code = Code(9);
+/// Demotion totality: a compiled cell has no faithful Cached/Interpreted
+/// equivalent for the supervision ladder to demote into.
+pub const LIS010: Code = Code(10);
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -95,6 +110,35 @@ impl Diagnostic {
         }
         loc
     }
+
+    /// Stable suppression fingerprint, used by `lis lint --baseline`.
+    ///
+    /// **Stability rule:** the fingerprint hashes exactly the code, the
+    /// logical location (`isa[/buildset][/inst]`), and the step anchor —
+    /// nothing else. Message and help text may be reworded freely without
+    /// invalidating a baseline; a finding moving to a new instruction,
+    /// buildset, or step counts as *new*. Multiple findings sharing one
+    /// (code, location, step) anchor deliberately share a fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, 64-bit: tiny, dependency-free, and stable across
+        // platforms and releases (unlike the std hasher).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.code.to_string().as_bytes());
+        eat(b"\0");
+        eat(self.location().as_bytes());
+        eat(b"\0");
+        if let Some(step) = self.step {
+            eat(step.name().as_bytes());
+        }
+        h
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -124,6 +168,10 @@ pub struct PassInfo {
     pub short: &'static str,
     /// What the pass guarantees when it reports nothing (SARIF `help`).
     pub help: &'static str,
+    /// Severities the pass can emit, most severe first (`"error"`,
+    /// `"warning"`, or `"error, warning"`). The first entry doubles as the
+    /// SARIF rule's default level.
+    pub levels: &'static str,
 }
 
 /// Every pass the analyzer runs, in code order.
@@ -135,6 +183,7 @@ pub const PASSES: &[PassInfo] = &[
         help: "Every inter-step dataflow edge whose producing and consuming steps land in \
                different interface calls must be published by the buildset's visibility; \
                otherwise the value is lost at the boundary and simulation diverges.",
+        levels: "error",
     },
     PassInfo {
         code: LIS002,
@@ -144,6 +193,7 @@ pub const PASSES: &[PassInfo] = &[
                UndoRec variant (Reg via operand accessors, Mem via Exec::store, OS effects via \
                the checkpoint's OsMark) so rollback is provably sound. Actions at steps whose \
                class gives them no accessor-routed write path cannot be proven covered.",
+        levels: "error",
     },
     PassInfo {
         code: LIS003,
@@ -153,6 +203,7 @@ pub const PASSES: &[PassInfo] = &[
                instruction's dataflow consumes across any of its call boundaries is pure \
                informational-detail cost (one published value per producing call, cf. \
                SimStats::detail_units) with no intra-simulator consumer.",
+        levels: "warning",
     },
     PassInfo {
         code: LIS004,
@@ -161,6 +212,7 @@ pub const PASSES: &[PassInfo] = &[
         help: "The semantic grouping must be an ordered contiguous partition of the seven \
                steps and the visibility a sub-lattice of the max-detail field set; anything \
                else is not derivable from the single specification.",
+        levels: "error, warning",
     },
     PassInfo {
         code: LIS005,
@@ -170,6 +222,63 @@ pub const PASSES: &[PassInfo] = &[
                engine limits and be carried by the instruction's dataflow, steps with actions \
                must appear in the dataflow, and syscall-class instructions must handle the \
                exception step.",
+        levels: "error, warning",
+    },
+    PassInfo {
+        code: LIS006,
+        name: "elision-soundness",
+        short: "the compiled backend may only elide publishes the visibility cannot observe",
+        help: "The compiled backend skips the publication walk when it believes the buildset's \
+               interface is header-only. Abstract interpretation of every translated action \
+               chain must show that no field the visibility mask names — and no published \
+               operand identifier — is produced by the chain while the walk is elided; an \
+               observed-but-elided value silently disappears from the interface.",
+        levels: "error, warning",
+    },
+    PassInfo {
+        code: LIS007,
+        name: "reg-backing-consistency",
+        short: "lowered register accesses must match a validated RegBacking declaration",
+        help: "Every direct register-file load/store the translator bakes into a specialized \
+               chain must be covered by the class's RegBacking declaration — right variant, \
+               in-range index, special index excluded, declared write mask — and the \
+               declaration itself must agree with the accessor functions at every index \
+               (exhaustive probe, promoting the sparse runtime assert to a located \
+               diagnostic).",
+        levels: "error",
+    },
+    PassInfo {
+        code: LIS008,
+        name: "specialized-undo-coverage",
+        short: "specialization must preserve undo capture exactly when speculation needs it",
+        help: "On speculative buildsets every architectural write surviving specialization \
+               must retain its undo record, so translations keep the generic writeback (the \
+               accessor-routed undo path) in the chain. Non-speculative buildsets must carry \
+               zero undo plumbing. Both directions are checked: a lost capture breaks \
+               rollback, stray plumbing breaks the elision contract.",
+        levels: "error",
+    },
+    PassInfo {
+        code: LIS009,
+        name: "chain-link-validity",
+        short: "superblock link hints must re-validate and PC stores must end at boundaries",
+        help: "Superblock successor links are hints: every traversal must validate that the \
+               target block really starts at the wanted PC (stale links miss, never execute \
+               the wrong block), imported translations must start with cold links, and every \
+               control-transfer instruction must terminate its block so the deferred PC \
+               store cannot escape a chain boundary.",
+        levels: "error",
+    },
+    PassInfo {
+        code: LIS010,
+        name: "demotion-totality",
+        short: "every compiled cell must have faithful Cached and Interpreted equivalents",
+        help: "The supervision ladder demotes Compiled to Cached to Interpreted; that is only \
+               safe if each translated instruction replays to the same decode frame and \
+               dispatches the specification's own action chain, so the rungs below execute \
+               identical semantics. A chain that drifts from the spec, an incomplete decode \
+               replay, or a ladder with a missing rung would demote into a hole.",
+        levels: "error",
     },
 ];
 
@@ -222,8 +331,44 @@ mod tests {
     #[test]
     fn registry_covers_all_codes_in_order() {
         let codes: Vec<_> = PASSES.iter().map(|p| p.code).collect();
-        assert_eq!(codes, vec![LIS001, LIS002, LIS003, LIS004, LIS005]);
+        assert_eq!(
+            codes,
+            vec![LIS001, LIS002, LIS003, LIS004, LIS005, LIS006, LIS007, LIS008, LIS009, LIS010]
+        );
         assert!(pass_info(LIS004).unwrap().name.contains("deriv"));
+        assert!(pass_info(LIS007).unwrap().name.contains("backing"));
         assert!(pass_info(Code(99)).is_none());
+    }
+
+    #[test]
+    fn levels_name_valid_severities_most_severe_first() {
+        for p in PASSES {
+            assert!(
+                matches!(p.levels, "error" | "warning" | "error, warning"),
+                "{}: bad levels `{}`",
+                p.code,
+                p.levels
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_wording_but_not_location() {
+        let a = diag(LIS007, Severity::Error);
+        let mut b = a.clone();
+        b.message = "completely reworded".into();
+        b.help = "other help".into();
+        b.severity = Severity::Warning;
+        assert_eq!(a.fingerprint(), b.fingerprint(), "wording must not perturb the fingerprint");
+
+        let mut c = a.clone();
+        c.inst = Some("stq");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "a new anchor is a new finding");
+        let mut d = a.clone();
+        d.code = LIS008;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = a.clone();
+        e.step = Some(Step::Writeback);
+        assert_ne!(a.fingerprint(), e.fingerprint());
     }
 }

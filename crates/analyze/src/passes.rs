@@ -14,7 +14,7 @@ use lis_core::{
 
 /// Specification-level name of `id` under `isa` (`eff_addr`, `cr_nibble`,
 /// or `f29` for an undeclared slot).
-fn field_name(isa: &IsaSpec, id: FieldId) -> String {
+pub(crate) fn field_name(isa: &IsaSpec, id: FieldId) -> String {
     match isa.all_fields().find(|d| d.id == id) {
         Some(d) => d.name.to_string(),
         None => format!("f{}", id.0),

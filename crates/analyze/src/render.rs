@@ -60,6 +60,11 @@ pub fn render_sarif(diags: &[Diagnostic]) -> String {
         rule.str("name", p.name);
         rule.raw("shortDescription", &text_obj(p.short));
         rule.raw("fullDescription", &text_obj(p.help));
+        // The most severe level the pass can emit (first entry of
+        // `levels`) becomes the SARIF default.
+        let mut cfg = JsonObj::new();
+        cfg.str("level", p.levels.split(',').next().unwrap_or("error").trim());
+        rule.raw("defaultConfiguration", &cfg.finish());
         rules.push_str(&rule.finish());
     }
 

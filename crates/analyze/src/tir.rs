@@ -1,0 +1,235 @@
+//! The analyzable translation IR — the seam between the compiled backend's
+//! synthesis and the translation-soundness passes (LIS006–LIS010).
+//!
+//! The compiled backend (`lis-runtime`'s `compile` module) makes a series
+//! of *static* decisions per (ISA, buildset): which publish/undo work the
+//! visibility mask elides, which operand accesses lower to direct
+//! register-file loads/stores, how each action chain is partitioned around
+//! the inlined generic fetch/writeback, and how superblock successor links
+//! are validated. Executing those decisions is fast precisely because they
+//! are baked in — which is also why they deserve a static proof against the
+//! one specification, not just the dynamic lockstep net.
+//!
+//! [`TranslationView`] is that proof surface: a plain-data snapshot of every
+//! synthesis decision, produced side-effect-free by
+//! `lis_runtime::synthesize_view` and consumed by
+//! [`analyze_translation`](crate::analyze_translation). It lives in this
+//! crate (not in the runtime) because the dependency points the other way:
+//! the runtime's `Simulator::new` preflight gate calls into the analyzer,
+//! so the IR the analyzer consumes must be defined on this side of the
+//! boundary.
+//!
+//! Nothing here holds function pointers or borrows into the translator —
+//! the view is freely cloneable, comparable data, which is what makes the
+//! deliberate-corruption hook ([`TranslationView::mutated`]) possible: tests
+//! can skew a single synthesis decision and prove the matching pass catches
+//! exactly that skew.
+
+use lis_core::{FieldSet, InstClass, Step};
+
+/// One lowered operand access in a specialized chain: what the translator
+/// decided a source read or destination write compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TirAccess {
+    /// The access stayed an accessor call (opaque backing, or the class's
+    /// special index).
+    Accessor {
+        /// Register class of the operand.
+        class: u8,
+        /// Register index within the class.
+        index: u16,
+    },
+    /// Direct `gpr[index]` load/store. For destination writes `mask` holds
+    /// the write mask the translator baked in; source reads carry `None`.
+    Gpr {
+        /// Register class of the operand.
+        class: u8,
+        /// Register index within the class.
+        index: u16,
+        /// Baked write mask (destinations only).
+        mask: Option<u64>,
+    },
+    /// Direct `spr[slot]` load/store, mask as for [`TirAccess::Gpr`].
+    Spr {
+        /// Register class of the operand.
+        class: u8,
+        /// Flat special-register slot.
+        slot: u8,
+        /// Baked write mask (destinations only).
+        mask: Option<u64>,
+    },
+}
+
+impl TirAccess {
+    /// The register class the access belongs to.
+    pub fn class(&self) -> u8 {
+        match *self {
+            TirAccess::Accessor { class, .. }
+            | TirAccess::Gpr { class, .. }
+            | TirAccess::Spr { class, .. } => class,
+        }
+    }
+
+    /// Whether the access was lowered to a direct register-file operation
+    /// (as opposed to staying an accessor call).
+    pub fn is_direct(&self) -> bool {
+        !matches!(self, TirAccess::Accessor { .. })
+    }
+}
+
+/// The translation of one instruction definition: every static decision
+/// the compiled backend baked in for it under one (ISA, buildset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TirInst {
+    /// Specification name of the instruction.
+    pub name: &'static str,
+    /// Instruction class (drives block termination).
+    pub class: InstClass,
+    /// True when translation fell back to re-running decode at execution
+    /// time (decode faulted on the canonical encoding or produced more
+    /// fields than the capture buffer holds). Fallback instructions are
+    /// never operand-specialized.
+    pub fallback: bool,
+    /// Length of the flattened direct-threaded action chain.
+    pub chain_len: u8,
+    /// End of the chain range dispatched before the inlined generic fetch.
+    pub pre_hi: u8,
+    /// Start of the chain range dispatched after the inlined fetch.
+    pub mid_lo: u8,
+    /// End of the dispatched range (stops before an inlined trailing
+    /// generic writeback).
+    pub mid_hi: u8,
+    /// The lowered source reads run between the pre and mid ranges.
+    pub has_fetch: bool,
+    /// The lowered destination writes run after the dispatched range.
+    pub has_wb: bool,
+    /// When `has_wb`, whether the stripped trailing action really was the
+    /// specification's generic writeback (undo capture included).
+    pub wb_is_generic: bool,
+    /// Steps contributing an action to the flattened chain, in chain order.
+    pub chain_steps: Vec<Step>,
+    /// Lowered source-operand reads (canonical decode).
+    pub srcs: Vec<TirAccess>,
+    /// Lowered destination-operand writes (canonical decode).
+    pub dests: Vec<TirAccess>,
+    /// Decode-frame fields the translation captures for replay (the
+    /// appended opcode field included).
+    pub captured: FieldSet,
+    /// Whether the translated chain is pointer-identical to the
+    /// specification's own flattened action chain.
+    pub chain_matches_spec: bool,
+    /// Whether this instruction's class terminates a superblock (so its
+    /// deferred PC store lands exactly at the chain boundary).
+    pub ends_block: bool,
+}
+
+/// The complete, side-effect-free snapshot of a compiled backend's
+/// synthesis decisions for one (ISA, buildset) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationView {
+    /// ISA name (must match the spec being analyzed).
+    pub isa: &'static str,
+    /// Buildset name (must match the cell being analyzed).
+    pub buildset: &'static str,
+    /// The translator's copy of "skip the publication walk entirely".
+    pub elides_publish: bool,
+    /// The translator's copy of the buildset's visible-field mask.
+    pub vis_fields: FieldSet,
+    /// The translator's copy of "operand identifiers are published".
+    pub vis_operand_ids: bool,
+    /// Whether the buildset declares speculative execution.
+    pub speculation: bool,
+    /// Whether the synthesized execution context wires an undo log.
+    pub undo_wired: bool,
+    /// Probed: link following re-validates the target block's entry PC
+    /// (a stale hint misses instead of executing the wrong block).
+    pub links_validated: bool,
+    /// Probed: superblocks rebuilt from exported snapshot parts start with
+    /// cold successor links (link hints never cross simulators).
+    pub import_links_cold: bool,
+    /// The demotion ladder walked from the compiled backend down
+    /// (backend names, aggressive-to-trusted order).
+    pub ladder: Vec<&'static str>,
+    /// Per-instruction translations, in specification order.
+    pub insts: Vec<TirInst>,
+}
+
+/// A deliberate, targeted corruption of one synthesis decision.
+///
+/// This is the test-only mutation hook the soundness suite uses to prove
+/// the translation passes are not vacuous: each variant skews exactly the
+/// decision one pass guards, so the matching LIS code — and only a real
+/// check — can flag it. Production code never constructs these; the honest
+/// view comes straight from `lis_runtime::synthesize_view`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMutation {
+    /// Claim the publication walk is elided while the visibility mask still
+    /// names observable values (LIS006).
+    ElideObservedPublish,
+    /// Corrupt the baked write mask of the first direct destination store
+    /// (LIS007).
+    SkewBackingMask,
+    /// Pretend the stripped trailing writeback was not the generic action,
+    /// losing its undo capture on a speculative cell (LIS008).
+    StripUndoCapture,
+    /// Toggle the cell-level undo wiring decision (LIS008).
+    FlipUndoWiring,
+    /// Mark control-transfer instructions as not ending their superblock,
+    /// letting the deferred PC store escape the chain boundary (LIS009).
+    LeakChainBoundary,
+    /// Detach the first instruction's chain from the specification's
+    /// flattened chain (LIS010).
+    SkewChain,
+    /// Drop the interpreted rung from the demotion ladder (LIS010).
+    TruncateLadder,
+}
+
+impl TranslationView {
+    /// Returns the view with one synthesis decision deliberately skewed —
+    /// see [`ViewMutation`]. Test-only by construction: the only honest way
+    /// to obtain a view is synthesis, and synthesis never calls this.
+    pub fn mutated(mut self, m: ViewMutation) -> TranslationView {
+        match m {
+            ViewMutation::ElideObservedPublish => {
+                self.elides_publish = true;
+            }
+            ViewMutation::SkewBackingMask => {
+                'outer: for inst in &mut self.insts {
+                    for d in &mut inst.dests {
+                        match d {
+                            TirAccess::Gpr { mask: Some(mask), .. }
+                            | TirAccess::Spr { mask: Some(mask), .. } => {
+                                *mask ^= 0xff00;
+                                break 'outer;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            ViewMutation::StripUndoCapture => {
+                if let Some(inst) = self.insts.iter_mut().find(|i| i.has_wb && !i.dests.is_empty())
+                {
+                    inst.wb_is_generic = false;
+                }
+            }
+            ViewMutation::FlipUndoWiring => {
+                self.undo_wired = !self.undo_wired;
+            }
+            ViewMutation::LeakChainBoundary => {
+                for inst in &mut self.insts {
+                    inst.ends_block = false;
+                }
+            }
+            ViewMutation::SkewChain => {
+                if let Some(inst) = self.insts.first_mut() {
+                    inst.chain_matches_spec = false;
+                }
+            }
+            ViewMutation::TruncateLadder => {
+                self.ladder.retain(|&b| b != "interpreted");
+            }
+        }
+        self
+    }
+}

@@ -3,9 +3,10 @@
 //! output (text, line-delimited JSON, SARIF).
 
 use lis_analyze::{
-    analyze, analyze_isa, has_errors, pass_derivability, pass_isa, pass_over_detail,
-    pass_speculation, pass_visibility, preflight, render_json, render_sarif, render_text,
-    Diagnostic, Severity, LIS001, LIS002, LIS003, LIS004, LIS005,
+    analyze, analyze_isa, analyze_translation, has_errors, pass_derivability, pass_isa,
+    pass_over_detail, pass_speculation, pass_visibility, preflight, preflight_translation,
+    render_json, render_sarif, render_text, Diagnostic, Severity, ViewMutation, LIS001, LIS002,
+    LIS003, LIS004, LIS005, LIS006, LIS007, LIS008, LIS009, LIS010,
 };
 use lis_core::{
     flow, BuildsetDef, Exec, Fault, FieldId, FieldSet, Flow, FlowItem, InstClass, InstDef, IsaSpec,
@@ -13,6 +14,7 @@ use lis_core::{
     STANDARD_BUILDSETS, STEP_ALL,
 };
 use lis_mem::Endian;
+use lis_runtime::synthesize_view;
 
 fn act(_: &mut Exec<'_>) -> Result<(), Fault> {
     Ok(())
@@ -262,6 +264,131 @@ fn lis005_invalid_encoding_via_validate() {
     );
 }
 
+// ----------------------------------- LIS006–LIS010 (translation passes)
+//
+// Each translation pass gets a real located finding on a *mutated* view of
+// a shipped specification: `synthesize_view` produces the honest synthesis
+// decisions, `ViewMutation` skews exactly the one decision the pass
+// guards, and the matching code — only — must fire with an anchor.
+
+fn mutated_diags(bs_name: &str, m: ViewMutation) -> Vec<Diagnostic> {
+    let isa = lis_isa_alpha::spec();
+    let cell = lis_core::find_buildset(bs_name).unwrap();
+    let view = synthesize_view(isa, cell).mutated(m);
+    analyze_translation(isa, cell, &view)
+}
+
+#[test]
+fn lis006_observed_but_elided_publish() {
+    // Claiming elision under a max-detail visibility must produce a located
+    // error for every instruction whose chain materializes visible values,
+    // plus the copy-drift and operand-id findings at cell level.
+    let diags = mutated_diags("block-all", ViewMutation::ElideObservedPublish);
+    assert!(diags.iter().all(|d| d.code == LIS006 && d.severity == Severity::Error), "{diags:?}");
+    let located = diags.iter().find(|d| d.inst.is_some()).expect("located finding");
+    assert!(
+        located.message.contains("while the publication walk is elided"),
+        "{}",
+        located.message
+    );
+    assert_eq!(located.buildset, Some("block-all"));
+    assert!(diags.iter().any(|d| d.message.contains("operand identifiers")), "{diags:?}");
+    // The honest view of the same cell is clean.
+    assert!(mutated_diags("block-all", ViewMutation::SkewChain).iter().all(|d| d.code != LIS006));
+}
+
+#[test]
+fn lis007_skewed_backing_mask() {
+    let diags = mutated_diags("one-all", ViewMutation::SkewBackingMask);
+    assert_eq!(diags.iter().filter(|d| d.code == LIS007).count(), 1, "{diags:?}");
+    let d = diags.iter().find(|d| d.code == LIS007).unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.inst.is_some(), "backing finding must be anchored to the lowered instruction");
+    assert!(d.message.contains("not covered by its RegBacking"), "{}", d.message);
+}
+
+#[test]
+fn lis008_both_directions() {
+    // Direction 1: a speculative cell whose specialized writeback lost its
+    // undo capture.
+    let diags = mutated_diags("one-all-spec", ViewMutation::StripUndoCapture);
+    let d = diags.iter().find(|d| d.code == LIS008).expect("lost-capture finding");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.inst.is_some());
+    assert_eq!(d.step, Some(Step::Writeback));
+    assert!(d.message.contains("UndoRec capture is lost"), "{}", d.message);
+    // Direction 2: a non-speculative cell that still wires undo.
+    let diags = mutated_diags("one-all", ViewMutation::FlipUndoWiring);
+    let d = diags.iter().find(|d| d.code == LIS008).expect("stray-plumbing finding");
+    assert!(d.message.contains("retains undo plumbing"), "{}", d.message);
+    // And the speculative cell missing its log entirely.
+    let diags = mutated_diags("one-all-spec", ViewMutation::FlipUndoWiring);
+    assert!(diags.iter().any(|d| d.code == LIS008 && d.message.contains("without an undo log")));
+}
+
+#[test]
+fn lis009_leaked_chain_boundary() {
+    let diags = mutated_diags("block-all", ViewMutation::LeakChainBoundary);
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == LIS009).collect();
+    assert!(!hits.is_empty(), "{diags:?}");
+    // Every control-transfer instruction of the spec is flagged, anchored.
+    let n_ctrl = lis_isa_alpha::spec()
+        .insts
+        .iter()
+        .filter(|d| matches!(d.class, InstClass::Branch | InstClass::Jump | InstClass::Syscall))
+        .count();
+    assert_eq!(hits.len(), n_ctrl);
+    assert!(hits.iter().all(|d| d.inst.is_some() && d.severity == Severity::Error));
+    assert!(hits[0].message.contains("escape the chain boundary"), "{}", hits[0].message);
+}
+
+#[test]
+fn lis010_skewed_chain_and_truncated_ladder() {
+    let diags = mutated_diags("one-min", ViewMutation::SkewChain);
+    let d = diags.iter().find(|d| d.code == LIS010).expect("chain-drift finding");
+    assert_eq!(d.inst, Some(lis_isa_alpha::spec().insts[0].name));
+    assert!(d.message.contains("not the specification's own flattened chain"), "{}", d.message);
+
+    let diags = mutated_diags("one-min", ViewMutation::TruncateLadder);
+    let d = diags.iter().find(|d| d.code == LIS010).expect("ladder finding");
+    assert_eq!(d.inst, None);
+    assert!(d.message.contains("does not reach interpreted"), "{}", d.message);
+}
+
+// Pinned renderer output for a translation finding — fully deterministic
+// (no instruction anchor, message built only from the mutated ladder).
+#[test]
+fn translation_finding_render_golden() {
+    let diags = mutated_diags("one-min", ViewMutation::TruncateLadder);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(
+        render_text(&diags),
+        "LIS010 error [alpha/one-min] demotion ladder `compiled -> cached` does not reach \
+         interpreted via cached\n\
+         \x20 = help: every compiled cell needs reachable Cached and Interpreted equivalents \
+         so supervision never demotes into a hole\n"
+    );
+    assert_eq!(
+        render_json(&diags),
+        "{\"code\":\"LIS010\",\"severity\":\"error\",\"isa\":\"alpha\",\
+         \"buildset\":\"one-min\",\"message\":\"demotion ladder `compiled -> cached` does \
+         not reach interpreted via cached\",\"help\":\"every compiled cell needs reachable \
+         Cached and Interpreted equivalents so supervision never demotes into a hole\"}\n"
+    );
+}
+
+#[test]
+fn preflight_translation_accepts_honest_views_rejects_mutants() {
+    let isa = lis_isa_alpha::spec();
+    let cell = lis_core::find_buildset("block-all").unwrap();
+    let view = synthesize_view(isa, cell);
+    assert!(preflight_translation(isa, cell, &view).is_ok());
+    let errs = preflight_translation(isa, cell, &view.mutated(ViewMutation::LeakChainBoundary))
+        .unwrap_err();
+    assert!(errs.iter().all(|d| d.severity == Severity::Error));
+    assert!(errs.iter().any(|d| d.code == LIS009));
+}
+
 // ------------------------------------------------- shipped matrix is clean
 
 #[test]
@@ -279,6 +406,11 @@ fn shipped_matrix_lints_clean() {
             let diags = analyze(isa, cell);
             assert!(!has_errors(&diags), "{}/{}: {:?}", isa.name, cell.name, diags);
             assert!(preflight(isa, cell).is_ok(), "{}/{}", isa.name, cell.name);
+            // The translation passes are clean on every honest synthesis.
+            let view = synthesize_view(isa, cell);
+            let tdiags = analyze_translation(isa, cell, &view);
+            assert!(!has_errors(&tdiags), "{}/{}: {:?}", isa.name, cell.name, tdiags);
+            assert!(preflight_translation(isa, cell, &view).is_ok(), "{}/{}", isa.name, cell.name);
         }
     }
 }

@@ -104,8 +104,10 @@ usage:
   lis disasm <file.s> --isa <isa>                    assemble, then disassemble
   lis kernels [--isa <isa>]                          run the bundled kernels
   lis buildsets                                      list the standard interfaces
-  lis lint [--isa <isa|all>]                         multi-pass static interface
-                                                     verifier (codes LIS001-LIS005)
+  lis lint [--isa <isa|all>]                         multi-pass static interface +
+                                                     translation-soundness verifier
+                                                     (codes LIS001-LIS010; see
+                                                     `lis lint --list-passes`)
   lis verify [--isa <isa>] [--full]                  lockstep every buildset x backend
                                                      against the one-min reference
                                                      (--backend <b> restricts to one)
@@ -179,6 +181,12 @@ options for `lint`:
   --format <f>          text | json | sarif (default text; json is one
                         object per line, sarif is a SARIF 2.1.0 document)
   --deny-warnings       exit 5 on warnings too, not just errors
+  --list-passes         print the LIS001-LIS010 pass catalog and exit
+  --baseline <file>     absent: write one fingerprint per finding and exit 0;
+                        present: suppress the recorded findings and gate only
+                        on new ones. Fingerprints hash (code, location, step)
+                        only, so rewording messages never invalidates a
+                        baseline; a finding at a new anchor is always new
 
 options for `verify` / `chaos`:
   --no-lint             skip the analyzer pre-flight gate (also for sweep)
@@ -491,11 +499,19 @@ fn cmd_kernels(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `lis lint`: run the full multi-pass static analyzer (codes
-/// LIS001–LIS005) over every requested ISA × buildset cell. Exit 0 when no
-/// error-level diagnostic is found, 5 otherwise (`--deny-warnings`
-/// escalates warnings into the failing set).
+/// `lis lint`: run the full multi-pass static analyzer — interface passes
+/// (LIS001–LIS005) plus translation-soundness passes over the compiled
+/// backend's synthesized view (LIS006–LIS010) — over every requested
+/// ISA × buildset cell. Exit 0 when no error-level diagnostic is found, 5
+/// otherwise (`--deny-warnings` escalates warnings into the failing set).
 fn cmd_lint(opts: &Opts) -> Result<u8, String> {
+    if opts.list_passes {
+        println!("{:<8} {:<26} {:<16} summary", "code", "pass", "severities");
+        for p in lis_analyze::PASSES {
+            println!("{:<8} {:<26} {:<16} {}", p.code.to_string(), p.name, p.levels, p.short);
+        }
+        return Ok(0);
+    }
     let isas: Vec<&'static IsaSpec> = if opts.isa.is_empty() || opts.isa == "all" {
         vec![lis_isa_alpha::spec(), lis_isa_arm::spec(), lis_isa_ppc::spec()]
     } else {
@@ -513,6 +529,27 @@ fn cmd_lint(opts: &Opts) -> Result<u8, String> {
         diags.extend(lis_analyze::analyze_isa(spec));
         for bs in &cells {
             diags.extend(lis_analyze::analyze(spec, bs));
+            let view = lis_runtime::synthesize_view(spec, bs);
+            diags.extend(lis_analyze::analyze_translation(spec, bs, &view));
+        }
+    }
+    let mut suppressed = 0usize;
+    if let Some(path) = opts.baseline.as_deref() {
+        match read_baseline(path)? {
+            Some(known) => {
+                let before = diags.len();
+                diags.retain(|d| !known.contains(&d.fingerprint()));
+                suppressed = before - diags.len();
+            }
+            None => {
+                write_baseline(path, &diags)?;
+                eprintln!(
+                    "lint: wrote {} fingerprint(s) to {path}; future runs gate only on new \
+                     findings",
+                    diags.len()
+                );
+                return Ok(0);
+            }
         }
     }
     let errors = lis_analyze::count(&diags, lis_analyze::Severity::Error);
@@ -521,8 +558,13 @@ fn cmd_lint(opts: &Opts) -> Result<u8, String> {
     match opts.format.as_deref() {
         None | Some("text") => {
             print!("{}", lis_analyze::render_text(&diags));
+            let base = if suppressed > 0 {
+                format!(", {suppressed} baseline-suppressed")
+            } else {
+                String::new()
+            };
             eprintln!(
-                "lint: {} ISA(s) x {} buildset(s): {errors} error(s), {warnings} warning(s)",
+                "lint: {} ISA(s) x {} buildset(s): {errors} error(s), {warnings} warning(s){base}",
                 isas.len(),
                 cells.len()
             );
@@ -534,6 +576,51 @@ fn cmd_lint(opts: &Opts) -> Result<u8, String> {
     Ok(if errors > 0 || (opts.deny_warnings && warnings > 0) { 5 } else { 0 })
 }
 
+/// Reads a `lis lint` baseline file into the set of suppressed
+/// fingerprints, or `None` when the file does not exist yet (the caller
+/// then writes one). Lines are `<16-hex-fingerprint> <code> <location>`;
+/// only the fingerprint is load-bearing, the rest keeps diffs reviewable.
+fn read_baseline(path: &str) -> Result<Option<std::collections::HashSet<u64>>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("--baseline {path}: {e}")),
+    };
+    let mut set = std::collections::HashSet::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fp = line.split_whitespace().next().unwrap_or("");
+        let fp = u64::from_str_radix(fp, 16)
+            .map_err(|_| format!("--baseline {path}: malformed fingerprint line `{line}`"))?;
+        set.insert(fp);
+    }
+    Ok(Some(set))
+}
+
+/// Writes a baseline file: deterministic (sorted, deduplicated) so two
+/// runs over the same specs produce byte-identical files.
+fn write_baseline(path: &str, diags: &[lis_analyze::Diagnostic]) -> Result<(), String> {
+    let mut lines: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{:016x} {} {}", d.fingerprint(), d.code, d.location()))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# lis lint baseline v1 — fingerprints of accepted findings.\n\
+         # A fingerprint hashes (code, location, step) only; message wording may change\n\
+         # without invalidating it. Regenerate by deleting this file and re-running lint.\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("--baseline {path}: {e}"))
+}
+
 /// The errors-only analyzer gate `verify`/`chaos`/`sweep` run before doing
 /// any expensive simulation: a broken interface is reported as LIS***
 /// diagnostics up front instead of as a divergence hundreds of instructions
@@ -543,6 +630,10 @@ fn lint_gate(cells: &[(&'static IsaSpec, BuildsetDef)]) -> bool {
     let mut all = Vec::new();
     for (spec, bs) in cells {
         if let Err(d) = lis_analyze::preflight(spec, bs) {
+            all.extend(d);
+        }
+        let view = lis_runtime::synthesize_view(spec, bs);
+        if let Err(d) = lis_analyze::preflight_translation(spec, bs, &view) {
             all.extend(d);
         }
     }

@@ -95,6 +95,11 @@ pub struct Opts {
     pub format: Option<String>,
     /// Treat lint warnings as errors (exit 5).
     pub deny_warnings: bool,
+    /// Print the LIS001–LIS010 pass catalog and exit (`lint`).
+    pub list_passes: bool,
+    /// Baseline fingerprint file for `lint`: created when absent, used to
+    /// suppress known findings when present.
+    pub baseline: Option<String>,
     /// Skip the analyzer pre-flight gate in `verify` / `chaos` / `sweep`.
     pub no_lint: bool,
     /// Listen address for `serve` (required unless `--bench-warm`).
@@ -148,6 +153,8 @@ impl Default for Opts {
             time: false,
             format: None,
             deny_warnings: false,
+            list_passes: false,
+            baseline: None,
             no_lint: false,
             listen: None,
             drain_deadline: 10,
@@ -269,6 +276,8 @@ impl Opts {
                 "--time" => o.time = true,
                 "--format" => o.format = Some(value("--format")?),
                 "--deny-warnings" => o.deny_warnings = true,
+                "--list-passes" => o.list_passes = true,
+                "--baseline" => o.baseline = Some(value("--baseline")?),
                 "--no-lint" => o.no_lint = true,
                 "--listen" => o.listen = Some(value("--listen")?),
                 "--drain-deadline" => {
@@ -466,9 +475,14 @@ mod tests {
         assert!(!o.no_lint);
         assert!(parse(&["--no-lint"]).unwrap().no_lint);
         assert!(parse(&["--format"]).is_err());
+        assert!(parse(&["--list-passes"]).unwrap().list_passes);
+        let o = parse(&["--baseline", "lint.base"]).unwrap();
+        assert_eq!(o.baseline.as_deref(), Some("lint.base"));
+        assert!(parse(&["--baseline"]).is_err());
         let d = parse(&[]).unwrap();
         assert_eq!(d.format, None);
-        assert!(!d.deny_warnings && !d.no_lint);
+        assert!(!d.deny_warnings && !d.no_lint && !d.list_passes);
+        assert_eq!(d.baseline, None);
     }
 
     #[test]

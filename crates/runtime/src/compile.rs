@@ -27,10 +27,12 @@
 //! unmap events drop the whole compiled cache.
 
 use crate::decode::PcMap;
-use crate::engine::{Block, PredecInst};
+use crate::engine::{Backend, Block, PredecInst};
+use lis_analyze::tir::{TirAccess, TirInst, TranslationView};
 use lis_core::{
-    generic_operand_fetch, generic_writeback, ActionFn, ArchState, FieldId, FieldSet, IsaSpec,
-    OperandRef, Operands, RegBacking, F_OPCODE, MAX_DEST, MAX_SRC, SRC_FIELDS,
+    generic_operand_fetch, generic_writeback, ActionFn, ArchState, BuildsetDef, Exec, FieldId,
+    FieldSet, Frame, InstClass, InstDef, InstHeader, IsaSpec, OperandRef, Operands, OsState,
+    RegBacking, Step, F_OPCODE, MAX_DEST, MAX_SRC, SRC_FIELDS,
 };
 use std::cell::Cell;
 use std::rc::Rc;
@@ -455,5 +457,195 @@ impl CompiledCache {
     #[inline]
     pub(crate) fn peek(&self, idx: u32) -> Option<&Superblock> {
         self.arena.get(idx as usize).map(|rc| &**rc)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The analyzable-IR seam: side-effect-free synthesis introspection
+// ----------------------------------------------------------------------
+
+/// Predecodes `def`'s canonical encoding on scratch state, mirroring the
+/// engine's predecode rule exactly — same 4-slot capture buffer, same
+/// fallback on a decode fault or capture overflow — without constructing a
+/// simulator or touching any counters.
+fn predecode_canonical(isa: &'static IsaSpec, op: u16, def: &InstDef) -> PredecInst {
+    let actions = def.actions;
+    let fallback = PredecInst {
+        op,
+        bits: def.bits,
+        ops: Operands::new(),
+        fields: [(0, 0); 4],
+        nfields: 0,
+        fallback: true,
+        actions,
+    };
+    let mut frame = Frame::new();
+    let mut ops = Operands::new();
+    let mut header = InstHeader { instr_bits: def.bits, ..InstHeader::default() };
+    let mut state = ArchState::new(isa.endian);
+    let mut os = OsState::new(0);
+    if let Some(dec) = actions.decode {
+        let mut ex = Exec {
+            isa,
+            frame: &mut frame,
+            ops: &mut ops,
+            header: &mut header,
+            opcode: op,
+            state: &mut state,
+            os: &mut os,
+            undo: None,
+            chaos: None,
+        };
+        if dec(&mut ex).is_err() {
+            return fallback;
+        }
+    }
+    let mut fields = [(0u8, 0u64); 4];
+    let mut n = 0usize;
+    for f in frame.valid().iter() {
+        if n == fields.len() {
+            return fallback;
+        }
+        fields[n] = (f.0, frame.raw(f.index()));
+        n += 1;
+    }
+    PredecInst { op, bits: def.bits, ops, fields, nfields: n as u8, fallback: false, actions }
+}
+
+fn tir_src(op: SrcOp, r: OperandRef) -> TirAccess {
+    match op {
+        SrcOp::Call(_, index) => TirAccess::Accessor { class: r.class, index },
+        SrcOp::Gpr(index) => TirAccess::Gpr { class: r.class, index, mask: None },
+        SrcOp::Spr(slot) => TirAccess::Spr { class: r.class, slot, mask: None },
+    }
+}
+
+fn tir_dest(op: DestOp, r: OperandRef) -> TirAccess {
+    match op {
+        DestOp::Call(_, index) => TirAccess::Accessor { class: r.class, index },
+        DestOp::Gpr(index, mask) => TirAccess::Gpr { class: r.class, index, mask: Some(mask) },
+        DestOp::Spr(slot, mask) => TirAccess::Spr { class: r.class, slot, mask: Some(mask) },
+    }
+}
+
+/// Probes, on scratch structures, that link following really re-validates
+/// the target block's entry PC: a deliberately stale hint (right arena
+/// index, wrong claimed PC) must miss, and a truthful hint must resolve.
+/// This is `validate_backing`'s philosophy applied to the chaining rules —
+/// the view reports what the code *does*, not what a comment promises.
+fn probe_link_validation() -> bool {
+    let mut cache = CompiledCache::default();
+    let a = cache.insert(0x1000, Rc::new(Superblock::from_parts(0x1000, Box::from([]))));
+    let c = cache.insert(0x4000, Rc::new(Superblock::from_parts(0x4000, Box::from([]))));
+    // Plant a stale taken hint on A: arena index of C, but claiming it
+    // leads to 0x2000. Following toward 0x2000 must reject it.
+    cache.patch(a, c, 0x2000, u64::MAX);
+    let stale_misses = cache.follow(a, 0x2000, u64::MAX).is_none()
+        && cache.follow_idx(a, 0x2000, u64::MAX).is_none();
+    // Repatch truthfully; the hint must now resolve to C.
+    cache.patch(a, c, 0x4000, u64::MAX);
+    stale_misses && cache.follow_idx(a, 0x4000, u64::MAX) == Some(c)
+}
+
+/// Probes that superblocks rebuilt from exported snapshot parts start with
+/// cold successor links.
+fn probe_import_links_cold() -> bool {
+    let sb = Superblock::from_parts(0x1000, Box::from([]));
+    sb.fallthrough.get() == NO_LINK && sb.taken.get() == NO_LINK && sb.taken_pc.get() == 0
+}
+
+/// Order of [`lis_core::StepActions::exec_slots`], used to recover which
+/// step contributed each flattened-chain action.
+const EXEC_STEPS: [Step; 5] =
+    [Step::OperandFetch, Step::Evaluate, Step::Memory, Step::Writeback, Step::Exception];
+
+fn tir_inst(isa: &'static IsaSpec, op: u16, def: &'static InstDef) -> TirInst {
+    let pred = predecode_canonical(isa, op, def);
+    let ci = CompiledInst::compile(&pred, isa);
+    let (spec_chain, spec_len) = def.actions.flatten_exec();
+    let chain_matches_spec = spec_len == ci.chain_len
+        && spec_chain[..spec_len as usize]
+            .iter()
+            .zip(&ci.chain[..ci.chain_len as usize])
+            .all(|(a, b)| std::ptr::fn_addr_eq(*a, *b));
+    let wb_is_generic = ci.has_wb
+        && std::ptr::fn_addr_eq(ci.chain[ci.mid_hi as usize], generic_writeback as ActionFn);
+    TirInst {
+        name: def.name,
+        class: def.class,
+        fallback: ci.fallback,
+        chain_len: ci.chain_len,
+        pre_hi: ci.pre_hi,
+        mid_lo: ci.mid_lo,
+        mid_hi: ci.mid_hi,
+        has_fetch: ci.has_fetch,
+        has_wb: ci.has_wb,
+        wb_is_generic,
+        chain_steps: def
+            .actions
+            .exec_slots()
+            .iter()
+            .zip(EXEC_STEPS)
+            .filter_map(|(a, s)| a.map(|_| s))
+            .collect(),
+        srcs: ci.src_read[..ci.nsrc as usize]
+            .iter()
+            .zip(pred.ops.srcs())
+            .map(|(&s, &r)| tir_src(s, r))
+            .collect(),
+        dests: ci.dest_write[..ci.ndest as usize]
+            .iter()
+            .zip(pred.ops.dests())
+            .map(|(&d, &r)| tir_dest(d, r))
+            .collect(),
+        captured: ci.valid,
+        chain_matches_spec,
+        // Mirrors the block builder's termination rule exactly.
+        ends_block: matches!(def.class, InstClass::Branch | InstClass::Jump | InstClass::Syscall),
+    }
+}
+
+/// Synthesizes the compiled backend's translation decisions for one
+/// (ISA, buildset) cell as plain, analyzable data — the input to
+/// `lis_analyze`'s translation-soundness passes (LIS006–LIS010).
+///
+/// This is a *pure introspection* of the same code paths the compiled
+/// backend executes: each instruction's canonical encoding is predecoded
+/// and compiled exactly as a real block build would (same capture rule,
+/// same chain specialization, same operand lowering), the elision and undo
+/// decisions are copied from the buildset the way the engine copies them,
+/// and the link-validation guarantees are *probed* on scratch structures
+/// rather than asserted. It allocates only the returned view — no caches,
+/// no counters, no translation output is perturbed.
+pub fn synthesize_view(isa: &'static IsaSpec, bs: &BuildsetDef) -> TranslationView {
+    let mut ladder = vec!["compiled"];
+    let mut b = Backend::Compiled;
+    while let Some(next) = b.demoted() {
+        ladder.push(match next {
+            Backend::Compiled => "compiled",
+            Backend::Cached => "cached",
+            Backend::Interpreted => "interpreted",
+        });
+        b = next;
+    }
+    TranslationView {
+        isa: isa.name,
+        buildset: bs.name,
+        elides_publish: bs.elides_publish(),
+        vis_fields: bs.visibility.fields,
+        vis_operand_ids: bs.visibility.operand_ids,
+        speculation: bs.speculation,
+        // Exactly the engine's wiring rule: `Exec::undo` is Some iff the
+        // buildset speculates.
+        undo_wired: bs.speculation,
+        links_validated: probe_link_validation(),
+        import_links_cold: probe_import_links_cold(),
+        ladder,
+        insts: isa
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(op, def)| tir_inst(isa, op as u16, def))
+            .collect(),
     }
 }

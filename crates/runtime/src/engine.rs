@@ -278,11 +278,20 @@ impl Simulator {
     /// [`BuildError::InvalidSpec`] when the ISA description is inconsistent,
     /// or [`BuildError::Lint`] when the full static analyzer's pre-flight
     /// finds other error-level diagnostics (speculation safety,
-    /// derivability, specification self-checks).
+    /// derivability, specification self-checks, translation soundness).
     pub fn new(isa: &'static IsaSpec, buildset: BuildsetDef) -> Result<Simulator, BuildError> {
         isa.validate().map_err(BuildError::InvalidSpec)?;
         check_interface(isa, &buildset).map_err(|d| invalid_interface(&buildset, d))?;
         lis_analyze::preflight(isa, &buildset)
+            .map_err(|diags| BuildError::Lint { buildset: buildset.name, diags })?;
+        // The translation leg of the gate: synthesize the compiled
+        // backend's decisions for this cell as plain data and refuse to
+        // build if they are not a sound projection of the specification.
+        // Every simulator passes it — the backend is switchable at any
+        // time, so an unsound translation must be refused up front, not
+        // when `set_backend(Compiled)` happens to be called.
+        let view = crate::compile::synthesize_view(isa, &buildset);
+        lis_analyze::preflight_translation(isa, &buildset, &view)
             .map_err(|diags| BuildError::Lint { buildset: buildset.name, diags })?;
         Ok(Simulator::build(isa, buildset))
     }

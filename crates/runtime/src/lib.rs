@@ -34,6 +34,7 @@ mod stats;
 pub mod toy;
 
 pub use artifact::{ArtifactKey, ArtifactStore, Artifacts, SeedError, StoreStats};
+pub use compile::synthesize_view;
 pub use decode::{DecodeTable, PcHashBuilder, PcHasher, PcMap};
 pub use engine::{
     Backend, CheckpointId, DemotionEvent, DemotionReason, Simulator, DEFAULT_MAX_BLOCK, STACK_TOP,
